@@ -1,0 +1,123 @@
+// Experiment E10 — ablations of two design choices the paper calls out.
+//
+// (a) Matching-based merging (Section 4): Controlled-GHS merges only
+//     matched pairs plus unmatched candidates, keeping fragment heights
+//     geometric. Uncontrolled Boruvka merging (SyncBoruvka stopped after
+//     the same number of phases) lets merge chains of unbounded depth
+//     build long fragments.
+// (b) Interval-routed downcast (Section 3): the root answers each base
+//     fragment along its own root-destination path (O(D) messages per
+//     record) instead of broadcasting to the entire graph (O(n) per
+//     record).
+
+#include <iostream>
+
+#include "dmst/core/controlled_ghs.h"
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/forest_stats.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/util/cli.h"
+#include "dmst/util/intmath.h"
+#include "dmst/util/table.h"
+
+using namespace dmst;
+
+namespace {
+
+std::uint64_t max_height(const WeightedGraph& g,
+                         const std::vector<std::size_t>& parent_port)
+{
+    // Height only (no fragment-id validation): both algorithms' outputs
+    // are measured with the same ruler.
+    std::uint64_t max_h = 0;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        VertexId cur = v;
+        std::uint64_t d = 0;
+        while (parent_port[cur] != kNoPort) {
+            cur = g.neighbor(cur, parent_port[cur]);
+            ++d;
+        }
+        max_h = std::max(max_h, d);
+    }
+    return max_h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    Args args;
+    args.define("n", "1024", "graph size");
+    args.define("seed", "10", "workload seed");
+    args.define("csv", "false", "emit CSV instead of an aligned table");
+    try {
+        args.parse(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n" << args.help();
+        return 1;
+    }
+    const std::size_t n = args.get_int("n");
+    const std::uint64_t seed = args.get_int("seed");
+
+    std::cout << "E10a: matched merging vs uncontrolled merging "
+                 "(fragment height after ceil(log2 k) phases)\n";
+    Table a({"family", "k", "phases", "ghs_max_h", "ghs_h_bound",
+             "uncontrolled_max_h"});
+    for (const char* family : {"er", "path"}) {
+        auto g = make_workload(family, n, seed);
+        for (std::uint64_t k : {16ull, 64ull}) {
+            const int phases = ceil_log2(k);
+            auto ghs = run_controlled_ghs(g, GhsOptions{.k = k});
+            auto wild = run_sync_boruvka(
+                g, SyncBoruvkaOptions{.max_phases = phases});
+            a.new_row()
+                .add(std::string(family))
+                .add(k)
+                .add(static_cast<std::int64_t>(phases))
+                .add(max_height(g, ghs.parent_port))
+                .add(3 * (std::uint64_t{1} << ceil_log2(k)) + 4)
+                .add(max_height(g, wild.parent_port));
+        }
+    }
+    a.print(std::cout);
+
+    std::cout << "\nE10b: interval-routed downcast vs whole-tree broadcast\n";
+    Table b({"family", "downcast_msgs", "broadcast_msgs", "blowup", "rounds_dc",
+             "rounds_bc"});
+    for (const char* family : {"er", "cliques8"}) {
+        auto g = make_workload(family, n, seed + 1);
+        // Fix k = sqrt(n) so both variants answer the same sizable set of
+        // base fragments each phase; only the delivery mechanism differs.
+        const std::uint64_t k = isqrt(g.vertex_count());
+        auto routed = run_elkin_mst(g, ElkinOptions{.k_override = k});
+        auto flooded = run_elkin_mst(
+            g, ElkinOptions{.k_override = k, .broadcast_downcast = true});
+        if (routed.mst_edges != flooded.mst_edges) {
+            std::cerr << "FATAL: ablation changed the MST\n";
+            return 1;
+        }
+        b.new_row()
+            .add(std::string(family))
+            .add(routed.phase2_messages)
+            .add(flooded.phase2_messages)
+            .add(static_cast<double>(flooded.phase2_messages) /
+                     static_cast<double>(
+                         std::max<std::uint64_t>(routed.phase2_messages, 1)),
+                 2)
+            .add(routed.stats.rounds)
+            .add(flooded.stats.rounds);
+    }
+    if (args.get_bool("csv")) {
+        a.print_csv(std::cout);
+        b.print_csv(std::cout);
+    } else {
+        b.print(std::cout);
+    }
+    std::cout << "\nExpected shape: (a) uncontrolled merging yields much\n"
+                 "taller fragments than the 3*2^ceil(log2 k)+4 bound that\n"
+                 "Controlled-GHS respects; (b) broadcasting the phase\n"
+                 "results costs a growing message factor over interval\n"
+                 "routing while producing the identical MST.\n";
+    return 0;
+}

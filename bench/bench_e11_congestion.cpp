@@ -1,0 +1,64 @@
+// Experiment E11 — congestion profile (library instrumentation; not a
+// table in the paper, but the property behind its design): the Elkin
+// algorithm funnels its phase traffic through the BFS tree τ, so the
+// hottest edges are the root-adjacent τ edges; the per-edge load there is
+// what the O(D + n/k) pipelining arguments of Section 3 bound. This bench
+// prints the per-edge message histogram (max / p99 / p50 / mean).
+
+#include <algorithm>
+#include <iostream>
+
+#include "dmst/core/elkin_mst.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/util/cli.h"
+#include "dmst/util/table.h"
+
+using namespace dmst;
+
+int main(int argc, char** argv)
+{
+    Args args;
+    args.define("n", "1024", "graph size");
+    args.define("seed", "11", "workload seed");
+    args.define("csv", "false", "emit CSV instead of an aligned table");
+    try {
+        args.parse(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n" << args.help();
+        return 1;
+    }
+    const std::size_t n = args.get_int("n");
+    const std::uint64_t seed = args.get_int("seed");
+
+    std::cout << "E11: per-edge congestion of the Elkin algorithm\n";
+    Table table({"family", "m", "total_msgs", "max_edge", "p99_edge",
+                 "p50_edge", "mean_edge"});
+    for (const char* family : {"er", "grid", "cliques8", "star"}) {
+        auto g = make_workload(family, n, seed);
+        auto r = run_elkin_mst(g, ElkinOptions{.record_per_edge = true});
+        auto hist = r.stats.messages_per_edge;
+        std::sort(hist.begin(), hist.end());
+        auto pct = [&](double q) {
+            return hist[static_cast<std::size_t>(q * (hist.size() - 1))];
+        };
+        double mean = static_cast<double>(r.stats.messages) /
+                      static_cast<double>(hist.size());
+        table.new_row()
+            .add(std::string(family))
+            .add(static_cast<std::uint64_t>(g.edge_count()))
+            .add(r.stats.messages)
+            .add(hist.back())
+            .add(pct(0.99))
+            .add(pct(0.50))
+            .add(mean, 1);
+    }
+    if (args.get_bool("csv"))
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\nExpected shape: a heavy tail — the median edge carries\n"
+                 "only the O(log n) neighbor updates, while the max (a\n"
+                 "root-adjacent τ edge) carries the pipelined phase traffic\n"
+                 "bounded by the Section 3 upcast/downcast analysis.\n";
+    return 0;
+}

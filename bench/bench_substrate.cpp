@@ -1,0 +1,98 @@
+// Experiment E9 — substrate wall-clock microbenchmarks (library quality,
+// not a paper claim): sequential MST implementations and simulator round
+// throughput, via google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "dmst/congest/network.h"
+#include "dmst/core/elkin_mst.h"
+#include "dmst/graph/generators.h"
+#include "dmst/seq/mst.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+WeightedGraph er_graph(std::size_t n)
+{
+    Rng rng(42);
+    return gen_erdos_renyi(n, 4 * n, rng);
+}
+
+void BM_Kruskal(benchmark::State& state)
+{
+    auto g = er_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mst_kruskal(g));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Kruskal)->Range(256, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_Prim(benchmark::State& state)
+{
+    auto g = er_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mst_prim(g));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Prim)->Range(256, 4096)->Complexity(benchmark::oNLogN);
+
+void BM_Boruvka(benchmark::State& state)
+{
+    auto g = er_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mst_boruvka(g));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Boruvka)->Range(256, 1024);
+
+// Simulator throughput: a flood over a grid, measuring vertex-rounds/sec.
+class FloodProcess : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        bool heard = ctx.id() == 0 || !ctx.inbox().empty();
+        if (heard && !forwarded_) {
+            for (std::size_t p = 0; p < ctx.degree(); ++p)
+                ctx.send(p, Message{1, {}});
+            forwarded_ = true;
+        }
+    }
+    bool done() const override { return forwarded_; }
+
+private:
+    bool forwarded_ = false;
+};
+
+void BM_SimulatorFlood(benchmark::State& state)
+{
+    Rng rng(7);
+    auto side = static_cast<std::size_t>(state.range(0));
+    auto g = gen_grid(side, side, rng);
+    for (auto _ : state) {
+        Network net(g, NetConfig{});
+        net.init([](VertexId) { return std::make_unique<FloodProcess>(); });
+        RunStats stats = net.run();
+        benchmark::DoNotOptimize(stats.messages);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.vertex_count()));
+}
+BENCHMARK(BM_SimulatorFlood)->Range(8, 64);
+
+// End-to-end wall-clock of the full Elkin run (simulation cost, not model
+// rounds).
+void BM_ElkinEndToEnd(benchmark::State& state)
+{
+    auto g = er_graph(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto r = run_elkin_mst(g, ElkinOptions{});
+        benchmark::DoNotOptimize(r.stats.rounds);
+    }
+}
+BENCHMARK(BM_ElkinEndToEnd)->Range(128, 512);
+
+}  // namespace
+}  // namespace dmst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#ifndef DMST_CONGEST_MESSAGE_H
+#define DMST_CONGEST_MESSAGE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmst {
+
+// One CONGEST message. In CONGEST(b log n) a message carries O(b) edge
+// weights and/or vertex identities; we model one "unit" as kWordsPerUnit
+// 64-bit words — a constant multiple of the O(log n) bits of the standard
+// model — and allow each edge direction to carry b units worth of words per
+// round. The pipelined primitives (SortedMergeUpcast, IntervalDowncast)
+// additionally self-limit to exactly b records per edge per round, matching
+// the paper's accounting; the word budget is the hard model-violation
+// backstop, with headroom for a pipelined record (6 words) to share a round
+// with the constant-size control messages of a concurrent protocol stage.
+struct Message {
+    std::uint32_t tag = 0;
+    std::vector<std::uint64_t> words;
+
+    // Size in 64-bit words, tag counted as one word.
+    std::size_t size_words() const { return 1 + words.size(); }
+};
+
+// Words per bandwidth unit (the "O(log n) bits" of the standard model).
+constexpr std::size_t kWordsPerUnit = 16;
+
+// A message delivered to a vertex, annotated with the arrival port.
+struct Incoming {
+    std::size_t port = 0;
+    Message msg;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_CONGEST_MESSAGE_H

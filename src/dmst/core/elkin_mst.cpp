@@ -1,0 +1,478 @@
+#include "dmst/core/elkin_mst.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "dmst/core/mst_output.h"
+#include "dmst/graph/metrics.h"
+#include "dmst/util/assert.h"
+#include "dmst/util/dsu.h"
+#include "dmst/util/intmath.h"
+
+namespace dmst {
+
+namespace {
+
+constexpr std::uint64_t kNoEdgeWord = ~std::uint64_t{0};
+
+std::uint64_t pack_edge(VertexId a, VertexId b)
+{
+    return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+ElkinProcess::ElkinProcess(VertexId id, std::uint64_t n, const ElkinOptions& opts)
+    : id_(id), n_(n), opts_(opts), bfs_(id == opts.root, tag(kBfsBase)),
+      labeler_(tag(kLabel)), downcast_(tag(kDown))
+{
+}
+
+void ElkinProcess::on_round(Context& ctx)
+{
+    // MST markings may race the FINISH wave by one round; accept them first
+    // and even after finishing.
+    for (const Incoming& in : ctx.inbox()) {
+        if (in.msg.tag == tag(kMarkCross))
+            mst_ports_.insert(in.port);
+    }
+    if (finished_)
+        return;
+
+    if (neighbor_coarse_.empty() && ctx.degree() > 0) {
+        neighbor_coarse_.assign(ctx.degree(), ~std::uint64_t{0});
+        neighbor_vid_.assign(ctx.degree(), ~std::uint64_t{0});
+    }
+
+    // Sub-protocols consume their own tags.
+    bfs_.on_round(ctx);
+    if (bfs_.finished() && !labeler_.attached()) {
+        labeler_.attach(bfs_);
+        if (is_root_vertex())
+            labeler_.start(ctx);
+    }
+    labeler_.on_round(ctx);
+    if (labeler_.finished() && !downcast_.attached()) {
+        downcast_.attach(labeler_.own_index(), labeler_.children_ports(),
+                         labeler_.child_intervals());
+    }
+    downcast_.on_round(ctx);
+    if (ghs_)
+        ghs_->on_round(ctx);
+    if (upcast_)
+        upcast_->on_round(ctx);
+
+    // Control traffic.
+    for (const Incoming& in : ctx.inbox()) {
+        const std::uint32_t t = in.msg.tag;
+        if (t == tag(kStartGhs)) {
+            start_ghs_from_wave(ctx, in.msg.words.at(0), in.msg.words.at(1));
+        } else if (t == tag(kPhaseStart)) {
+            begin_boruvka_phase(ctx, in.msg.words.at(0));
+        } else if (t == tag(kChat)) {
+            const std::uint64_t j = in.msg.words.at(0);
+            neighbor_coarse_.at(in.port) = in.msg.words.at(1);
+            neighbor_vid_.at(in.port) = in.msg.words.at(2);
+            if (static_cast<std::int64_t>(j) == phase_) {
+                ++chats_received_;
+            } else {
+                DMST_ASSERT_MSG(static_cast<std::int64_t>(j) == phase_ + 1,
+                                "CHAT from an unexpected phase");
+                ++chats_next_;
+            }
+        } else if (t == tag(kFragReport)) {
+            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
+            DMST_ASSERT(frag_reports_pending_ > 0);
+            --frag_reports_pending_;
+            EdgeKey key{in.msg.words.at(1),
+                        static_cast<VertexId>(in.msg.words.at(2) >> 32),
+                        static_cast<VertexId>(in.msg.words.at(2) & 0xFFFFFFFFULL)};
+            if (key < frag_best_) {
+                frag_best_ = key;
+                frag_best_other_ = in.msg.words.at(3);
+            }
+        } else if (t == tag(kNewCoarse)) {
+            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
+            handle_new_coarse(ctx, in.msg.words.at(1), in.msg.words.at(2));
+        } else if (t == tag(kAck)) {
+            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
+            DMST_ASSERT(acks_pending_ > 0);
+            --acks_pending_;
+        } else if (t == tag(kFlood)) {
+            // Ablation E10b: every record floods the whole tree.
+            std::array<std::uint64_t, 4> rec{in.msg.words.at(0),
+                                             in.msg.words.at(1),
+                                             in.msg.words.at(2),
+                                             in.msg.words.at(3)};
+            if (rec[0] == labeler_.own_index()) {
+                DMST_ASSERT(static_cast<std::int64_t>(rec[1]) == phase_);
+                handle_new_coarse(ctx, rec[2], rec[3]);
+            }
+            flood_enqueue(rec);
+        } else if (t == tag(kFinish)) {
+            finish(ctx);
+            return;
+        }
+    }
+
+    // Stage transitions.
+    if (is_root_vertex() && bfs_.finished() && !ghs_wave_sent_) {
+        ghs_wave_sent_ = true;
+        bfs_done_round_ = ctx.round();
+        ecc_ = bfs_.subtree_height();
+        DMST_ASSERT_MSG(bfs_.subtree_size() == n_,
+                        "BFS did not span the graph (disconnected input?)");
+        if (n_ == 1) {
+            finish(ctx);
+            return;
+        }
+        if (opts_.k_override) {
+            k_ = std::max<std::uint64_t>(*opts_.k_override, 1);
+        } else {
+            // Paper: k = sqrt(n) if D <= sqrt(n), else k = D; in
+            // CONGEST(b log n), sqrt(n/b). ecc(rt) is our Theta(D) estimate.
+            std::uint64_t target =
+                isqrt(ceil_div(n_, static_cast<std::uint64_t>(opts_.bandwidth)));
+            k_ = std::max<std::uint64_t>({target, ecc_, 1});
+        }
+        const std::uint64_t ghs_start = ctx.round() + ecc_ + 2;
+        start_ghs_from_wave(ctx, k_, ghs_start);
+    }
+
+    if (ghs_ && ghs_->finished() && !registration_started_)
+        begin_registration(ctx);
+
+    if (registration_started_ && phase_ < 0 && is_root_vertex() &&
+        !registration_done_root_ && upcast_ && upcast_->finished()) {
+        root_finish_registration(ctx);
+        if (finished_)
+            return;
+    }
+
+    if (phase_ >= 0) {
+        if (!mwoe_computed_ && chats_received_ == ctx.degree())
+            compute_local_mwoe(ctx);
+        send_frag_report_if_ready(ctx);
+
+        if (is_root_vertex() && !downcast_injected_ && upcast_ &&
+            upcast_->finished())
+            root_merge_and_downcast(ctx);
+
+        while (delivered_seen_ < downcast_.delivered().size()) {
+            const DownRecord& rec = downcast_.delivered()[delivered_seen_++];
+            DMST_ASSERT(static_cast<std::int64_t>(rec.payload[0]) == phase_);
+            handle_new_coarse(ctx, rec.payload[1], rec.payload[2]);
+        }
+        if (opts_.broadcast_downcast)
+            pump_flood(ctx);
+        maybe_ack(ctx);
+    }
+}
+
+void ElkinProcess::start_ghs_from_wave(Context& ctx, std::uint64_t k,
+                                       std::uint64_t start_round)
+{
+    if (ghs_)
+        return;
+    k_ = k;
+    ghs_ = std::make_unique<GhsVertex>(id_, n_, k, start_round, tag(kGhsBase));
+    for (std::size_t c : bfs_.children_ports())
+        ctx.send(c, Message{tag(kStartGhs), {k, start_round}});
+}
+
+void ElkinProcess::begin_registration(Context& ctx)
+{
+    registration_started_ = true;
+    DMST_ASSERT_MSG(labeler_.finished(), "interval labeling must precede GHS end");
+
+    base_fid_ = ghs_->fragment_id();
+    base_root_ = ghs_->is_fragment_root();
+    frag_parent_ = ghs_->parent_port();
+    frag_children_.assign(ghs_->children_ports().begin(),
+                          ghs_->children_ports().end());
+    coarse_ = base_fid_;
+    mst_ports_.insert(ghs_->mst_ports().begin(), ghs_->mst_ports().end());
+
+    // Registration upcast: base roots announce (fragment id, root index).
+    upcast_ = std::make_unique<SortedMergeUpcast>(
+        tag(kUpcastBase), std::make_unique<KeepAllFilter>());
+    upcast_->attach(bfs_.parent_port(),
+                    std::vector<std::size_t>(bfs_.children_ports()));
+    if (base_root_) {
+        PipeRecord r;
+        r.key = EdgeKey{labeler_.own_index(), 0, 0};
+        r.group = base_fid_;
+        r.aux = labeler_.own_index();
+        upcast_->add_local(r);
+    }
+    upcast_->close_local();
+
+    // First coarse-id exchange; usable in Boruvka phase 0.
+    for (std::size_t port = 0; port < ctx.degree(); ++port)
+        ctx.send(port, Message{tag(kChat), {0, coarse_, id_}});
+}
+
+void ElkinProcess::root_finish_registration(Context& ctx)
+{
+    registration_done_root_ = true;
+    for (const PipeRecord& r : upcast_->delivered()) {
+        registered_.push_back(Registered{r.group, r.aux});
+        coarse_of_[r.group] = r.group;
+    }
+    DMST_ASSERT(!registered_.empty());
+    if (registered_.size() == 1) {
+        finish(ctx);
+        return;
+    }
+    begin_boruvka_phase(ctx, 0);
+}
+
+void ElkinProcess::begin_boruvka_phase(Context& ctx, std::uint64_t j)
+{
+    DMST_ASSERT(static_cast<std::int64_t>(j) == phase_ + 1);
+    phase_ = static_cast<int>(j);
+    chats_received_ = chats_next_;
+    chats_next_ = 0;
+    mwoe_computed_ = false;
+    frag_best_ = kInfiniteEdgeKey;
+    frag_best_other_ = 0;
+    frag_reports_pending_ = frag_children_.size();
+    frag_report_sent_ = false;
+    got_new_coarse_ = false;
+    acks_pending_ = bfs_.children_ports().size();
+    ack_sent_ = false;
+    downcast_injected_ = false;
+
+    upcast_ = std::make_unique<SortedMergeUpcast>(
+        tag(kUpcastBase), std::make_unique<GroupMinFilter>());
+    upcast_->attach(bfs_.parent_port(),
+                    std::vector<std::size_t>(bfs_.children_ports()));
+    if (!base_root_)
+        upcast_->close_local();
+
+    for (std::size_t c : bfs_.children_ports())
+        ctx.send(c, Message{tag(kPhaseStart), {j}});
+}
+
+void ElkinProcess::compute_local_mwoe(Context& ctx)
+{
+    mwoe_computed_ = true;
+    for (std::size_t port = 0; port < ctx.degree(); ++port) {
+        if (neighbor_coarse_[port] == coarse_)
+            continue;
+        VertexId other = static_cast<VertexId>(neighbor_vid_[port]);
+        EdgeKey key{ctx.weight(port), std::min(id_, other), std::max(id_, other)};
+        if (key < frag_best_) {
+            frag_best_ = key;
+            frag_best_other_ = neighbor_coarse_[port];
+        }
+    }
+}
+
+void ElkinProcess::send_frag_report_if_ready(Context& ctx)
+{
+    if (frag_report_sent_ || !mwoe_computed_ || frag_reports_pending_ > 0)
+        return;
+    frag_report_sent_ = true;
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    if (frag_parent_ != kNoPort) {
+        ctx.send(frag_parent_,
+                 Message{tag(kFragReport),
+                         {j, frag_best_.w,
+                          (std::uint64_t{frag_best_.a} << 32) | frag_best_.b,
+                          frag_best_other_}});
+        return;
+    }
+    // Base fragment root: inject the fragment's candidate edge (if any)
+    // into the pipelined upcast over τ.
+    if (frag_best_ != kInfiniteEdgeKey) {
+        PipeRecord r;
+        r.key = frag_best_;
+        r.group = coarse_;
+        r.group2 = frag_best_other_;
+        r.aux = (base_fid_ << 32) | labeler_.own_index();
+        upcast_->add_local(r);
+    }
+    upcast_->close_local();
+}
+
+void ElkinProcess::flood_enqueue(const std::array<std::uint64_t, 4>& rec)
+{
+    if (flood_queues_.empty() && !bfs_.children_ports().empty())
+        flood_queues_.resize(bfs_.children_ports().size());
+    for (auto& q : flood_queues_)
+        q.push_back(rec);
+}
+
+void ElkinProcess::pump_flood(Context& ctx)
+{
+    const auto& children = bfs_.children_ports();
+    for (std::size_t i = 0; i < flood_queues_.size(); ++i) {
+        int sent = 0;
+        while (sent < ctx.bandwidth() && !flood_queues_[i].empty()) {
+            const auto& r = flood_queues_[i].front();
+            ctx.send(children[i], Message{tag(kFlood), {r[0], r[1], r[2], r[3]}});
+            flood_queues_[i].pop_front();
+            ++sent;
+        }
+    }
+}
+
+void ElkinProcess::root_merge_and_downcast(Context& ctx)
+{
+    (void)ctx;
+    downcast_injected_ = true;
+    const auto& records = upcast_->delivered();
+
+    // Boruvka step over the coarse fragment graph, computed locally at rt.
+    std::map<std::uint64_t, std::size_t> index;
+    auto index_of = [&](std::uint64_t coarse) {
+        auto [it, inserted] = index.emplace(coarse, index.size());
+        (void)inserted;
+        return it->second;
+    };
+    for (const auto& [fid, coarse] : coarse_of_)
+        index_of(coarse);
+    Dsu dsu(index.size() + 2 * records.size());
+    for (const PipeRecord& r : records)
+        dsu.unite(index_of(r.group), index_of(r.group2));
+
+    // New coarse id of a component: the minimum coarse id it contains.
+    std::map<std::size_t, std::uint64_t> new_id;
+    for (const auto& [coarse, idx] : index) {
+        std::size_t root = dsu.find(idx);
+        auto it = new_id.find(root);
+        if (it == new_id.end() || coarse < it->second)
+            new_id[root] = coarse;
+    }
+
+    // Which base fragment proposed each surviving record (its edge is an
+    // MST edge: fragment MWOEs always are, under unique weights).
+    std::map<std::uint64_t, std::uint64_t> edge_of_fid;
+    for (const PipeRecord& r : records)
+        edge_of_fid[r.aux >> 32] = pack_edge(r.key.a, r.key.b);
+
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    for (const Registered& reg : registered_) {
+        std::uint64_t old_coarse = coarse_of_.at(reg.fid);
+        std::uint64_t updated = new_id.at(dsu.find(index_of(old_coarse)));
+        coarse_of_[reg.fid] = updated;
+        auto it = edge_of_fid.find(reg.fid);
+        std::uint64_t edge = it == edge_of_fid.end() ? kNoEdgeWord : it->second;
+        if (opts_.broadcast_downcast) {
+            if (reg.index == labeler_.own_index())
+                handle_new_coarse(ctx, updated, edge);  // the root's own rF
+            else
+                flood_enqueue({reg.index, j, updated, edge});
+        } else {
+            downcast_.inject(DownRecord{reg.index, {j, updated, edge, 0}});
+        }
+    }
+}
+
+void ElkinProcess::handle_new_coarse(Context& ctx, std::uint64_t coarse,
+                                     std::uint64_t edge)
+{
+    DMST_ASSERT(!got_new_coarse_);
+    got_new_coarse_ = true;
+    coarse_ = coarse;
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    for (std::size_t c : frag_children_)
+        ctx.send(c, Message{tag(kNewCoarse), {j, coarse, edge}});
+
+    if (edge != kNoEdgeWord) {
+        VertexId a = static_cast<VertexId>(edge >> 32);
+        VertexId b = static_cast<VertexId>(edge & 0xFFFFFFFFULL);
+        if (id_ == a || id_ == b) {
+            VertexId other = id_ == a ? b : a;
+            for (std::size_t port = 0; port < ctx.degree(); ++port) {
+                if (neighbor_vid_[port] == other) {
+                    mst_ports_.insert(port);
+                    ctx.send(port, Message{tag(kMarkCross), {}});
+                    break;
+                }
+            }
+        }
+    }
+
+    // Updated coarse id for the neighbors' next phase.
+    for (std::size_t port = 0; port < ctx.degree(); ++port)
+        ctx.send(port, Message{tag(kChat), {j + 1, coarse_, id_}});
+}
+
+void ElkinProcess::maybe_ack(Context& ctx)
+{
+    if (ack_sent_ || !got_new_coarse_ || acks_pending_ > 0)
+        return;
+    ack_sent_ = true;
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    if (!is_root_vertex()) {
+        ctx.send(bfs_.parent_port(), Message{tag(kAck), {j}});
+        return;
+    }
+    // Root: the phase is globally complete.
+    bool all_equal = true;
+    std::uint64_t first = coarse_of_.begin()->second;
+    for (const auto& [fid, coarse] : coarse_of_)
+        all_equal = all_equal && coarse == first;
+    if (all_equal)
+        finish(ctx);
+    else
+        begin_boruvka_phase(ctx, j + 1);
+}
+
+void ElkinProcess::finish(Context& ctx)
+{
+    for (std::size_t c : bfs_.children_ports())
+        ctx.send(c, Message{tag(kFinish), {}});
+    finished_ = true;
+}
+
+DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& opts)
+{
+    if (opts.bandwidth < 1)
+        throw std::invalid_argument("bandwidth must be >= 1");
+    if (opts.root >= g.vertex_count())
+        throw std::invalid_argument("root out of range");
+    if (!is_connected(g))
+        throw std::invalid_argument("MST requires a connected graph");
+
+    NetConfig config;
+    config.bandwidth = opts.bandwidth;
+    config.record_per_round = true;  // enables the phase-1/phase-2 split
+    config.record_per_edge = opts.record_per_edge;
+    Network net(g, config);
+    const std::uint64_t n = g.vertex_count();
+    net.init([&](VertexId v) { return std::make_unique<ElkinProcess>(v, n, opts); });
+    RunStats stats = net.run();
+
+    DistributedMstResult result;
+    result.stats = stats;
+    result.mst_ports.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto& p = static_cast<const ElkinProcess&>(net.process(v));
+        DMST_ASSERT(p.done());
+        result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
+    }
+    result.mst_edges = collect_mst_edges(g, result.mst_ports);
+
+    const auto& root = static_cast<const ElkinProcess&>(net.process(opts.root));
+    result.k_used = root.k_used();
+    result.bfs_ecc = root.bfs_ecc();
+    result.base_fragments = root.base_fragments();
+    result.boruvka_phases = root.boruvka_phases() + 1;
+    result.bfs_rounds = root.bfs_rounds();
+    result.ghs_rounds = root.ghs_rounds();
+
+    // Phase split at the end of the Controlled-GHS schedule.
+    std::uint64_t ghs_end =
+        root.bfs_rounds() + root.bfs_ecc() + 2 + root.ghs_rounds();
+    ghs_end = std::min<std::uint64_t>(ghs_end, stats.rounds);
+    result.phase2_rounds = stats.rounds - ghs_end;
+    for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)
+        result.phase2_messages += stats.messages_per_round[r];
+    return result;
+}
+
+}  // namespace dmst

@@ -1,0 +1,47 @@
+#include "dmst/core/forest_stats.h"
+
+#include <algorithm>
+
+#include "dmst/proto/bfs.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+ForestStats analyze_forest(const WeightedGraph& g,
+                           const std::vector<std::size_t>& parent_port,
+                           const std::vector<std::uint64_t>& fragment_id)
+{
+    const std::size_t n = g.vertex_count();
+    DMST_ASSERT(parent_port.size() == n);
+    DMST_ASSERT(fragment_id.size() == n);
+
+    ForestStats stats;
+    for (VertexId v = 0; v < n; ++v) {
+        VertexId cur = v;
+        std::uint64_t depth = 0;
+        while (parent_port[cur] != kNoPort) {
+            VertexId next = g.neighbor(cur, parent_port[cur]);
+            DMST_ASSERT_MSG(fragment_id[next] == fragment_id[cur],
+                            "parent edge leaves the fragment");
+            cur = next;
+            ++depth;
+            DMST_ASSERT_MSG(depth <= n, "parent pointers contain a cycle");
+        }
+        DMST_ASSERT_MSG(fragment_id[cur] == static_cast<std::uint64_t>(cur),
+                        "fragment id is not its root's id");
+        DMST_ASSERT_MSG(fragment_id[v] == fragment_id[cur],
+                        "vertex fragment id differs from its root's");
+        stats.max_height = std::max(stats.max_height, depth);
+        ++stats.sizes[fragment_id[v]];
+    }
+    stats.fragment_count = stats.sizes.size();
+    stats.min_fragment_size = n;
+    for (const auto& [fid, size] : stats.sizes) {
+        (void)fid;
+        stats.min_fragment_size = std::min(stats.min_fragment_size, size);
+        stats.max_fragment_size = std::max(stats.max_fragment_size, size);
+    }
+    return stats;
+}
+
+}  // namespace dmst

@@ -1,0 +1,33 @@
+#ifndef DMST_CORE_FOREST_STATS_H
+#define DMST_CORE_FOREST_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Structural analysis of a fragment forest expressed the way the
+// distributed algorithms output it: a per-vertex parent port (kNoPort at
+// fragment roots) plus a per-vertex fragment id. Used by the tests and the
+// experiment binaries to check the (n/k, O(k)) guarantees.
+struct ForestStats {
+    std::size_t fragment_count = 0;
+    std::uint64_t max_height = 0;        // deepest root-to-vertex chain
+    std::size_t min_fragment_size = 0;
+    std::size_t max_fragment_size = 0;
+    std::map<std::uint64_t, std::size_t> sizes;  // fragment id -> size
+};
+
+// Computes the stats and validates structure: parent chains must stay
+// inside their fragment, terminate at a root whose id names the fragment,
+// and contain no cycles. Throws InvariantViolation on malformed input.
+ForestStats analyze_forest(const WeightedGraph& g,
+                           const std::vector<std::size_t>& parent_port,
+                           const std::vector<std::uint64_t>& fragment_id);
+
+}  // namespace dmst
+
+#endif  // DMST_CORE_FOREST_STATS_H

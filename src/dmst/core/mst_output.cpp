@@ -1,0 +1,43 @@
+#include "dmst/core/mst_output.h"
+
+#include <map>
+
+#include "dmst/seq/mst.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+std::vector<EdgeId> collect_mst_edges(
+    const WeightedGraph& g,
+    const std::vector<std::vector<std::size_t>>& mst_ports, bool expect_spanning)
+{
+    DMST_ASSERT(mst_ports.size() == g.vertex_count());
+    std::map<EdgeId, int> seen;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        for (std::size_t port : mst_ports[v])
+            ++seen[g.edge_id(v, port)];
+
+    std::vector<EdgeId> edges;
+    edges.reserve(seen.size());
+    for (auto [e, count] : seen) {
+        DMST_ASSERT_MSG(count == 2, "MST edge marked on one endpoint only");
+        edges.push_back(e);
+    }
+    if (expect_spanning) {
+        DMST_ASSERT_MSG(edges.size() + 1 == g.vertex_count(),
+                        "output is not a spanning tree");
+        DMST_ASSERT_MSG(is_spanning_tree(g, edges), "marked edges contain a cycle");
+    }
+    return edges;
+}
+
+std::vector<std::vector<std::size_t>> ports_to_vectors(
+    const std::vector<std::set<std::size_t>>& ports)
+{
+    std::vector<std::vector<std::size_t>> out(ports.size());
+    for (std::size_t v = 0; v < ports.size(); ++v)
+        out[v].assign(ports[v].begin(), ports[v].end());
+    return out;
+}
+
+}  // namespace dmst

@@ -1,0 +1,29 @@
+#ifndef DMST_CORE_MST_OUTPUT_H
+#define DMST_CORE_MST_OUTPUT_H
+
+#include <set>
+#include <vector>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Assembles the global MST edge set from the per-vertex port views that
+// the distributed algorithms produce (the CONGEST output requirement is
+// per-vertex; the edge list is the derived global view).
+//
+// Validates that every marked edge is marked by *both* endpoints and, when
+// `expect_spanning` is set, that the result is a spanning tree of g.
+// Throws InvariantViolation on violations.
+std::vector<EdgeId> collect_mst_edges(
+    const WeightedGraph& g,
+    const std::vector<std::vector<std::size_t>>& mst_ports,
+    bool expect_spanning = true);
+
+// Convenience conversion from per-vertex port sets.
+std::vector<std::vector<std::size_t>> ports_to_vectors(
+    const std::vector<std::set<std::size_t>>& ports);
+
+}  // namespace dmst
+
+#endif  // DMST_CORE_MST_OUTPUT_H

@@ -1,0 +1,299 @@
+#include "dmst/core/sync_boruvka.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "dmst/core/mst_output.h"
+#include "dmst/graph/metrics.h"
+#include "dmst/util/assert.h"
+#include "dmst/util/intmath.h"
+
+namespace dmst {
+
+namespace {
+
+std::uint64_t pack_edge(VertexId a, VertexId b)
+{
+    return (std::uint64_t{std::min(a, b)} << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+void SyncBoruvkaProcess::kick(int phase)
+{
+    DMST_ASSERT(phase == phase_ + 1);
+    phase_ = phase;
+    kick_pending_ = true;
+
+    fids_received_ = 0;
+    local_computed_ = false;
+    best_key_ = kInfiniteEdgeKey;
+    best_local_port_ = kNoPort;
+    winner_child_ = kNoPort;
+    reports_pending_ = 0;
+    report_sent_ = false;
+    announced_ = false;
+    fragment_edge_ = 0;
+    gate_ = false;
+    gate_port_ = kNoPort;
+    queued_proposals_.clear();
+    newid_.reset();
+}
+
+void SyncBoruvkaProcess::send_report_if_ready(Context& ctx)
+{
+    if (report_sent_ || !local_computed_ || reports_pending_ > 0)
+        return;
+    report_sent_ = true;
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    if (!is_root()) {
+        ctx.send(parent_port_,
+                 Message{kReport,
+                         {j, best_key_.w,
+                          (std::uint64_t{best_key_.a} << 32) | best_key_.b}});
+        return;
+    }
+    // Fragment root: announce the MWOE (if any) to the whole fragment.
+    if (best_key_ == kInfiniteEdgeKey)
+        return;  // fragment spans the graph; stays idle
+    handle_announce(ctx, pack_edge(best_key_.a, best_key_.b));
+}
+
+void SyncBoruvkaProcess::handle_announce(Context& ctx, std::uint64_t packed_edge)
+{
+    announced_ = true;
+    fragment_edge_ = packed_edge;
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    for (std::size_t c : children_)
+        ctx.send(c, Message{kAnnounce, {j, packed_edge}});
+
+    VertexId a = static_cast<VertexId>(packed_edge >> 32);
+    VertexId b = static_cast<VertexId>(packed_edge & 0xFFFFFFFFULL);
+    if (id_ == a || id_ == b) {
+        VertexId other = id_ == a ? b : a;
+        for (std::size_t port = 0; port < neighbor_vid_.size(); ++port) {
+            if (neighbor_vid_[port] == other && neighbor_fid_[port] != fid_) {
+                gate_ = true;
+                gate_port_ = port;
+                ctx.send(port, Message{kPropose, {j, fid_, id_}});
+                break;
+            }
+        }
+        DMST_ASSERT_MSG(gate_, "MWOE endpoint lost its crossing port");
+    }
+
+    for (const auto& [port, vid] : queued_proposals_)
+        reply_ack(ctx, port, vid);
+    queued_proposals_.clear();
+}
+
+void SyncBoruvkaProcess::reply_ack(Context& ctx, std::size_t port,
+                                   std::uint64_t proposer_vid)
+{
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    std::uint64_t edge = pack_edge(id_, static_cast<VertexId>(proposer_vid));
+    std::uint64_t reciprocal = edge == fragment_edge_ ? 1 : 0;
+    ctx.send(port, Message{kAckProp, {j, reciprocal, fid_}});
+}
+
+void SyncBoruvkaProcess::become_center(Context& ctx)
+{
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    newid_ = fid_;
+    for (std::size_t c : children_)
+        ctx.send(c, Message{kNewId, {j, fid_}});
+}
+
+void SyncBoruvkaProcess::do_flip(Context& ctx)
+{
+    const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+    if (winner_child_ == kNoPort) {
+        DMST_ASSERT(gate_);
+        parent_port_ = gate_port_;
+        mst_ports_.insert(gate_port_);
+        ctx.send(gate_port_, Message{kCommit, {j}});
+    } else {
+        children_.erase(winner_child_);
+        parent_port_ = winner_child_;
+        ctx.send(winner_child_, Message{kFlip, {j}});
+    }
+}
+
+void SyncBoruvkaProcess::on_round(Context& ctx)
+{
+    if (kick_pending_) {
+        kick_pending_ = false;
+        if (neighbor_fid_.empty() && ctx.degree() > 0) {
+            neighbor_fid_.assign(ctx.degree(), 0);
+            neighbor_vid_.assign(ctx.degree(), 0);
+        }
+        const std::uint64_t j = static_cast<std::uint64_t>(phase_);
+        for (std::size_t port = 0; port < ctx.degree(); ++port)
+            ctx.send(port, Message{kFid, {j, fid_, id_}});
+    }
+
+    for (const Incoming& in : ctx.inbox()) {
+        DMST_ASSERT_MSG(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_,
+                        "message from a different phase");
+        switch (in.msg.tag) {
+        case kFid:
+            neighbor_fid_.at(in.port) = in.msg.words.at(1);
+            neighbor_vid_.at(in.port) = in.msg.words.at(2);
+            ++fids_received_;
+            break;
+        case kReport: {
+            DMST_ASSERT(reports_pending_ > 0);
+            --reports_pending_;
+            EdgeKey key{in.msg.words.at(1),
+                        static_cast<VertexId>(in.msg.words.at(2) >> 32),
+                        static_cast<VertexId>(in.msg.words.at(2) & 0xFFFFFFFFULL)};
+            if (key < best_key_) {
+                best_key_ = key;
+                winner_child_ = in.port;
+            }
+            break;
+        }
+        case kAnnounce:
+            handle_announce(ctx, in.msg.words.at(1));
+            break;
+        case kPropose:
+            if (announced_)
+                reply_ack(ctx, in.port, in.msg.words.at(2));
+            else
+                queued_proposals_.emplace_back(in.port, in.msg.words.at(2));
+            break;
+        case kAckProp: {
+            DMST_ASSERT(gate_ && in.port == gate_port_);
+            bool reciprocal = in.msg.words.at(1) != 0;
+            std::uint64_t other_fid = in.msg.words.at(2);
+            if (reciprocal && fid_ > other_fid) {
+                // This fragment is the center of its merge component.
+                if (is_root())
+                    become_center(ctx);
+                else
+                    ctx.send(parent_port_,
+                             Message{kCenterUp,
+                                     {static_cast<std::uint64_t>(phase_)}});
+            } else {
+                if (is_root())
+                    do_flip(ctx);
+                else
+                    ctx.send(parent_port_,
+                             Message{kMergeUp,
+                                     {static_cast<std::uint64_t>(phase_)}});
+            }
+            break;
+        }
+        case kCenterUp:
+            if (is_root())
+                become_center(ctx);
+            else
+                ctx.send(parent_port_,
+                         Message{kCenterUp, {static_cast<std::uint64_t>(phase_)}});
+            break;
+        case kMergeUp:
+            if (is_root())
+                do_flip(ctx);
+            else
+                ctx.send(parent_port_,
+                         Message{kMergeUp, {static_cast<std::uint64_t>(phase_)}});
+            break;
+        case kFlip:
+            DMST_ASSERT(in.port == parent_port_);
+            children_.insert(in.port);
+            do_flip(ctx);
+            break;
+        case kCommit:
+            children_.insert(in.port);
+            mst_ports_.insert(in.port);
+            if (newid_)
+                ctx.send(in.port,
+                         Message{kNewId,
+                                 {static_cast<std::uint64_t>(phase_), *newid_}});
+            break;
+        case kNewId:
+            fid_ = in.msg.words.at(1);
+            newid_ = fid_;
+            for (std::size_t c : children_) {
+                if (c != in.port)
+                    ctx.send(c, Message{kNewId,
+                                        {static_cast<std::uint64_t>(phase_), fid_}});
+            }
+            break;
+        default:
+            DMST_ASSERT_MSG(false, "unknown tag");
+        }
+    }
+
+    if (!local_computed_ && fids_received_ == ctx.degree() && phase_ >= 0) {
+        local_computed_ = true;
+        reports_pending_ = children_.size();
+        for (std::size_t port = 0; port < ctx.degree(); ++port) {
+            if (neighbor_fid_[port] == fid_)
+                continue;
+            VertexId other = static_cast<VertexId>(neighbor_vid_[port]);
+            EdgeKey key{ctx.weight(port), std::min(id_, other),
+                        std::max(id_, other)};
+            if (key < best_key_) {
+                best_key_ = key;
+                best_local_port_ = port;
+                winner_child_ = kNoPort;
+            }
+        }
+    }
+    send_report_if_ready(ctx);
+}
+
+SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
+                                   const SyncBoruvkaOptions& opts)
+{
+    if (opts.bandwidth < 1)
+        throw std::invalid_argument("bandwidth must be >= 1");
+    if (!is_connected(g))
+        throw std::invalid_argument("MST requires a connected graph");
+
+    NetConfig config;
+    config.bandwidth = opts.bandwidth;
+    Network net(g, config);
+    const std::size_t n = g.vertex_count();
+    net.init([](VertexId v) { return std::make_unique<SyncBoruvkaProcess>(v); });
+
+    auto fragment_count = [&] {
+        std::set<std::uint64_t> ids;
+        for (VertexId v = 0; v < n; ++v)
+            ids.insert(
+                static_cast<const SyncBoruvkaProcess&>(net.process(v)).fragment_id());
+        return ids.size();
+    };
+
+    int phases = 0;
+    const int phase_guard = ceil_log2(std::max<std::uint64_t>(n, 2)) + 2;
+    while (fragment_count() > 1) {
+        if (opts.max_phases > 0 && phases >= opts.max_phases)
+            break;
+        DMST_ASSERT_MSG(phases < phase_guard, "Boruvka did not converge");
+        for (VertexId v = 0; v < n; ++v)
+            static_cast<SyncBoruvkaProcess&>(net.process(v)).kick(phases);
+        net.run();
+        ++phases;
+    }
+
+    SyncBoruvkaResult result;
+    result.stats = net.stats();
+    result.phases = phases;
+    result.mst_ports.resize(n);
+    result.fragment_id.resize(n);
+    result.parent_port.resize(n);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto& p = static_cast<const SyncBoruvkaProcess&>(net.process(v));
+        result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
+        result.fragment_id[v] = p.fragment_id();
+        result.parent_port[v] = p.parent_port();
+    }
+    if (fragment_count() == 1)
+        result.mst_edges = collect_mst_edges(g, result.mst_ports);
+    return result;
+}
+
+}  // namespace dmst

@@ -1,0 +1,47 @@
+#include "dmst/exp/workloads.h"
+
+#include <stdexcept>
+
+#include "dmst/graph/generators.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+
+WeightedGraph make_workload(const std::string& family, std::size_t n,
+                            std::uint64_t seed)
+{
+    Rng rng(seed);
+    if (family == "er")
+        return gen_erdos_renyi(n, 3 * n, rng);
+    if (family == "er_dense")
+        return gen_erdos_renyi(n, n * (n - 1) / 4, rng);
+    if (family == "grid")
+        return gen_grid(std::max<std::size_t>(1, n / 16), 16, rng);
+    if (family == "path")
+        return gen_path(n, rng);
+    if (family == "cycle")
+        return gen_cycle(n, rng);
+    if (family == "star")
+        return gen_star(n, rng);
+    if (family == "complete")
+        return gen_complete(n, rng);
+    if (family == "tree")
+        return gen_random_tree(n, rng);
+    if (family == "lollipop")
+        return gen_lollipop(std::max<std::size_t>(2, n / 3), 2 * n / 3, rng);
+    if (family == "cliques8")
+        return gen_cliques_path(std::max<std::size_t>(1, n / 8), 8, rng);
+    if (family == "regular4")
+        return gen_random_regular(n, 4, rng);
+    throw std::invalid_argument("unknown workload family: " + family);
+}
+
+const std::vector<std::string>& workload_families()
+{
+    static const std::vector<std::string> families = {
+        "er",   "er_dense", "grid",     "path",     "cycle",   "star",
+        "complete", "tree", "lollipop", "cliques8", "regular4"};
+    return families;
+}
+
+}  // namespace dmst

@@ -1,0 +1,33 @@
+#ifndef DMST_EXP_WORKLOADS_H
+#define DMST_EXP_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Named workload families shared by the experiment binaries and the
+// integration tests, so that every table in EXPERIMENTS.md names a
+// reproducible generator configuration.
+//
+//   er        : connected Erdős–Rényi, m = 3n
+//   er_dense  : connected Erdős–Rényi, m = n(n-1)/4
+//   grid      : (n/16) x 16 grid
+//   path      : path graph (D = n-1)
+//   cycle     : cycle graph
+//   star      : star graph (D = 2)
+//   complete  : complete graph
+//   tree      : uniform random recursive tree
+//   lollipop  : clique of n/3 with a path of 2n/3
+//   cliques8  : path of n/8 cliques of size 8 (tunable high diameter)
+//   regular4  : random 4-regular-ish graph
+WeightedGraph make_workload(const std::string& family, std::size_t n,
+                            std::uint64_t seed);
+
+const std::vector<std::string>& workload_families();
+
+}  // namespace dmst
+
+#endif  // DMST_EXP_WORKLOADS_H

@@ -1,0 +1,60 @@
+#ifndef DMST_GRAPH_GENERATORS_H
+#define DMST_GRAPH_GENERATORS_H
+
+#include <cstddef>
+
+#include "dmst/graph/graph.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+
+// Graph generators for the experiment workloads. All generators:
+//  * produce connected graphs,
+//  * draw weights uniformly from [1, 2^40] using the supplied RNG (weight
+//    collisions are harmless: the library orders edges by EdgeKey),
+//  * are fully deterministic given the RNG seed.
+
+// Path 0-1-...-n-1. Hop diameter n-1.
+WeightedGraph gen_path(std::size_t n, Rng& rng);
+
+// Cycle over n >= 3 vertices. Hop diameter floor(n/2).
+WeightedGraph gen_cycle(std::size_t n, Rng& rng);
+
+// Star centered at vertex 0. Hop diameter 2 (for n >= 3).
+WeightedGraph gen_star(std::size_t n, Rng& rng);
+
+// Complete graph on n vertices.
+WeightedGraph gen_complete(std::size_t n, Rng& rng);
+
+// rows x cols grid with 4-neighborhoods. Hop diameter rows+cols-2.
+WeightedGraph gen_grid(std::size_t rows, std::size_t cols, Rng& rng);
+
+// rows x cols torus (wrap-around grid); requires rows, cols >= 3.
+WeightedGraph gen_torus(std::size_t rows, std::size_t cols, Rng& rng);
+
+// Uniform random spanning structure: vertex i >= 1 attaches to a uniformly
+// random earlier vertex. Produces a random tree on n vertices.
+WeightedGraph gen_random_tree(std::size_t n, Rng& rng);
+
+// Connected Erdős–Rényi-style graph: a random tree plus (m - (n-1)) extra
+// distinct random edges. Requires m >= n-1 and m <= n(n-1)/2.
+WeightedGraph gen_erdos_renyi(std::size_t n, std::size_t m, Rng& rng);
+
+// Approximately d-regular graph built from d/2 random cycles (d even,
+// d >= 2): connected, every degree in [2, d]. Duplicate edges are skipped,
+// so sparse high-girth instances keep degree close to d.
+WeightedGraph gen_random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+// Lollipop: clique on clique_n vertices with a path of path_n vertices
+// attached. Hop diameter ~ path_n. The classic high-diameter/low-expansion
+// stress case.
+WeightedGraph gen_lollipop(std::size_t clique_n, std::size_t path_n, Rng& rng);
+
+// Chain of `cliques` cliques of size `clique_n`, consecutive cliques joined
+// by one edge. Hop diameter ~ 3*cliques: tunable D at tunable density —
+// the workload for the paper's D > sqrt(n) regime (experiment E5).
+WeightedGraph gen_cliques_path(std::size_t cliques, std::size_t clique_n, Rng& rng);
+
+}  // namespace dmst
+
+#endif  // DMST_GRAPH_GENERATORS_H

@@ -1,0 +1,103 @@
+#include "dmst/graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+EdgeKey edge_key(const Edge& e)
+{
+    return EdgeKey{e.w, std::min(e.u, e.v), std::max(e.u, e.v)};
+}
+
+WeightedGraph WeightedGraph::from_edges(std::size_t n, std::vector<Edge> edges)
+{
+    if (n == 0)
+        throw std::invalid_argument("graph must have at least one vertex");
+    for (auto& e : edges) {
+        if (e.u >= n || e.v >= n)
+            throw std::invalid_argument("edge endpoint out of range");
+        if (e.u == e.v)
+            throw std::invalid_argument("self-loops are not allowed");
+        if (e.u > e.v)
+            std::swap(e.u, e.v);
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+        return std::pair{x.u, x.v} < std::pair{y.u, y.v};
+    });
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        if (edges[i - 1].u == edges[i].u && edges[i - 1].v == edges[i].v)
+            throw std::invalid_argument("parallel edges are not allowed");
+    }
+
+    WeightedGraph g;
+    g.edges_ = std::move(edges);
+    g.offsets_.assign(n + 1, 0);
+    for (const Edge& e : g.edges_) {
+        ++g.offsets_[e.u + 1];
+        ++g.offsets_[e.v + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v)
+        g.offsets_[v + 1] += g.offsets_[v];
+
+    g.adj_vertex_.resize(2 * g.edges_.size());
+    g.adj_edge_.resize(2 * g.edges_.size());
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+        const Edge& e = g.edges_[i];
+        g.adj_vertex_[cursor[e.u]] = e.v;
+        g.adj_edge_[cursor[e.u]++] = static_cast<EdgeId>(i);
+        g.adj_vertex_[cursor[e.v]] = e.u;
+        g.adj_edge_[cursor[e.v]++] = static_cast<EdgeId>(i);
+    }
+    return g;
+}
+
+std::size_t WeightedGraph::degree(VertexId v) const
+{
+    DMST_ASSERT(v < vertex_count());
+    return offsets_[v + 1] - offsets_[v];
+}
+
+std::size_t WeightedGraph::adj_index(VertexId v, std::size_t port) const
+{
+    DMST_ASSERT(v < vertex_count());
+    DMST_ASSERT_MSG(port < degree(v), "port out of range");
+    return offsets_[v] + port;
+}
+
+VertexId WeightedGraph::neighbor(VertexId v, std::size_t port) const
+{
+    return adj_vertex_[adj_index(v, port)];
+}
+
+Weight WeightedGraph::weight(VertexId v, std::size_t port) const
+{
+    return edges_[adj_edge_[adj_index(v, port)]].w;
+}
+
+EdgeId WeightedGraph::edge_id(VertexId v, std::size_t port) const
+{
+    return adj_edge_[adj_index(v, port)];
+}
+
+const Edge& WeightedGraph::edge(EdgeId e) const
+{
+    DMST_ASSERT(e < edges_.size());
+    return edges_[e];
+}
+
+std::size_t WeightedGraph::port_of(VertexId v, VertexId u) const
+{
+    for (std::size_t p = 0; p < degree(v); ++p) {
+        if (neighbor(v, p) == u)
+            return p;
+    }
+    throw std::invalid_argument("vertices " + std::to_string(v) + " and " +
+                                std::to_string(u) + " are not adjacent");
+}
+
+}  // namespace dmst

@@ -1,0 +1,79 @@
+#ifndef DMST_GRAPH_GRAPH_H
+#define DMST_GRAPH_GRAPH_H
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace dmst {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = std::uint64_t;
+
+constexpr VertexId kNoVertex = ~VertexId{0};
+constexpr EdgeId kNoEdge = ~EdgeId{0};
+
+// An undirected weighted edge. Stored canonically with u < v.
+struct Edge {
+    VertexId u = 0;
+    VertexId v = 0;
+    Weight w = 0;
+};
+
+// The unique total order on edges used by every algorithm in this library
+// (sequential and distributed): lexicographic on (weight, endpoints). This
+// realizes the paper's "the MST is unique" assumption ([Pel00] Ch. 5): with
+// all comparisons made through EdgeKey, minimum spanning trees are unique
+// even when raw weights collide.
+struct EdgeKey {
+    Weight w = 0;
+    VertexId a = 0;  // min endpoint
+    VertexId b = 0;  // max endpoint
+
+    friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+};
+
+EdgeKey edge_key(const Edge& e);
+
+// Key value strictly greater than every real edge key; used as "no edge".
+constexpr EdgeKey kInfiniteEdgeKey{~Weight{0}, ~VertexId{0}, ~VertexId{0}};
+
+// Immutable undirected weighted graph in CSR form. Vertices are 0..n-1.
+// Each vertex addresses its incident edges through ports 0..degree-1; the
+// CONGEST simulator exposes exactly this port interface to processes.
+class WeightedGraph {
+public:
+    // Validates and builds: endpoints in range, no self-loops, no parallel
+    // edges. Throws std::invalid_argument on violation.
+    static WeightedGraph from_edges(std::size_t n, std::vector<Edge> edges);
+
+    std::size_t vertex_count() const { return offsets_.size() - 1; }
+    std::size_t edge_count() const { return edges_.size(); }
+
+    std::size_t degree(VertexId v) const;
+    VertexId neighbor(VertexId v, std::size_t port) const;
+    Weight weight(VertexId v, std::size_t port) const;
+    EdgeId edge_id(VertexId v, std::size_t port) const;
+
+    const Edge& edge(EdgeId e) const;
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    // Port of v whose other endpoint is u, or throws if not adjacent.
+    // Linear in degree(v); intended for tests and result extraction.
+    std::size_t port_of(VertexId v, VertexId u) const;
+
+private:
+    WeightedGraph() = default;
+
+    std::size_t adj_index(VertexId v, std::size_t port) const;
+
+    std::vector<Edge> edges_;          // canonical (u < v), sorted by (u, v)
+    std::vector<std::size_t> offsets_;  // CSR offsets, size n+1
+    std::vector<VertexId> adj_vertex_;  // CSR targets, size 2m
+    std::vector<EdgeId> adj_edge_;      // CSR edge ids, size 2m
+};
+
+}  // namespace dmst
+
+#endif  // DMST_GRAPH_GRAPH_H

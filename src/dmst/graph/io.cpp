@@ -1,0 +1,87 @@
+#include "dmst/graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmst {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what)
+{
+    throw std::invalid_argument("edge list line " + std::to_string(line) + ": " +
+                                what);
+}
+
+}  // namespace
+
+WeightedGraph read_edge_list(std::istream& in)
+{
+    std::string line;
+    std::size_t line_no = 0;
+    bool have_n = false;
+    std::size_t n = 0;
+    std::vector<Edge> edges;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::istringstream ls(line);
+        std::string first;
+        if (!(ls >> first) || first[0] == '#')
+            continue;  // blank or comment
+        if (!have_n) {
+            std::istringstream ns(first);
+            if (!(ns >> n) || !ns.eof() || n == 0)
+                fail(line_no, "expected a positive vertex count");
+            have_n = true;
+            std::string rest;
+            if (ls >> rest)
+                fail(line_no, "unexpected token after vertex count");
+            continue;
+        }
+        Edge e;
+        std::istringstream us(first);
+        if (!(us >> e.u) || !us.eof())
+            fail(line_no, "malformed endpoint");
+        if (!(ls >> e.v >> e.w))
+            fail(line_no, "expected '<u> <v> <w>'");
+        std::string rest;
+        if (ls >> rest)
+            fail(line_no, "unexpected trailing token");
+        edges.push_back(e);
+    }
+    if (!have_n)
+        throw std::invalid_argument("edge list: empty input");
+    try {
+        return WeightedGraph::from_edges(n, std::move(edges));
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("edge list: ") + e.what());
+    }
+}
+
+WeightedGraph read_edge_list_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::invalid_argument("cannot open " + path);
+    return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const WeightedGraph& g)
+{
+    out << "# dmst edge list: n, then one 'u v w' per line\n";
+    out << g.vertex_count() << "\n";
+    for (const Edge& e : g.edges())
+        out << e.u << " " << e.v << " " << e.w << "\n";
+}
+
+void write_edge_list_file(const std::string& path, const WeightedGraph& g)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::invalid_argument("cannot open " + path + " for writing");
+    write_edge_list(out, g);
+}
+
+}  // namespace dmst

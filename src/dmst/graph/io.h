@@ -1,0 +1,28 @@
+#ifndef DMST_GRAPH_IO_H
+#define DMST_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Plain-text edge-list format:
+//
+//   # comment lines and blank lines are ignored
+//   <n>                  first significant line: vertex count
+//   <u> <v> <w>          one edge per line, 0-based endpoints
+//
+// read_edge_list throws std::invalid_argument with a line number on any
+// malformed input (including the structural checks of
+// WeightedGraph::from_edges: range, self-loops, parallel edges).
+WeightedGraph read_edge_list(std::istream& in);
+WeightedGraph read_edge_list_file(const std::string& path);
+
+void write_edge_list(std::ostream& out, const WeightedGraph& g);
+void write_edge_list_file(const std::string& path, const WeightedGraph& g);
+
+}  // namespace dmst
+
+#endif  // DMST_GRAPH_IO_H

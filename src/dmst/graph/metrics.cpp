@@ -1,0 +1,71 @@
+#include "dmst/graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+std::vector<std::uint32_t> bfs_distances(const WeightedGraph& g, VertexId src)
+{
+    DMST_ASSERT(src < g.vertex_count());
+    std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+    std::queue<VertexId> queue;
+    dist[src] = 0;
+    queue.push(src);
+    while (!queue.empty()) {
+        VertexId v = queue.front();
+        queue.pop();
+        for (std::size_t p = 0; p < g.degree(v); ++p) {
+            VertexId u = g.neighbor(v, p);
+            if (dist[u] == kUnreachable) {
+                dist[u] = dist[v] + 1;
+                queue.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::uint32_t eccentricity(const WeightedGraph& g, VertexId src)
+{
+    auto dist = bfs_distances(g, src);
+    std::uint32_t ecc = 0;
+    for (std::uint32_t d : dist) {
+        if (d == kUnreachable)
+            throw std::invalid_argument("eccentricity: graph is disconnected");
+        ecc = std::max(ecc, d);
+    }
+    return ecc;
+}
+
+bool is_connected(const WeightedGraph& g)
+{
+    auto dist = bfs_distances(g, 0);
+    return std::find(dist.begin(), dist.end(), kUnreachable) == dist.end();
+}
+
+std::uint32_t hop_diameter(const WeightedGraph& g)
+{
+    std::uint32_t diam = 0;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        diam = std::max(diam, eccentricity(g, v));
+    return diam;
+}
+
+std::uint32_t hop_diameter_estimate(const WeightedGraph& g, VertexId src)
+{
+    auto dist = bfs_distances(g, src);
+    VertexId far = src;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        if (dist[v] == kUnreachable)
+            throw std::invalid_argument("hop_diameter_estimate: graph is disconnected");
+        if (dist[v] > dist[far])
+            far = v;
+    }
+    return eccentricity(g, far);
+}
+
+}  // namespace dmst

@@ -1,0 +1,31 @@
+#ifndef DMST_GRAPH_METRICS_H
+#define DMST_GRAPH_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+// Hop distances from src (kUnreachable for disconnected vertices).
+std::vector<std::uint32_t> bfs_distances(const WeightedGraph& g, VertexId src);
+
+// Max hop distance from src; throws std::invalid_argument if disconnected.
+std::uint32_t eccentricity(const WeightedGraph& g, VertexId src);
+
+bool is_connected(const WeightedGraph& g);
+
+// Exact hop diameter via BFS from every vertex: O(n*m). Fine at the scales
+// the experiments use; prefer hop_diameter_estimate for very large graphs.
+std::uint32_t hop_diameter(const WeightedGraph& g);
+
+// Double-sweep lower bound on the hop diameter (exact on trees): one BFS
+// from `src`, a second from the farthest vertex found.
+std::uint32_t hop_diameter_estimate(const WeightedGraph& g, VertexId src = 0);
+
+}  // namespace dmst
+
+#endif  // DMST_GRAPH_METRICS_H

@@ -1,0 +1,133 @@
+#include "dmst/proto/bfs.h"
+
+#include <algorithm>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+BfsBuilder::BfsBuilder(bool is_root, std::uint32_t tag_base, std::uint64_t start_round)
+    : is_root_(is_root), tag_base_(tag_base), start_round_(start_round)
+{
+}
+
+void BfsBuilder::join(Context& ctx, std::uint32_t depth, std::size_t parent_port)
+{
+    DMST_ASSERT(!joined_);
+    joined_ = true;
+    depth_ = depth;
+    parent_port_ = parent_port;
+    if (parent_port != kNoPort) {
+        ports_[parent_port] = PortState::Parent;
+        --unresolved_ports_;
+        ctx.send(parent_port, Message{tag_accept(), {}});
+    }
+}
+
+void BfsBuilder::on_round(Context& ctx)
+{
+    if (finished_)
+        return;
+    if (ports_.empty() && ctx.degree() > 0) {
+        ports_.assign(ctx.degree(), PortState::Unknown);
+        unresolved_ports_ = ctx.degree();
+    }
+
+    // Pass 1: exploration traffic (EXPLORE / ACCEPT / REJECT).
+    std::vector<std::size_t> explorers_this_round;
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag))
+            continue;
+        if (in.msg.tag == tag_explore()) {
+            explorers_this_round.push_back(in.port);
+        } else if (in.msg.tag == tag_accept()) {
+            DMST_ASSERT(ports_[in.port] == PortState::Unknown);
+            ports_[in.port] = PortState::Child;
+            children_ports_.push_back(in.port);
+            --unresolved_ports_;
+        } else if (in.msg.tag == tag_reject()) {
+            // Crossing EXPLOREs can resolve a port before the REJECT lands;
+            // only an Unknown port still needs resolving.
+            if (ports_[in.port] == PortState::Unknown) {
+                ports_[in.port] = PortState::NonChild;
+                --unresolved_ports_;
+            }
+        }
+    }
+
+    if (!joined_) {
+        if (is_root_ && ctx.round() >= start_round_) {
+            join(ctx, 0, kNoPort);
+        } else if (!explorers_this_round.empty()) {
+            // All EXPLOREs arriving in the join round come from vertices at
+            // depth d-1; pick the smallest port as parent.
+            std::size_t parent = *std::min_element(explorers_this_round.begin(),
+                                                   explorers_this_round.end());
+            const Incoming* parent_msg = nullptr;
+            for (const Incoming& in : ctx.inbox()) {
+                if (handles(in.msg.tag) && in.msg.tag == tag_explore() &&
+                    in.port == parent) {
+                    parent_msg = &in;
+                    break;
+                }
+            }
+            DMST_ASSERT(parent_msg != nullptr);
+            join(ctx, static_cast<std::uint32_t>(parent_msg->msg.words.at(0)) + 1,
+                 parent);
+        }
+        if (joined_) {
+            // Reject the other same-round explorers; explore silent ports.
+            for (std::size_t p : explorers_this_round) {
+                if (p == parent_port_)
+                    continue;
+                DMST_ASSERT(ports_[p] == PortState::Unknown);
+                ports_[p] = PortState::NonChild;
+                --unresolved_ports_;
+                ctx.send(p, Message{tag_reject(), {}});
+            }
+            for (std::size_t p = 0; p < ports_.size(); ++p) {
+                if (ports_[p] == PortState::Unknown)
+                    ctx.send(p, Message{tag_explore(), {depth_}});
+            }
+        }
+    } else {
+        // Already in the tree: refuse any late explorer.
+        for (std::size_t p : explorers_this_round) {
+            if (ports_[p] == PortState::Unknown) {
+                ports_[p] = PortState::NonChild;
+                --unresolved_ports_;
+            }
+            ctx.send(p, Message{tag_reject(), {}});
+        }
+    }
+
+    // Pass 2: echoes (a leaf child may ACCEPT and ECHO in the same round,
+    // so echoes are processed after the ACCEPTs above).
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag) || in.msg.tag != tag_echo())
+            continue;
+        DMST_ASSERT_MSG(ports_[in.port] == PortState::Child,
+                        "ECHO from a non-child port");
+        child_sizes_[in.port] = in.msg.words.at(0);
+        subtree_size_ += in.msg.words.at(0);
+        subtree_height_ = std::max(
+            subtree_height_, static_cast<std::uint32_t>(in.msg.words.at(1)) + 1);
+        ++echoes_received_;
+    }
+
+    maybe_echo(ctx);
+}
+
+void BfsBuilder::maybe_echo(Context& ctx)
+{
+    if (!joined_ || echo_sent_ || unresolved_ports_ > 0)
+        return;
+    if (echoes_received_ < children_ports_.size())
+        return;
+    echo_sent_ = true;
+    if (parent_port_ != kNoPort)
+        ctx.send(parent_port_, Message{tag_echo(), {subtree_size_, subtree_height_}});
+    finished_ = true;
+}
+
+}  // namespace dmst

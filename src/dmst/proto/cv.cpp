@@ -1,0 +1,104 @@
+#include "dmst/proto/cv.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t parent)
+{
+    DMST_ASSERT_MSG(own != parent, "cv_step requires a proper coloring");
+    int j = std::countr_zero(own ^ parent);
+    return 2 * static_cast<std::uint64_t>(j) + ((own >> j) & 1);
+}
+
+std::uint64_t cv_step_root(std::uint64_t own)
+{
+    return cv_step(own, own ^ 1);
+}
+
+std::uint64_t cv_root_shift_color(std::uint64_t old_color)
+{
+    return old_color == 0 ? 1 : 0;
+}
+
+std::uint64_t cv_recolor(std::uint64_t shifted_parent_color,
+                         std::uint64_t old_own_color, bool has_parent)
+{
+    for (std::uint64_t c = 0; c <= 2; ++c) {
+        if (c == old_own_color)
+            continue;  // children's shifted color
+        if (has_parent && c == shifted_parent_color)
+            continue;
+        return c;
+    }
+    DMST_ASSERT_MSG(false, "no free color in {0,1,2}");
+    return 0;
+}
+
+int cv_dct_iterations_bound(std::uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    std::uint64_t max_color = n - 1;
+    int iterations = 0;
+    while (max_color > 5) {
+        // With colors <= C the differing bit index is at most floor(log2 C),
+        // so the next maximum color is 2*floor(log2 C) + 1.
+        int bits = 63 - std::countl_zero(max_color);
+        max_color = 2 * static_cast<std::uint64_t>(bits) + 1;
+        ++iterations;
+    }
+    return iterations;
+}
+
+CvForestColoring cv_three_color_forest(const std::vector<std::size_t>& parent)
+{
+    const std::size_t n = parent.size();
+    CvForestColoring result;
+    result.colors.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        DMST_ASSERT_MSG(parent[v] < n, "parent index out of range");
+        result.colors[v] = v;  // initial colors: distinct ids
+    }
+    auto is_root = [&](std::size_t v) { return parent[v] == v; };
+
+    // Deterministic coin tossing until every color is in {0..5}.
+    auto max_color = [&] {
+        return n == 0 ? 0
+                      : *std::max_element(result.colors.begin(), result.colors.end());
+    };
+    std::vector<std::uint64_t> next(n);
+    while (max_color() > 5) {
+        for (std::size_t v = 0; v < n; ++v) {
+            next[v] = is_root(v)
+                          ? cv_step_root(result.colors[v])
+                          : cv_step(result.colors[v], result.colors[parent[v]]);
+        }
+        result.colors = next;
+        ++result.dct_iterations;
+    }
+
+    // Shift-down + recolor to eliminate colors 5, 4, 3.
+    std::vector<std::uint64_t> shifted(n);
+    for (std::uint64_t c : {std::uint64_t{5}, std::uint64_t{4}, std::uint64_t{3}}) {
+        for (std::size_t v = 0; v < n; ++v) {
+            shifted[v] = is_root(v) ? cv_root_shift_color(result.colors[v])
+                                    : result.colors[parent[v]];
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            if (shifted[v] == c) {
+                next[v] = cv_recolor(is_root(v) ? 0 : shifted[parent[v]],
+                                     result.colors[v], !is_root(v));
+            } else {
+                next[v] = shifted[v];
+            }
+        }
+        result.colors = next;
+    }
+    return result;
+}
+
+}  // namespace dmst

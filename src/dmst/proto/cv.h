@@ -1,0 +1,49 @@
+#ifndef DMST_PROTO_CV_H
+#define DMST_PROTO_CV_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmst {
+
+// Cole–Vishkin deterministic coin tossing [CV86], used by Controlled-GHS to
+// 3-color the candidate fragment forest in O(log* n) steps. The pure color
+// algebra lives here so the distributed implementation (inside
+// controlled_ghs.cpp) and the sequential reference below share it exactly.
+
+// One DCT step: the new color derived from own and parent colors (which
+// must differ). If own and parent first differ at bit j, the new color is
+// 2j + bit_j(own). Colors drop from K to O(log K) per step.
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t parent);
+
+// DCT step for a forest root: pretends the parent color differs at bit 0.
+std::uint64_t cv_step_root(std::uint64_t own);
+
+// The shift-down + recolor step that removes color `c` (one of 5, 4, 3)
+// from a {0..5} coloring. After shifting every vertex to its parent's old
+// color (roots pick `cv_root_shift_color`), a vertex whose shifted color is
+// c recolors to the smallest of {0,1,2} not used by its (shifted) parent
+// nor by its children (whose shifted color is exactly the vertex's old
+// color). These helpers compute the two local decisions:
+std::uint64_t cv_root_shift_color(std::uint64_t old_color);
+std::uint64_t cv_recolor(std::uint64_t shifted_parent_color,
+                         std::uint64_t old_own_color, bool has_parent);
+
+// Sequential reference: 3-colors a rooted forest given parent indices
+// (parent[v] == v marks roots). Returns the coloring and the number of DCT
+// iterations used (Theorem: O(log* n) + O(1)).
+struct CvForestColoring {
+    std::vector<std::uint64_t> colors;  // values in {0, 1, 2}
+    int dct_iterations = 0;
+};
+
+CvForestColoring cv_three_color_forest(const std::vector<std::size_t>& parent);
+
+// Number of DCT iterations after which any coloring with ids below 2^64 is
+// guaranteed to be in {0..5}: a safe fixed schedule for the distributed
+// variant, which cannot inspect the global maximum color.
+int cv_dct_iterations_bound(std::uint64_t n);
+
+}  // namespace dmst
+
+#endif  // DMST_PROTO_CV_H

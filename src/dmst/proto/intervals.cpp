@@ -1,0 +1,53 @@
+#include "dmst/proto/intervals.h"
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+void IntervalLabeler::attach(const BfsBuilder& bfs)
+{
+    DMST_ASSERT_MSG(!attached_, "attach() called twice");
+    DMST_ASSERT_MSG(bfs.finished(), "attach() requires a finished BFS");
+    attached_ = true;
+    is_root_ = bfs.parent_port() == kNoPort;
+    children_ports_ = bfs.children_ports();
+    subtree_size_ = bfs.subtree_size();
+    child_sizes_.reserve(children_ports_.size());
+    for (std::size_t p : children_ports_)
+        child_sizes_.push_back(bfs.child_sizes().at(p));
+}
+
+void IntervalLabeler::assign(Context& ctx, Interval interval)
+{
+    DMST_ASSERT_MSG(!labeled_, "interval assigned twice");
+    DMST_ASSERT_MSG(interval.size() == subtree_size_,
+                    "interval size does not match subtree size");
+    labeled_ = true;
+    own_ = interval;
+    std::uint64_t cursor = interval.lo + 1;  // lo is this vertex's own index
+    for (std::size_t i = 0; i < children_ports_.size(); ++i) {
+        Interval child{cursor, cursor + child_sizes_[i]};
+        cursor += child_sizes_[i];
+        child_intervals_.push_back(child);
+        ctx.send(children_ports_[i], Message{tag_base_, {child.lo, child.hi}});
+    }
+    DMST_ASSERT(cursor == interval.hi);
+}
+
+void IntervalLabeler::start(Context& ctx)
+{
+    DMST_ASSERT_MSG(attached_ && is_root_, "start() is root-only, after attach()");
+    assign(ctx, Interval{0, subtree_size_});
+}
+
+void IntervalLabeler::on_round(Context& ctx)
+{
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag))
+            continue;
+        DMST_ASSERT_MSG(attached_, "ASSIGN before attach()");
+        assign(ctx, Interval{in.msg.words.at(0), in.msg.words.at(1)});
+    }
+}
+
+}  // namespace dmst

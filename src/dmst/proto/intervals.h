@@ -1,0 +1,59 @@
+#ifndef DMST_PROTO_INTERVALS_H
+#define DMST_PROTO_INTERVALS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmst/proto/bfs.h"
+#include "dmst/proto/downcast.h"
+
+namespace dmst {
+
+// Distributed preorder interval labeling of a BFS tree ("we compute
+// intervals I_v for each vertex v ∈ V(τ) such that for every pair u, v
+// their intervals are either disjoint or nested"). The root takes [0, n);
+// every vertex keeps the first index of its interval as its own preorder
+// index and splits the rest among its children in port order, using the
+// subtree sizes gathered by the BFS echo. O(D) rounds, O(n) messages.
+class IntervalLabeler {
+public:
+    explicit IntervalLabeler(std::uint32_t tag_base) : tag_base_(tag_base) {}
+
+    // Copies the tree position from a finished BFS builder. For non-roots
+    // this must happen before the parent's ASSIGN message arrives; calling
+    // it when the local BFS echo completes is always early enough.
+    void attach(const BfsBuilder& bfs);
+    bool attached() const { return attached_; }
+
+    // Root only: assigns [0, n) to itself and starts the downcast.
+    void start(Context& ctx);
+
+    void on_round(Context& ctx);
+
+    bool handles(std::uint32_t tag) const { return tag == tag_base_; }
+
+    // Labeled: own interval known (children are informed in the same round).
+    bool finished() const { return labeled_; }
+
+    std::uint64_t own_index() const { return own_.lo; }
+    Interval own_interval() const { return own_; }
+    const std::vector<std::size_t>& children_ports() const { return children_ports_; }
+    const std::vector<Interval>& child_intervals() const { return child_intervals_; }
+
+private:
+    void assign(Context& ctx, Interval interval);
+
+    std::uint32_t tag_base_;
+    bool attached_ = false;
+    bool labeled_ = false;
+    bool is_root_ = false;
+    std::vector<std::size_t> children_ports_;
+    std::vector<std::uint64_t> child_sizes_;  // parallel to children_ports_
+    std::uint64_t subtree_size_ = 0;
+    Interval own_;
+    std::vector<Interval> child_intervals_;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_PROTO_INTERVALS_H

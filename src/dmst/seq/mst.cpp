@@ -1,0 +1,146 @@
+#include "dmst/seq/mst.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "dmst/util/assert.h"
+#include "dmst/util/dsu.h"
+
+namespace dmst {
+
+namespace {
+
+MstResult finalize(const WeightedGraph& g, std::vector<EdgeId> edges)
+{
+    if (edges.size() + 1 != g.vertex_count())
+        throw std::invalid_argument("MST requires a connected graph");
+    std::sort(edges.begin(), edges.end());
+    MstResult result;
+    result.total_weight = total_weight(g, edges);
+    result.edges = std::move(edges);
+    return result;
+}
+
+}  // namespace
+
+MstResult mst_kruskal(const WeightedGraph& g)
+{
+    std::vector<EdgeId> order(g.edge_count());
+    for (EdgeId i = 0; i < g.edge_count(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+        return edge_key(g.edge(a)) < edge_key(g.edge(b));
+    });
+
+    Dsu dsu(g.vertex_count());
+    std::vector<EdgeId> chosen;
+    chosen.reserve(g.vertex_count() - 1);
+    for (EdgeId e : order) {
+        if (dsu.unite(g.edge(e).u, g.edge(e).v)) {
+            chosen.push_back(e);
+            if (chosen.size() + 1 == g.vertex_count())
+                break;
+        }
+    }
+    return finalize(g, std::move(chosen));
+}
+
+MstResult mst_prim(const WeightedGraph& g)
+{
+    struct Item {
+        EdgeKey key;
+        EdgeId edge;
+        VertexId to;
+
+        bool operator>(const Item& other) const { return key > other.key; }
+    };
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    std::vector<bool> in_tree(g.vertex_count(), false);
+
+    auto push_edges = [&](VertexId v) {
+        for (std::size_t p = 0; p < g.degree(v); ++p) {
+            VertexId u = g.neighbor(v, p);
+            if (!in_tree[u]) {
+                EdgeId e = g.edge_id(v, p);
+                heap.push({edge_key(g.edge(e)), e, u});
+            }
+        }
+    };
+
+    std::vector<EdgeId> chosen;
+    chosen.reserve(g.vertex_count() - 1);
+    in_tree[0] = true;
+    push_edges(0);
+    while (!heap.empty() && chosen.size() + 1 < g.vertex_count()) {
+        Item item = heap.top();
+        heap.pop();
+        if (in_tree[item.to])
+            continue;  // lazy deletion
+        in_tree[item.to] = true;
+        chosen.push_back(item.edge);
+        push_edges(item.to);
+    }
+    return finalize(g, std::move(chosen));
+}
+
+MstResult mst_boruvka(const WeightedGraph& g)
+{
+    Dsu dsu(g.vertex_count());
+    std::vector<EdgeId> chosen;
+    chosen.reserve(g.vertex_count() - 1);
+
+    while (dsu.component_count() > 1) {
+        // Min outgoing edge per component root, by the EdgeKey total order.
+        std::vector<EdgeId> best(g.vertex_count(), kNoEdge);
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+            const Edge& edge = g.edge(e);
+            std::size_t ru = dsu.find(edge.u);
+            std::size_t rv = dsu.find(edge.v);
+            if (ru == rv)
+                continue;
+            for (std::size_t r : {ru, rv}) {
+                if (best[r] == kNoEdge ||
+                    edge_key(g.edge(e)) < edge_key(g.edge(best[r])))
+                    best[r] = e;
+            }
+        }
+        bool merged_any = false;
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+            if (best[v] == kNoEdge || dsu.find(v) != v)
+                continue;
+            const Edge& edge = g.edge(best[v]);
+            if (dsu.unite(edge.u, edge.v)) {
+                chosen.push_back(best[v]);
+                merged_any = true;
+            }
+        }
+        if (!merged_any)
+            break;  // remaining components have no outgoing edges: disconnected
+    }
+    return finalize(g, std::move(chosen));
+}
+
+bool is_spanning_tree(const WeightedGraph& g, const std::vector<EdgeId>& edges)
+{
+    if (edges.size() + 1 != g.vertex_count())
+        return false;
+    Dsu dsu(g.vertex_count());
+    for (EdgeId e : edges) {
+        if (e >= g.edge_count())
+            return false;
+        if (!dsu.unite(g.edge(e).u, g.edge(e).v))
+            return false;  // duplicate edge or cycle
+    }
+    return dsu.component_count() == 1;
+}
+
+Weight total_weight(const WeightedGraph& g, const std::vector<EdgeId>& edges)
+{
+    Weight total = 0;
+    for (EdgeId e : edges)
+        total += g.edge(e).w;
+    return total;
+}
+
+}  // namespace dmst

@@ -1,0 +1,30 @@
+#ifndef DMST_SEQ_MST_H
+#define DMST_SEQ_MST_H
+
+#include <vector>
+
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Result of a sequential MST computation. `edges` is sorted by edge id, so
+// results are directly comparable across algorithms; with the EdgeKey total
+// order the MST is unique and all algorithms must return identical sets.
+struct MstResult {
+    std::vector<EdgeId> edges;
+    Weight total_weight = 0;
+};
+
+// All three throw std::invalid_argument if the graph is disconnected.
+MstResult mst_kruskal(const WeightedGraph& g);
+MstResult mst_prim(const WeightedGraph& g);
+MstResult mst_boruvka(const WeightedGraph& g);
+
+// True iff `edges` forms a spanning tree of g (n-1 distinct edges, connected).
+bool is_spanning_tree(const WeightedGraph& g, const std::vector<EdgeId>& edges);
+
+Weight total_weight(const WeightedGraph& g, const std::vector<EdgeId>& edges);
+
+}  // namespace dmst
+
+#endif  // DMST_SEQ_MST_H

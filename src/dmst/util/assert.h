@@ -1,0 +1,46 @@
+#ifndef DMST_UTIL_ASSERT_H
+#define DMST_UTIL_ASSERT_H
+
+#include <stdexcept>
+#include <string>
+
+namespace dmst {
+
+// Raised when an internal invariant of a simulation or algorithm is violated.
+// Invariant checks stay enabled in release builds: the experiments are only
+// meaningful if the model rules (bandwidth, locality, coarsening) held.
+class InvariantViolation : public std::logic_error {
+public:
+    explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg)
+{
+    std::string full = std::string("invariant failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line);
+    if (!msg.empty())
+        full += " (" + msg + ")";
+    throw InvariantViolation(full);
+}
+
+}  // namespace detail
+
+}  // namespace dmst
+
+// Precondition / invariant check that throws InvariantViolation on failure.
+#define DMST_ASSERT(expr)                                                   \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::dmst::detail::assert_fail(#expr, __FILE__, __LINE__, "");     \
+    } while (false)
+
+#define DMST_ASSERT_MSG(expr, msg)                                          \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::dmst::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    } while (false)
+
+#endif  // DMST_UTIL_ASSERT_H

@@ -1,0 +1,97 @@
+#include "dmst/util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dmst {
+
+void Args::define(const std::string& name, const std::string& default_value,
+                  const std::string& help)
+{
+    if (flags_.count(name))
+        throw std::invalid_argument("flag defined twice: " + name);
+    flags_[name] = Flag{default_value, default_value, help};
+    order_.push_back(name);
+}
+
+void Args::parse(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            throw std::invalid_argument("expected --flag, got: " + arg);
+        arg = arg.substr(2);
+        std::string name;
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            if (i + 1 >= argc)
+                throw std::invalid_argument("flag --" + name + " needs a value");
+            value = argv[++i];
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            throw std::invalid_argument("unknown flag: --" + name);
+        it->second.value = value;
+    }
+}
+
+const Args::Flag& Args::flag(const std::string& name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        throw std::invalid_argument("flag not defined: " + name);
+    return it->second;
+}
+
+std::string Args::get(const std::string& name) const
+{
+    return flag(name).value;
+}
+
+std::int64_t Args::get_int(const std::string& name) const
+{
+    const std::string& v = flag(name).value;
+    std::size_t pos = 0;
+    std::int64_t result = std::stoll(v, &pos);
+    if (pos != v.size())
+        throw std::invalid_argument("flag --" + name + " is not an integer: " + v);
+    return result;
+}
+
+double Args::get_double(const std::string& name) const
+{
+    const std::string& v = flag(name).value;
+    std::size_t pos = 0;
+    double result = std::stod(v, &pos);
+    if (pos != v.size())
+        throw std::invalid_argument("flag --" + name + " is not a number: " + v);
+    return result;
+}
+
+bool Args::get_bool(const std::string& name) const
+{
+    const std::string& v = flag(name).value;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string Args::help() const
+{
+    std::ostringstream os;
+    for (const auto& name : order_) {
+        const Flag& f = flags_.at(name);
+        os << "  --" << name << " (default: " << f.default_value << ")  " << f.help
+           << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace dmst

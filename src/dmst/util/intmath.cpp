@@ -1,0 +1,59 @@
+#include "dmst/util/intmath.h"
+
+#include <bit>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+int floor_log2(std::uint64_t x)
+{
+    DMST_ASSERT(x >= 1);
+    return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x)
+{
+    DMST_ASSERT(x >= 1);
+    if (x == 1)
+        return 0;
+    return floor_log2(x - 1) + 1;
+}
+
+int log_star(std::uint64_t x)
+{
+    DMST_ASSERT(x >= 1);
+    // Iterate with ceil_log2 so that values strictly between powers of two
+    // still count the fractional log application (log* 3 = 2, not 1).
+    int count = 0;
+    while (x > 1) {
+        x = static_cast<std::uint64_t>(ceil_log2(x));
+        ++count;
+    }
+    return count;
+}
+
+std::uint64_t isqrt(std::uint64_t x)
+{
+    if (x < 2)
+        return x;
+    std::uint64_t lo = 1;
+    std::uint64_t hi = std::uint64_t{1} << ((floor_log2(x) / 2) + 1);
+    // Invariant: lo*lo <= x < (hi+1)*(hi+1) once narrowed; binary search.
+    while (lo < hi) {
+        std::uint64_t mid = lo + (hi - lo + 1) / 2;
+        if (mid <= x / mid)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b)
+{
+    DMST_ASSERT(b > 0);
+    return (a + b - 1) / b;
+}
+
+}  // namespace dmst

@@ -1,0 +1,27 @@
+#ifndef DMST_UTIL_INTMATH_H
+#define DMST_UTIL_INTMATH_H
+
+#include <cstdint>
+
+namespace dmst {
+
+// floor(log2(x)); requires x >= 1.
+int floor_log2(std::uint64_t x);
+
+// ceil(log2(x)); requires x >= 1. ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t x);
+
+// Iterated logarithm: the number of times log2 must be applied to x before
+// the result is <= 1. log_star(1) == 0, log_star(2) == 1, log_star(16) == 3,
+// log_star(65536) == 4. Requires x >= 1.
+int log_star(std::uint64_t x);
+
+// floor(sqrt(x)) computed exactly in integers.
+std::uint64_t isqrt(std::uint64_t x);
+
+// ceil(a / b); requires b > 0.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+}  // namespace dmst
+
+#endif  // DMST_UTIL_INTMATH_H

@@ -1,0 +1,29 @@
+#include "dmst/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dmst {
+
+Summary summarize(const std::vector<double>& values)
+{
+    Summary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    s.min = *mn;
+    s.max = *mx;
+    s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+    if (values.size() >= 2) {
+        double sq = 0.0;
+        for (double v : values)
+            sq += (v - s.mean) * (v - s.mean);
+        s.stdev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+    }
+    return s;
+}
+
+}  // namespace dmst

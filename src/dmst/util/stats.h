@@ -1,0 +1,22 @@
+#ifndef DMST_UTIL_STATS_H
+#define DMST_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dmst {
+
+// Summary statistics over a sample of doubles.
+struct Summary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stdev = 0.0;  // sample standard deviation (n-1); 0 for count < 2
+};
+
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace dmst
+
+#endif  // DMST_UTIL_STATS_H

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/pipeline_mst.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/graph/generators.h"
+#include "dmst/seq/mst.h"
+#include "dmst/util/intmath.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+// ------------------------------------------------------------ Pipeline-MST
+
+TEST(PipelineMst, SmallGraphs)
+{
+    auto single = WeightedGraph::from_edges(1, {});
+    EXPECT_TRUE(run_pipeline_mst(single, {}).mst_edges.empty());
+
+    auto pair = WeightedGraph::from_edges(2, {{0, 1, 3}});
+    auto r = run_pipeline_mst(pair, {});
+    EXPECT_EQ(r.mst_edges.size(), 1u);
+}
+
+TEST(PipelineMst, DisconnectedThrows)
+{
+    auto g = WeightedGraph::from_edges(4, {{0, 1, 1}, {2, 3, 1}});
+    EXPECT_THROW(run_pipeline_mst(g, {}), std::invalid_argument);
+}
+
+TEST(PipelineMst, UsesSqrtNFragments)
+{
+    Rng rng(600);
+    auto g = gen_erdos_renyi(100, 300, rng);
+    auto r = run_pipeline_mst(g, {});
+    EXPECT_EQ(r.k_used, isqrt(100));
+}
+
+class PipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineSweep, ComputesExactMst)
+{
+    Rng rng(610 + static_cast<std::uint64_t>(GetParam()));
+    WeightedGraph g = [&] {
+        switch (GetParam() % 5) {
+        case 0: return gen_erdos_renyi(64, 200, rng);
+        case 1: return gen_grid(8, 12, rng);
+        case 2: return gen_path(70, rng);
+        case 3: return gen_cliques_path(8, 8, rng);
+        default: return gen_complete(20, rng);
+        }
+    }();
+    auto r = run_pipeline_mst(g, {});
+    auto mst = mst_kruskal(g);
+    EXPECT_EQ(r.mst_edges, mst.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, PipelineSweep, ::testing::Range(0, 10));
+
+TEST(PipelineMst, SecondPhaseMessageBlowupOnHighDiameter)
+{
+    // The paper's positioning (§1.2): with an (O(sqrt n), O(sqrt n)) base
+    // forest, the second phase costs Θ(D sqrt n) messages — "super-linear
+    // for D = ω(sqrt n)" — which is what GKP pays on a path. The Elkin
+    // algorithm's (O(n/D), O(D)) base forest keeps its second phase
+    // near-linear. Compare the post-GHS message counts directly.
+    Rng rng(620);
+    auto g = gen_path(512, rng);
+    auto gkp = run_pipeline_mst(g, {});
+    auto elkin = run_elkin_mst(g, ElkinOptions{});
+    EXPECT_EQ(gkp.mst_edges, elkin.mst_edges);
+    EXPECT_GT(gkp.phase2_messages, 4 * elkin.phase2_messages);
+    // And GKP's per-vertex phase-2 cost grows with n (the sqrt(n) factor).
+    Rng rng2(621);
+    auto g2 = gen_path(2048, rng2);
+    auto gkp2 = run_pipeline_mst(g2, {});
+    double per_n_small = static_cast<double>(gkp.phase2_messages) / 512.0;
+    double per_n_large = static_cast<double>(gkp2.phase2_messages) / 2048.0;
+    EXPECT_GT(per_n_large, 1.3 * per_n_small);
+}
+
+// ------------------------------------------------------------ SyncBoruvka
+
+TEST(SyncBoruvka, SmallGraphs)
+{
+    auto single = WeightedGraph::from_edges(1, {});
+    EXPECT_TRUE(run_sync_boruvka(single).mst_edges.empty());
+
+    auto pair = WeightedGraph::from_edges(2, {{0, 1, 3}});
+    auto r = run_sync_boruvka(pair);
+    EXPECT_EQ(r.mst_edges.size(), 1u);
+    EXPECT_EQ(r.phases, 1);
+}
+
+TEST(SyncBoruvka, DisconnectedThrows)
+{
+    auto g = WeightedGraph::from_edges(4, {{0, 1, 1}, {2, 3, 1}});
+    EXPECT_THROW(run_sync_boruvka(g), std::invalid_argument);
+}
+
+TEST(SyncBoruvka, PhasesLogarithmic)
+{
+    Rng rng(630);
+    auto g = gen_erdos_renyi(128, 400, rng);
+    auto r = run_sync_boruvka(g);
+    EXPECT_LE(r.phases, ceil_log2(128) + 1);
+}
+
+class SyncBoruvkaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncBoruvkaSweep, ComputesExactMst)
+{
+    Rng rng(640 + static_cast<std::uint64_t>(GetParam()));
+    WeightedGraph g = [&] {
+        switch (GetParam() % 6) {
+        case 0: return gen_erdos_renyi(64, 200, rng);
+        case 1: return gen_grid(8, 12, rng);
+        case 2: return gen_path(70, rng);
+        case 3: return gen_cycle(55, rng);
+        case 4: return gen_star(40, rng);
+        default: return gen_lollipop(20, 40, rng);
+        }
+    }();
+    auto r = run_sync_boruvka(g);
+    auto mst = mst_kruskal(g);
+    EXPECT_EQ(r.mst_edges, mst.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SyncBoruvkaSweep, ::testing::Range(0, 12));
+
+TEST(SyncBoruvka, RoundBlowupOnHighDiameterVsElkin)
+{
+    // High-diameter, low-sqrt(n) case: merging physical fragments costs
+    // Theta(fragment diameter) per phase, while Elkin pays (D + sqrt n) log n.
+    Rng rng(650);
+    auto g = gen_path(300, rng);
+    auto boruvka = run_sync_boruvka(g);
+    auto elkin = run_elkin_mst(g, ElkinOptions{});
+    EXPECT_EQ(boruvka.mst_edges, elkin.mst_edges);
+    // Both take O(D)-ish here; the separation shows on message counts of
+    // repeated fragment-wide traffic vs the one-shot base forest. The
+    // stronger round separation appears in bench E6 on star-of-paths
+    // topologies; here we only sanity-check both complete.
+    EXPECT_GT(boruvka.stats.rounds, 0u);
+}
+
+TEST(AllThreeAlgorithms, AgreeAcrossFamilies)
+{
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        Rng rng(700 + seed);
+        auto g = gen_erdos_renyi(96, 288, rng);
+        auto kruskal = mst_kruskal(g);
+        EXPECT_EQ(run_elkin_mst(g, ElkinOptions{}).mst_edges, kruskal.edges);
+        EXPECT_EQ(run_pipeline_mst(g, {}).mst_edges, kruskal.edges);
+        EXPECT_EQ(run_sync_boruvka(g).mst_edges, kruskal.edges);
+    }
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dmst/proto/cv.h"
+#include "dmst/util/intmath.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+std::vector<std::size_t> random_forest(std::size_t n, std::size_t roots, Rng& rng)
+{
+    std::vector<std::size_t> parent(n);
+    for (std::size_t v = 0; v < n; ++v)
+        parent[v] = v < roots ? v : rng.next_below(v);  // attach to earlier vertex
+    return parent;
+}
+
+void expect_proper_three_coloring(const std::vector<std::size_t>& parent,
+                                  const std::vector<std::uint64_t>& colors)
+{
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+        EXPECT_LE(colors[v], 2u) << "vertex " << v;
+        if (parent[v] != v) {
+            EXPECT_NE(colors[v], colors[parent[v]]) << "edge " << v;
+        }
+    }
+}
+
+TEST(CvStep, AdjacentColorsStayDistinct)
+{
+    Rng rng(80);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint64_t a = rng.next();
+        std::uint64_t b = rng.next();
+        if (a == b)
+            continue;
+        // b plays parent for a; b's own step uses some grandparent g != b.
+        std::uint64_t g = rng.next();
+        if (g == b)
+            continue;
+        EXPECT_NE(cv_step(a, b), cv_step(b, g));
+    }
+}
+
+TEST(CvStep, RootVariantDiffersFromChildren)
+{
+    Rng rng(81);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint64_t root = rng.next();
+        std::uint64_t child = rng.next();
+        if (root == child)
+            continue;
+        EXPECT_NE(cv_step_root(root), cv_step(child, root));
+    }
+}
+
+TEST(CvStep, ShrinksColorSpace)
+{
+    // From 64-bit colors, one step lands below 128, two below 14, etc.
+    Rng rng(82);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::uint64_t a = rng.next();
+        std::uint64_t b = rng.next();
+        if (a == b)
+            continue;
+        EXPECT_LT(cv_step(a, b), 128u);
+    }
+}
+
+TEST(CvRecolor, PicksSmallestFreeColor)
+{
+    EXPECT_EQ(cv_recolor(0, 1, true), 2u);
+    EXPECT_EQ(cv_recolor(1, 0, true), 2u);
+    EXPECT_EQ(cv_recolor(2, 1, true), 0u);
+    EXPECT_EQ(cv_recolor(0, 0, true), 1u);   // parent==children color
+    EXPECT_EQ(cv_recolor(9, 0, false), 1u);  // root: parent ignored
+}
+
+TEST(CvForest, PathColoring)
+{
+    std::vector<std::size_t> parent(100);
+    parent[0] = 0;
+    for (std::size_t v = 1; v < parent.size(); ++v)
+        parent[v] = v - 1;
+    auto res = cv_three_color_forest(parent);
+    expect_proper_three_coloring(parent, res.colors);
+    EXPECT_LE(res.dct_iterations, cv_dct_iterations_bound(parent.size()));
+}
+
+TEST(CvForest, StarColoring)
+{
+    std::vector<std::size_t> parent(50, 0);
+    auto res = cv_three_color_forest(parent);
+    expect_proper_three_coloring(parent, res.colors);
+}
+
+TEST(CvForest, SingletonAndEmpty)
+{
+    auto res = cv_three_color_forest({0});
+    EXPECT_EQ(res.colors.size(), 1u);
+    EXPECT_LE(res.colors[0], 2u);
+    auto empty = cv_three_color_forest({});
+    EXPECT_TRUE(empty.colors.empty());
+}
+
+class CvForestSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CvForestSweep, RandomForestsProperlyColored)
+{
+    std::size_t n = GetParam();
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        Rng rng(900 + seed);
+        std::size_t roots = 1 + rng.next_below(std::max<std::size_t>(1, n / 10));
+        roots = std::min(roots, n);
+        auto parent = random_forest(n, roots, rng);
+        auto res = cv_three_color_forest(parent);
+        expect_proper_three_coloring(parent, res.colors);
+        EXPECT_LE(res.dct_iterations, cv_dct_iterations_bound(n));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CvForestSweep,
+                         ::testing::Values(2, 3, 7, 16, 64, 257, 1024, 5000));
+
+TEST(CvIterationBound, GrowsLikeLogStar)
+{
+    // The fixed schedule is within a small additive constant of log*.
+    for (std::uint64_t n : {10ULL, 100ULL, 10000ULL, 1000000ULL, 1ULL << 40}) {
+        int bound = cv_dct_iterations_bound(n);
+        int star = log_star(n);
+        EXPECT_GE(bound, star - 2);
+        EXPECT_LE(bound, star + 3);
+    }
+    EXPECT_EQ(cv_dct_iterations_bound(1), 0);
+    EXPECT_LE(cv_dct_iterations_bound(~std::uint64_t{0}), 6);
+}
+
+TEST(CvIterationBound, IsAnUpperBoundOnPaths)
+{
+    for (std::size_t n : {10u, 100u, 1000u}) {
+        std::vector<std::size_t> parent(n);
+        parent[0] = 0;
+        for (std::size_t v = 1; v < n; ++v)
+            parent[v] = v - 1;
+        auto res = cv_three_color_forest(parent);
+        EXPECT_LE(res.dct_iterations, cv_dct_iterations_bound(n));
+    }
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "dmst/core/forest_stats.h"
+#include "dmst/core/mst_output.h"
+#include "dmst/graph/generators.h"
+#include "dmst/proto/bfs.h"
+#include "dmst/seq/mst.h"
+#include "dmst/util/assert.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+TEST(ForestStats, SingletonForest)
+{
+    Rng rng(1);
+    auto g = gen_path(5, rng);
+    std::vector<std::size_t> parent(5, kNoPort);
+    std::vector<std::uint64_t> fid = {0, 1, 2, 3, 4};
+    auto s = analyze_forest(g, parent, fid);
+    EXPECT_EQ(s.fragment_count, 5u);
+    EXPECT_EQ(s.max_height, 0u);
+    EXPECT_EQ(s.min_fragment_size, 1u);
+    EXPECT_EQ(s.max_fragment_size, 1u);
+}
+
+TEST(ForestStats, PathAsOneFragment)
+{
+    Rng rng(2);
+    auto g = gen_path(6, rng);
+    // Root at vertex 0; every other vertex points to its lower neighbor.
+    std::vector<std::size_t> parent(6);
+    parent[0] = kNoPort;
+    for (VertexId v = 1; v < 6; ++v)
+        parent[v] = g.port_of(v, v - 1);
+    std::vector<std::uint64_t> fid(6, 0);
+    auto s = analyze_forest(g, parent, fid);
+    EXPECT_EQ(s.fragment_count, 1u);
+    EXPECT_EQ(s.max_height, 5u);
+    EXPECT_EQ(s.max_fragment_size, 6u);
+}
+
+TEST(ForestStats, DetectsForeignParent)
+{
+    Rng rng(3);
+    auto g = gen_path(3, rng);
+    std::vector<std::size_t> parent = {kNoPort, g.port_of(1, 0), kNoPort};
+    // Vertex 1 points into fragment 0 but claims fragment 2: invalid.
+    std::vector<std::uint64_t> fid = {0, 2, 2};
+    EXPECT_THROW(analyze_forest(g, parent, fid), InvariantViolation);
+}
+
+TEST(ForestStats, DetectsWrongRootId)
+{
+    Rng rng(4);
+    auto g = gen_path(2, rng);
+    std::vector<std::size_t> parent = {kNoPort, g.port_of(1, 0)};
+    std::vector<std::uint64_t> fid = {7, 7};  // root is 0, id says 7
+    EXPECT_THROW(analyze_forest(g, parent, fid), InvariantViolation);
+}
+
+TEST(ForestStats, DetectsParentCycle)
+{
+    Rng rng(5);
+    auto g = gen_cycle(3, rng);
+    // Everyone points "clockwise": a cycle, no root.
+    std::vector<std::size_t> parent = {g.port_of(0, 1), g.port_of(1, 2),
+                                       g.port_of(2, 0)};
+    std::vector<std::uint64_t> fid(3, 0);
+    EXPECT_THROW(analyze_forest(g, parent, fid), InvariantViolation);
+}
+
+TEST(MstOutput, CollectsAgreedEdges)
+{
+    Rng rng(6);
+    auto g = gen_erdos_renyi(20, 50, rng);
+    auto mst = mst_kruskal(g);
+    // Build per-vertex port views from the reference MST.
+    std::vector<std::vector<std::size_t>> ports(20);
+    for (EdgeId e : mst.edges) {
+        const Edge& edge = g.edge(e);
+        ports[edge.u].push_back(g.port_of(edge.u, edge.v));
+        ports[edge.v].push_back(g.port_of(edge.v, edge.u));
+    }
+    EXPECT_EQ(collect_mst_edges(g, ports), mst.edges);
+}
+
+TEST(MstOutput, RejectsOneSidedMark)
+{
+    auto g = WeightedGraph::from_edges(2, {{0, 1, 3}});
+    std::vector<std::vector<std::size_t>> ports(2);
+    ports[0].push_back(0);  // vertex 1 does not mark
+    EXPECT_THROW(collect_mst_edges(g, ports), InvariantViolation);
+}
+
+TEST(MstOutput, RejectsNonSpanning)
+{
+    auto g = WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 2, 2}});
+    std::vector<std::vector<std::size_t>> ports(3);
+    ports[0].push_back(0);
+    ports[1].push_back(g.port_of(1, 0));
+    EXPECT_THROW(collect_mst_edges(g, ports), InvariantViolation);
+    // Without the spanning requirement, the same input is acceptable.
+    EXPECT_EQ(collect_mst_edges(g, ports, /*expect_spanning=*/false).size(), 1u);
+}
+
+TEST(MstOutput, PortsToVectors)
+{
+    std::vector<std::set<std::size_t>> sets = {{2, 0}, {}, {1}};
+    auto v = ports_to_vectors(sets);
+    EXPECT_EQ(v[0], (std::vector<std::size_t>{0, 2}));
+    EXPECT_TRUE(v[1].empty());
+    EXPECT_EQ(v[2], (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dmst/graph/generators.h"
+#include "dmst/graph/io.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+TEST(GraphIo, RoundTripsRandomGraph)
+{
+    Rng rng(1);
+    auto g = gen_erdos_renyi(30, 80, rng);
+    std::stringstream ss;
+    write_edge_list(ss, g);
+    auto h = read_edge_list(ss);
+    ASSERT_EQ(h.vertex_count(), g.vertex_count());
+    ASSERT_EQ(h.edge_count(), g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        EXPECT_EQ(h.edge(e).u, g.edge(e).u);
+        EXPECT_EQ(h.edge(e).v, g.edge(e).v);
+        EXPECT_EQ(h.edge(e).w, g.edge(e).w);
+    }
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\n3\n# edges\n0 1 10\n\n1 2 20\n");
+    auto g = read_edge_list(ss);
+    EXPECT_EQ(g.vertex_count(), 3u);
+    EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphIo, RejectsMalformedInput)
+{
+    auto expect_throw = [](const char* text) {
+        std::stringstream ss(text);
+        EXPECT_THROW(read_edge_list(ss), std::invalid_argument) << text;
+    };
+    expect_throw("");                    // empty
+    expect_throw("abc\n");               // bad vertex count
+    expect_throw("0\n");                 // zero vertices
+    expect_throw("3 7\n");               // trailing token after n
+    expect_throw("3\n0 1\n");            // missing weight
+    expect_throw("3\n0 1 5 9\n");        // trailing token on edge
+    expect_throw("3\nx 1 5\n");          // malformed endpoint
+    expect_throw("2\n0 0 5\n");          // self loop (structural)
+    expect_throw("2\n0 1 5\n1 0 6\n");   // parallel edge (structural)
+    expect_throw("2\n0 5 5\n");          // endpoint out of range
+}
+
+TEST(GraphIo, FileRoundTrip)
+{
+    Rng rng(2);
+    auto g = gen_grid(4, 5, rng);
+    const std::string path = ::testing::TempDir() + "/dmst_io_test.edges";
+    write_edge_list_file(path, g);
+    auto h = read_edge_list_file(path);
+    EXPECT_EQ(h.vertex_count(), g.vertex_count());
+    EXPECT_EQ(h.edge_count(), g.edge_count());
+}
+
+TEST(GraphIo, MissingFileThrows)
+{
+    EXPECT_THROW(read_edge_list_file("/nonexistent/nope.edges"),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,238 @@
+// Randomized property tests of the pipelined primitives: the sorted-merge
+// upcast (with each filter) and the interval-routed downcast, checked
+// against offline-computed expectations over random trees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dmst/congest/network.h"
+#include "dmst/graph/generators.h"
+#include "dmst/proto/bfs.h"
+#include "dmst/proto/downcast.h"
+#include "dmst/proto/intervals.h"
+#include "dmst/proto/pipeline.h"
+#include "dmst/util/dsu.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+constexpr std::uint32_t kStartTag = 900;
+
+class UpcastDriver : public Process {
+public:
+    UpcastDriver(bool root, std::vector<PipeRecord> locals,
+                 std::unique_ptr<UpcastFilter> filter)
+        : bfs_(root, 100), up_(300, std::move(filter)),
+          locals_(std::move(locals)), is_root_(root)
+    {
+    }
+
+    void on_round(Context& ctx) override
+    {
+        bfs_.on_round(ctx);
+        bool start = is_root_ && bfs_.finished() && !up_.attached();
+        for (const Incoming& in : ctx.inbox())
+            start = start || in.msg.tag == kStartTag;
+        if (start && !up_.attached()) {
+            up_.attach(bfs_.parent_port(), bfs_.children_ports());
+            for (std::size_t c : bfs_.children_ports())
+                ctx.send(c, Message{kStartTag, {}});
+            for (const auto& r : locals_)
+                up_.add_local(r);
+            up_.close_local();
+        }
+        up_.on_round(ctx);
+    }
+
+    bool done() const override { return up_.finished(); }
+
+    BfsBuilder bfs_;
+    SortedMergeUpcast up_;
+
+private:
+    std::vector<PipeRecord> locals_;
+    bool is_root_;
+};
+
+struct Scenario {
+    WeightedGraph graph;
+    std::vector<std::vector<PipeRecord>> locals;
+    std::vector<PipeRecord> all;  // flattened
+};
+
+Scenario random_scenario(std::size_t n, std::size_t groups,
+                         std::size_t max_per_vertex, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Scenario s{gen_random_tree(n, rng), {}, {}};
+    s.locals.resize(n);
+    std::uint64_t next_unique = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        std::size_t count = rng.next_below(max_per_vertex + 1);
+        for (std::size_t i = 0; i < count; ++i) {
+            PipeRecord r;
+            // Unique keys via a counter mixed with a random high part.
+            r.key = EdgeKey{rng.next_below(1000) * 1000 + next_unique,
+                            static_cast<VertexId>(next_unique), 0};
+            ++next_unique;
+            r.group = rng.next_below(groups);
+            r.group2 = rng.next_below(groups);
+            r.aux = v;
+            s.locals[v].push_back(r);
+            s.all.push_back(r);
+        }
+    }
+    std::sort(s.all.begin(), s.all.end(), [](const auto& a, const auto& b) {
+        return pipe_sort_key(a) < pipe_sort_key(b);
+    });
+    return s;
+}
+
+std::vector<PipeRecord> run_upcast(
+    const Scenario& s, const std::function<std::unique_ptr<UpcastFilter>()>& make,
+    int bandwidth = 1)
+{
+    Network net(s.graph, NetConfig{.bandwidth = bandwidth});
+    net.init([&](VertexId v) {
+        return std::make_unique<UpcastDriver>(v == 0, s.locals[v], make());
+    });
+    net.run();
+    return static_cast<const UpcastDriver&>(net.process(0)).up_.delivered();
+}
+
+class UpcastProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpcastProperty, KeepAllDeliversExactlyEverythingSorted)
+{
+    auto s = random_scenario(40, 6, 3, GetParam());
+    auto got = run_upcast(s, [] { return std::make_unique<KeepAllFilter>(); });
+    ASSERT_EQ(got.size(), s.all.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(pipe_sort_key(got[i]), pipe_sort_key(s.all[i])) << i;
+}
+
+TEST_P(UpcastProperty, GroupMinMatchesOfflineMinima)
+{
+    auto s = random_scenario(40, 6, 3, GetParam() + 1000);
+    auto got = run_upcast(s, [] { return std::make_unique<GroupMinFilter>(); });
+    std::map<std::uint64_t, PipeSortKey> expect;
+    for (const auto& r : s.all)
+        if (!expect.count(r.group))
+            expect[r.group] = pipe_sort_key(r);  // s.all is sorted: first = min
+    ASSERT_EQ(got.size(), expect.size());
+    for (const auto& r : got)
+        EXPECT_EQ(pipe_sort_key(r), expect.at(r.group));
+}
+
+TEST_P(UpcastProperty, DsuFilterMatchesOfflineKruskalScan)
+{
+    auto s = random_scenario(40, 8, 3, GetParam() + 2000);
+    auto got = run_upcast(s, [] { return std::make_unique<DsuCycleFilter>(); });
+    // Offline: scan all records in sorted order, keep those that unite.
+    std::map<std::uint64_t, std::size_t> index;
+    auto idx = [&](std::uint64_t grp) {
+        return index.emplace(grp, index.size()).first->second;
+    };
+    Dsu dsu(2 * s.all.size() + 16);
+    std::vector<PipeSortKey> expect;
+    for (const auto& r : s.all) {
+        std::size_t a = idx(r.group);
+        std::size_t b = idx(r.group2);
+        if (dsu.unite(a, b))
+            expect.push_back(pipe_sort_key(r));
+    }
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(pipe_sort_key(got[i]), expect[i]);
+}
+
+TEST_P(UpcastProperty, BandwidthInvariantResults)
+{
+    auto s = random_scenario(30, 5, 3, GetParam() + 3000);
+    auto b1 = run_upcast(s, [] { return std::make_unique<GroupMinFilter>(); }, 1);
+    auto b4 = run_upcast(s, [] { return std::make_unique<GroupMinFilter>(); }, 4);
+    ASSERT_EQ(b1.size(), b4.size());
+    for (std::size_t i = 0; i < b1.size(); ++i)
+        EXPECT_EQ(pipe_sort_key(b1[i]), pipe_sort_key(b4[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpcastProperty, ::testing::Range<std::uint64_t>(0, 6));
+
+// ------------------------------------------------------- downcast property
+
+class DowncastDriver : public Process {
+public:
+    explicit DowncastDriver(bool root)
+        : bfs_(root, 100), labeler_(200), down_(400)
+    {
+    }
+
+    void on_round(Context& ctx) override
+    {
+        bfs_.on_round(ctx);
+        if (bfs_.finished() && !labeler_.attached()) {
+            labeler_.attach(bfs_);
+            if (bfs_.parent_port() == kNoPort)
+                labeler_.start(ctx);
+        }
+        labeler_.on_round(ctx);
+        if (labeler_.finished() && !down_.attached()) {
+            down_.attach(labeler_.own_index(), labeler_.children_ports(),
+                         labeler_.child_intervals());
+        }
+        down_.on_round(ctx);
+    }
+
+    bool done() const override { return labeler_.finished() && down_.idle(); }
+
+    BfsBuilder bfs_;
+    IntervalLabeler labeler_;
+    IntervalDowncast down_;
+};
+
+class DowncastProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DowncastProperty, RandomBatchesRouteExactly)
+{
+    Rng rng(500 + GetParam());
+    auto g = gen_erdos_renyi(45, 110, rng);
+    Network net(g, NetConfig{.bandwidth = 2});
+    net.init([&](VertexId v) { return std::make_unique<DowncastDriver>(v == 0); });
+    net.run();
+
+    std::vector<std::uint64_t> index(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        index[v] =
+            static_cast<DowncastDriver&>(net.process(v)).labeler_.own_index();
+
+    // Random multiset of targets, including repeats and the root itself.
+    std::map<VertexId, std::vector<std::uint64_t>> expect;
+    auto& root = static_cast<DowncastDriver&>(net.process(0));
+    for (int i = 0; i < 60; ++i) {
+        VertexId target = static_cast<VertexId>(rng.next_below(g.vertex_count()));
+        std::uint64_t payload = rng.next();
+        expect[target].push_back(payload);
+        root.down_.inject(DownRecord{index[target], {payload, 0, 0, 0}});
+    }
+    net.run();
+
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& got =
+            static_cast<const DowncastDriver&>(net.process(v)).down_.delivered();
+        std::vector<std::uint64_t> payloads;
+        for (const auto& r : got)
+            payloads.push_back(r.payload[0]);
+        auto want = expect.count(v) ? expect.at(v) : std::vector<std::uint64_t>{};
+        // Per-target FIFO order is preserved.
+        EXPECT_EQ(payloads, want) << "vertex " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DowncastProperty,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace dmst

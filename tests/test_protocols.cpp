@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dmst/congest/network.h"
+#include "dmst/graph/generators.h"
+#include "dmst/graph/metrics.h"
+#include "dmst/proto/bfs.h"
+#include "dmst/proto/downcast.h"
+#include "dmst/proto/intervals.h"
+#include "dmst/proto/pipeline.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+constexpr std::uint32_t kBfsTag = 100;
+constexpr std::uint32_t kLabelTag = 200;
+constexpr std::uint32_t kUpcastTag = 300;
+constexpr std::uint32_t kDowncastTag = 400;
+constexpr std::uint32_t kStartTag = 500;
+
+// ------------------------------------------------------------------ BFS
+
+class BfsProcess : public Process {
+public:
+    explicit BfsProcess(bool root) : bfs(root, kBfsTag) {}
+    void on_round(Context& ctx) override { bfs.on_round(ctx); }
+    bool done() const override { return bfs.finished(); }
+
+    BfsBuilder bfs;
+};
+
+struct BfsCase {
+    const char* name;
+    WeightedGraph graph;
+};
+
+class BfsSweep : public ::testing::TestWithParam<int> {
+protected:
+    static WeightedGraph make(int which)
+    {
+        Rng rng(40 + static_cast<std::uint64_t>(which));
+        switch (which) {
+        case 0: return gen_path(17, rng);
+        case 1: return gen_star(12, rng);
+        case 2: return gen_grid(5, 7, rng);
+        case 3: return gen_erdos_renyi(60, 150, rng);
+        case 4: return gen_cycle(9, rng);
+        case 5: return gen_lollipop(8, 15, rng);
+        default: return gen_complete(6, rng);
+        }
+    }
+};
+
+TEST_P(BfsSweep, BuildsCorrectBfsTree)
+{
+    auto g = make(GetParam());
+    const VertexId root = 0;
+    auto dist = bfs_distances(g, root);
+
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) { return std::make_unique<BfsProcess>(v == root); });
+    RunStats stats = net.run();
+
+    std::uint64_t ecc = eccentricity(g, root);
+    EXPECT_LE(stats.rounds, 2 * ecc + 4);
+
+    std::uint64_t leaf_count = 0;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const BfsProcess&>(net.process(v)).bfs;
+        ASSERT_TRUE(p.finished());
+        EXPECT_EQ(p.depth(), dist[v]) << "vertex " << v;
+        if (v == root) {
+            EXPECT_EQ(p.parent_port(), kNoPort);
+            EXPECT_EQ(p.subtree_size(), g.vertex_count());
+            EXPECT_EQ(p.subtree_height(), ecc);
+        } else {
+            ASSERT_NE(p.parent_port(), kNoPort);
+            VertexId parent = g.neighbor(v, p.parent_port());
+            EXPECT_EQ(dist[parent] + 1, dist[v]);
+            // Parent lists v as a child on the reciprocal port.
+            const auto& pp = static_cast<const BfsProcess&>(net.process(parent)).bfs;
+            std::size_t back = g.port_of(parent, v);
+            EXPECT_TRUE(std::count(pp.children_ports().begin(),
+                                   pp.children_ports().end(), back));
+        }
+        // Child sizes sum to subtree size minus one.
+        std::uint64_t sum = 0;
+        for (std::size_t cp : p.children_ports())
+            sum += p.child_sizes().at(cp);
+        EXPECT_EQ(sum + 1, p.subtree_size());
+        if (p.children_ports().empty())
+            ++leaf_count;
+    }
+    EXPECT_GE(leaf_count, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BfsSweep, ::testing::Range(0, 7));
+
+// ------------------------------------------------------- IntervalLabeler
+
+class LabelProcess : public Process {
+public:
+    explicit LabelProcess(bool root) : bfs(root, kBfsTag), labeler(kLabelTag) {}
+
+    void on_round(Context& ctx) override
+    {
+        bfs.on_round(ctx);
+        if (bfs.finished() && !labeler.attached()) {
+            labeler.attach(bfs);
+            if (bfs.parent_port() == kNoPort)
+                labeler.start(ctx);
+        }
+        labeler.on_round(ctx);
+    }
+    bool done() const override { return labeler.finished(); }
+
+    BfsBuilder bfs;
+    IntervalLabeler labeler;
+};
+
+TEST(IntervalLabeler, AssignsNestedDisjointIntervals)
+{
+    Rng rng(50);
+    auto g = gen_erdos_renyi(40, 90, rng);
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) { return std::make_unique<LabelProcess>(v == 0); });
+    net.run();
+
+    std::vector<Interval> iv(g.vertex_count());
+    std::vector<std::uint64_t> index(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const LabelProcess&>(net.process(v));
+        ASSERT_TRUE(p.labeler.finished());
+        iv[v] = p.labeler.own_interval();
+        index[v] = p.labeler.own_index();
+    }
+
+    // Indices are a permutation of 0..n-1.
+    auto sorted = index;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint64_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i);
+
+    // Own index is the low end of the own interval, and every pair of
+    // intervals is either nested or disjoint.
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        EXPECT_EQ(iv[v].lo, index[v]);
+    for (VertexId a = 0; a < g.vertex_count(); ++a) {
+        for (VertexId b = a + 1; b < g.vertex_count(); ++b) {
+            bool disjoint = iv[a].hi <= iv[b].lo || iv[b].hi <= iv[a].lo;
+            bool nested = (iv[a].lo <= iv[b].lo && iv[b].hi <= iv[a].hi) ||
+                          (iv[b].lo <= iv[a].lo && iv[a].hi <= iv[b].hi);
+            EXPECT_TRUE(disjoint || nested)
+                << "intervals of " << a << " and " << b;
+        }
+    }
+
+    // Every vertex's interval contains exactly the indices of its BFS
+    // subtree: check sizes against the BFS subtree sizes.
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const LabelProcess&>(net.process(v));
+        EXPECT_EQ(iv[v].size(), p.bfs.subtree_size());
+    }
+}
+
+// ------------------------------------------------------ SortedMergeUpcast
+
+// Runs BFS, then a start wave (so parents attach before children emit),
+// then the upcast with per-vertex local records.
+class UpcastProcess : public Process {
+public:
+    UpcastProcess(bool root, std::vector<PipeRecord> locals,
+                  std::unique_ptr<UpcastFilter> filter)
+        : bfs(root, kBfsTag), up(kUpcastTag, std::move(filter)),
+          locals_(std::move(locals)), is_root_(root)
+    {
+    }
+
+    void on_round(Context& ctx) override
+    {
+        bfs.on_round(ctx);
+        bool start_now = false;
+        if (is_root_ && bfs.finished() && !up.attached())
+            start_now = true;
+        for (const Incoming& in : ctx.inbox())
+            if (in.msg.tag == kStartTag)
+                start_now = true;
+        if (start_now) {
+            up.attach(bfs.parent_port(), bfs.children_ports());
+            for (std::size_t cp : bfs.children_ports())
+                ctx.send(cp, Message{kStartTag, {}});
+            for (const auto& r : locals_)
+                up.add_local(r);
+            up.close_local();
+        }
+        up.on_round(ctx);
+    }
+
+    bool done() const override { return up.finished(); }
+
+    BfsBuilder bfs;
+    SortedMergeUpcast up;
+
+private:
+    std::vector<PipeRecord> locals_;
+    bool is_root_;
+};
+
+PipeRecord make_record(Weight w, VertexId a, VertexId b, std::uint64_t group,
+                       std::uint64_t aux = 0)
+{
+    return PipeRecord{EdgeKey{w, a, b}, group, 0, aux};
+}
+
+TEST(SortedMergeUpcast, KeepAllDeliversEverythingSorted)
+{
+    Rng rng(60);
+    auto g = gen_random_tree(30, rng);
+    // Each vertex contributes one record keyed by a pseudo-random weight.
+    Rng weights(61);
+    std::vector<std::vector<PipeRecord>> locals(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        locals[v].push_back(make_record(weights.next_below(1000), v, v + 1, v));
+
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) {
+        return std::make_unique<UpcastProcess>(v == 0, locals[v],
+                                               std::make_unique<KeepAllFilter>());
+    });
+    net.run();
+
+    const auto& root = static_cast<const UpcastProcess&>(net.process(0));
+    ASSERT_TRUE(root.up.finished());
+    const auto& got = root.up.delivered();
+    ASSERT_EQ(got.size(), g.vertex_count());
+    for (std::size_t i = 1; i < got.size(); ++i)
+        EXPECT_LT(pipe_sort_key(got[i - 1]), pipe_sort_key(got[i]));
+}
+
+TEST(SortedMergeUpcast, GroupMinKeepsLightestPerGroup)
+{
+    Rng rng(62);
+    auto g = gen_random_tree(50, rng);
+    Rng weights(63);
+    std::vector<std::vector<PipeRecord>> locals(g.vertex_count());
+    std::map<std::uint64_t, EdgeKey> expect;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        std::uint64_t group = v % 7;
+        Weight w = weights.next_below(10000);
+        PipeRecord r = make_record(w, v, v + 1, group);
+        locals[v].push_back(r);
+        auto it = expect.find(group);
+        if (it == expect.end() || r.key < it->second)
+            expect[group] = r.key;
+    }
+
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) {
+        return std::make_unique<UpcastProcess>(v == 0, locals[v],
+                                               std::make_unique<GroupMinFilter>());
+    });
+    RunStats stats = net.run();
+
+    const auto& got =
+        static_cast<const UpcastProcess&>(net.process(0)).up.delivered();
+    ASSERT_EQ(got.size(), expect.size());
+    for (const auto& r : got)
+        EXPECT_EQ(r.key, expect.at(r.group)) << "group " << r.group;
+
+    // Filtering keeps traffic near-linear: far fewer messages than the
+    // unfiltered n-records-over-every-hop worst case.
+    EXPECT_LT(stats.messages, 20 * g.vertex_count());
+}
+
+TEST(SortedMergeUpcast, BandwidthSpeedsUpDelivery)
+{
+    // Deep path with many records: rounds ~ depth + K/b.
+    Rng rng(64);
+    auto g = gen_path(40, rng);
+    auto run_with = [&](int b) {
+        std::vector<std::vector<PipeRecord>> locals(g.vertex_count());
+        Rng weights(65);
+        for (VertexId v = 0; v < g.vertex_count(); ++v)
+            for (int i = 0; i < 4; ++i)
+                locals[v].push_back(
+                    make_record(weights.next_below(100000), v, v + 1,
+                                static_cast<std::uint64_t>(v) * 4 + i));
+        Network net(g, NetConfig{.bandwidth = b});
+        net.init([&](VertexId v) {
+            return std::make_unique<UpcastProcess>(
+                v == 0, locals[v], std::make_unique<KeepAllFilter>());
+        });
+        RunStats stats = net.run();
+        const auto& got =
+            static_cast<const UpcastProcess&>(net.process(0)).up.delivered();
+        EXPECT_EQ(got.size(), 4 * g.vertex_count());
+        return stats.rounds;
+    };
+    std::uint64_t r1 = run_with(1);
+    std::uint64_t r4 = run_with(4);
+    EXPECT_LT(r4, r1);
+    // b=1: about depth + K rounds. Generous factor-2 envelope.
+    EXPECT_LE(r1, 2 * (40 + 4 * 40) + 10);
+}
+
+TEST(DsuCycleFilter, DropsCycleClosingEdges)
+{
+    DsuCycleFilter f;
+    PipeRecord ab = make_record(1, 0, 1, /*group=*/10);
+    ab.group2 = 11;
+    PipeRecord bc = make_record(2, 1, 2, 11);
+    bc.group2 = 12;
+    PipeRecord ca = make_record(3, 2, 0, 12);
+    ca.group2 = 10;
+
+    EXPECT_TRUE(f.admits(ab));
+    f.on_emit(ab);
+    EXPECT_TRUE(f.admits(bc));
+    f.on_emit(bc);
+    EXPECT_FALSE(f.admits(ca));  // closes the 10-11-12 cycle
+
+    PipeRecord cd = make_record(4, 2, 3, 12);
+    cd.group2 = 13;
+    EXPECT_TRUE(f.admits(cd));
+}
+
+// -------------------------------------------------------- IntervalDowncast
+
+class DowncastProcess : public Process {
+public:
+    explicit DowncastProcess(bool root)
+        : bfs(root, kBfsTag), labeler(kLabelTag), down(kDowncastTag)
+    {
+    }
+
+    void on_round(Context& ctx) override
+    {
+        bfs.on_round(ctx);
+        if (bfs.finished() && !labeler.attached()) {
+            labeler.attach(bfs);
+            if (bfs.parent_port() == kNoPort)
+                labeler.start(ctx);
+        }
+        labeler.on_round(ctx);
+        if (labeler.finished() && !down.attached()) {
+            down.attach(labeler.own_index(), labeler.children_ports(),
+                        labeler.child_intervals());
+        }
+        down.on_round(ctx);
+    }
+
+    bool done() const override { return labeler.finished() && down.idle(); }
+
+    BfsBuilder bfs;
+    IntervalLabeler labeler;
+    IntervalDowncast down;
+};
+
+TEST(IntervalDowncast, RoutesToEveryVertex)
+{
+    Rng rng(70);
+    auto g = gen_erdos_renyi(35, 80, rng);
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) { return std::make_unique<DowncastProcess>(v == 0); });
+    net.run();  // builds tree + labels
+
+    // Send one record to every vertex, payload = its id.
+    auto& root = static_cast<DowncastProcess&>(net.process(0));
+    std::vector<std::uint64_t> index(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        index[v] = static_cast<DowncastProcess&>(net.process(v)).labeler.own_index();
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        root.down.inject(DownRecord{index[v], {v, 0, 0, 0}});
+    net.run();
+
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const DowncastProcess&>(net.process(v));
+        ASSERT_EQ(p.down.delivered().size(), 1u) << "vertex " << v;
+        EXPECT_EQ(p.down.delivered()[0].payload[0], v);
+    }
+}
+
+TEST(IntervalDowncast, PipelinesManyRecordsToOneLeaf)
+{
+    Rng rng(71);
+    auto g = gen_path(30, rng);
+    Network net(g, NetConfig{});
+    net.init([&](VertexId v) { return std::make_unique<DowncastProcess>(v == 0); });
+    net.run();
+
+    auto& root = static_cast<DowncastProcess&>(net.process(0));
+    auto& leaf = static_cast<DowncastProcess&>(net.process(29));
+    const int kRecords = 50;
+    std::uint64_t before = net.stats().rounds;
+    for (int i = 0; i < kRecords; ++i)
+        root.down.inject(
+            DownRecord{leaf.labeler.own_index(),
+                       {static_cast<std::uint64_t>(i), 0, 0, 0}});
+    net.run();
+
+    ASSERT_EQ(leaf.down.delivered().size(), static_cast<std::size_t>(kRecords));
+    for (int i = 0; i < kRecords; ++i)
+        EXPECT_EQ(leaf.down.delivered()[i].payload[0],
+                  static_cast<std::uint64_t>(i));
+    // Pipelined: depth + K + O(1) rounds, not depth * K.
+    EXPECT_LE(net.stats().rounds - before, 29 + kRecords + 5);
+}
+
+}  // namespace
+}  // namespace dmst

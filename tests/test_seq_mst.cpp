@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dmst/graph/generators.h"
+#include "dmst/seq/mst.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+TEST(SeqMst, TriangleKnownAnswer)
+{
+    auto g = WeightedGraph::from_edges(3, {{0, 1, 5}, {1, 2, 3}, {0, 2, 9}});
+    auto mst = mst_kruskal(g);
+    EXPECT_EQ(mst.total_weight, 8u);
+    EXPECT_EQ(mst.edges.size(), 2u);
+}
+
+TEST(SeqMst, SingleVertex)
+{
+    auto g = WeightedGraph::from_edges(1, {});
+    auto mst = mst_kruskal(g);
+    EXPECT_TRUE(mst.edges.empty());
+    EXPECT_EQ(mst.total_weight, 0u);
+    EXPECT_TRUE(is_spanning_tree(g, mst.edges));
+}
+
+TEST(SeqMst, SingleEdge)
+{
+    auto g = WeightedGraph::from_edges(2, {{0, 1, 13}});
+    for (auto* algo : {&mst_kruskal, &mst_prim, &mst_boruvka}) {
+        auto mst = (*algo)(g);
+        EXPECT_EQ(mst.total_weight, 13u);
+        EXPECT_EQ(mst.edges.size(), 1u);
+    }
+}
+
+TEST(SeqMst, TreeInputReturnsAllEdges)
+{
+    Rng rng(5);
+    auto g = gen_random_tree(40, rng);
+    auto mst = mst_prim(g);
+    EXPECT_EQ(mst.edges.size(), 39u);
+    EXPECT_EQ(mst.total_weight, total_weight(g, mst.edges));
+}
+
+TEST(SeqMst, DisconnectedThrows)
+{
+    auto g = WeightedGraph::from_edges(4, {{0, 1, 1}, {2, 3, 1}});
+    EXPECT_THROW(mst_kruskal(g), std::invalid_argument);
+    EXPECT_THROW(mst_prim(g), std::invalid_argument);
+    EXPECT_THROW(mst_boruvka(g), std::invalid_argument);
+}
+
+TEST(SeqMst, EqualWeightsStillUniqueViaEdgeKey)
+{
+    // All weights identical: the EdgeKey tie-break must make the MST unique
+    // and identical across all three algorithms.
+    Rng rng(6);
+    std::vector<Edge> edges;
+    auto base = gen_erdos_renyi(30, 90, rng);
+    for (const Edge& e : base.edges())
+        edges.push_back({e.u, e.v, 7});
+    auto g = WeightedGraph::from_edges(30, std::move(edges));
+
+    auto k = mst_kruskal(g);
+    auto p = mst_prim(g);
+    auto b = mst_boruvka(g);
+    EXPECT_EQ(k.edges, p.edges);
+    EXPECT_EQ(k.edges, b.edges);
+    EXPECT_TRUE(is_spanning_tree(g, k.edges));
+}
+
+TEST(SeqMst, IsSpanningTreeRejectsBadSets)
+{
+    auto g = WeightedGraph::from_edges(4,
+                                       {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {0, 3, 4}});
+    auto mst = mst_kruskal(g);
+    EXPECT_TRUE(is_spanning_tree(g, mst.edges));
+
+    EXPECT_FALSE(is_spanning_tree(g, {}));                    // too few
+    EXPECT_FALSE(is_spanning_tree(g, {0, 1, 2, 3}));          // too many
+    EXPECT_FALSE(is_spanning_tree(g, {0, 0, 1}));             // duplicate
+    EXPECT_FALSE(is_spanning_tree(g, {0, 1, 99}));            // bad id
+}
+
+struct SweepParam {
+    const char* family;
+    std::size_t n;
+    std::uint64_t seed;
+};
+
+class SeqMstSweep : public ::testing::TestWithParam<SweepParam> {
+protected:
+    WeightedGraph make() const
+    {
+        const auto& p = GetParam();
+        Rng rng(p.seed);
+        std::string family = p.family;
+        if (family == "er_sparse")
+            return gen_erdos_renyi(p.n, 2 * p.n, rng);
+        if (family == "er_dense")
+            return gen_erdos_renyi(p.n, p.n * (p.n - 1) / 4, rng);
+        if (family == "grid")
+            return gen_grid(p.n / 8, 8, rng);
+        if (family == "cycle")
+            return gen_cycle(p.n, rng);
+        if (family == "lollipop")
+            return gen_lollipop(p.n / 2, p.n / 2, rng);
+        if (family == "regular")
+            return gen_random_regular(p.n, 4, rng);
+        throw std::invalid_argument("unknown family");
+    }
+};
+
+TEST_P(SeqMstSweep, AllAlgorithmsAgree)
+{
+    auto g = make();
+    auto k = mst_kruskal(g);
+    auto p = mst_prim(g);
+    auto b = mst_boruvka(g);
+    EXPECT_TRUE(is_spanning_tree(g, k.edges));
+    EXPECT_EQ(k.edges, p.edges);
+    EXPECT_EQ(k.edges, b.edges);
+    EXPECT_EQ(k.total_weight, p.total_weight);
+    EXPECT_EQ(k.total_weight, b.total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SeqMstSweep,
+    ::testing::Values(SweepParam{"er_sparse", 64, 1}, SweepParam{"er_sparse", 64, 2},
+                      SweepParam{"er_sparse", 256, 3}, SweepParam{"er_dense", 48, 4},
+                      SweepParam{"er_dense", 96, 5}, SweepParam{"grid", 64, 6},
+                      SweepParam{"grid", 128, 7}, SweepParam{"cycle", 101, 8},
+                      SweepParam{"lollipop", 60, 9}, SweepParam{"regular", 80, 10},
+                      SweepParam{"regular", 200, 11}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+        return std::string(info.param.family) + "_n" +
+               std::to_string(info.param.n) + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dmst/exp/workloads.h"
+#include "dmst/graph/metrics.h"
+
+namespace dmst {
+namespace {
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSweep, GeneratesConnectedGraphOfRequestedScale)
+{
+    auto g = make_workload(GetParam(), 96, 7);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.vertex_count(), 30u);   // families may round n down
+    EXPECT_LE(g.vertex_count(), 100u);
+    EXPECT_GE(g.edge_count(), g.vertex_count() - 1);
+}
+
+TEST_P(WorkloadSweep, DeterministicForSeed)
+{
+    auto a = make_workload(GetParam(), 64, 9);
+    auto b = make_workload(GetParam(), 64, 9);
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (EdgeId e = 0; e < a.edge_count(); ++e) {
+        EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+        EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+        EXPECT_EQ(a.edge(e).w, b.edge(e).w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, WorkloadSweep, ::testing::ValuesIn(workload_families()),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
+
+TEST(Workloads, UnknownFamilyThrows)
+{
+    EXPECT_THROW(make_workload("nope", 10, 1), std::invalid_argument);
+}
+
+TEST(Workloads, FamiliesCoverDiameterSpectrum)
+{
+    auto star = make_workload("star", 64, 1);
+    auto path = make_workload("path", 64, 1);
+    EXPECT_LE(hop_diameter(star), 2u);
+    EXPECT_EQ(hop_diameter(path), 63u);
+}
+
+}  // namespace
+}  // namespace dmst
