@@ -12,6 +12,8 @@
 
 #include <iostream>
 
+#include "dmst/sim/engine.h"
+
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/core/elkin_mst.h"
 #include "dmst/core/forest_stats.h"
@@ -51,12 +53,15 @@ int main(int argc, char** argv)
     args.define("n", "1024", "graph size");
     args.define("seed", "10", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
     const std::size_t n = args.get_int("n");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -68,9 +73,9 @@ int main(int argc, char** argv)
         auto g = make_workload(family, n, seed);
         for (std::uint64_t k : {16ull, 64ull}) {
             const int phases = ceil_log2(k);
-            auto ghs = run_controlled_ghs(g, GhsOptions{.k = k});
+            auto ghs = run_controlled_ghs(g, GhsOptions{.k = k, .engine = eng, .threads = threads});
             auto wild = run_sync_boruvka(
-                g, SyncBoruvkaOptions{.max_phases = phases});
+                g, SyncBoruvkaOptions{.max_phases = phases, .engine = eng, .threads = threads});
             a.new_row()
                 .add(std::string(family))
                 .add(k)
@@ -90,9 +95,12 @@ int main(int argc, char** argv)
         // Fix k = sqrt(n) so both variants answer the same sizable set of
         // base fragments each phase; only the delivery mechanism differs.
         const std::uint64_t k = isqrt(g.vertex_count());
-        auto routed = run_elkin_mst(g, ElkinOptions{.k_override = k});
+        auto routed = run_elkin_mst(g, ElkinOptions{.k_override = k, .engine = eng, .threads = threads});
         auto flooded = run_elkin_mst(
-            g, ElkinOptions{.k_override = k, .broadcast_downcast = true});
+            g, ElkinOptions{.k_override = k,
+                             .broadcast_downcast = true,
+                             .engine = eng,
+                             .threads = threads});
         if (routed.mst_edges != flooded.mst_edges) {
             std::cerr << "FATAL: ablation changed the MST\n";
             return 1;

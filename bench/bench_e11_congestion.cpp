@@ -6,6 +6,8 @@
 // prints the per-edge message histogram (max / p99 / p50 / mean).
 
 #include <algorithm>
+
+#include "dmst/sim/engine.h"
 #include <iostream>
 
 #include "dmst/core/elkin_mst.h"
@@ -21,12 +23,19 @@ int main(int argc, char** argv)
     args.define("n", "1024", "graph size");
     args.define("seed", "11", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
+    ElkinOptions elkin_opts;
+    elkin_opts.engine = eng;
+    elkin_opts.threads = threads;
+    elkin_opts.record_per_edge = true;
     const std::size_t n = args.get_int("n");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -35,7 +44,7 @@ int main(int argc, char** argv)
                  "p50_edge", "mean_edge"});
     for (const char* family : {"er", "grid", "cliques8", "star"}) {
         auto g = make_workload(family, n, seed);
-        auto r = run_elkin_mst(g, ElkinOptions{.record_per_edge = true});
+        auto r = run_elkin_mst(g, elkin_opts);
         auto hist = r.stats.messages_per_edge;
         std::sort(hist.begin(), hist.end());
         auto pct = [&](double q) {

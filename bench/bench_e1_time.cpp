@@ -6,6 +6,8 @@
 // ours, the shape is the paper's.
 
 #include <cmath>
+
+#include "dmst/sim/engine.h"
 #include <iostream>
 
 #include "dmst/core/elkin_mst.h"
@@ -23,12 +25,18 @@ int main(int argc, char** argv)
     args.define("max_n", "1024", "largest graph size in the sweep");
     args.define("seed", "1", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
+    ElkinOptions elkin_opts;
+    elkin_opts.engine = eng;
+    elkin_opts.threads = threads;
 
     std::cout << "E1: Theorem 3.1 (time) — rounds vs (D + sqrt(n)) log n\n";
     Table table({"family", "n", "m", "D", "k", "phases", "rounds", "bound",
@@ -40,7 +48,7 @@ int main(int argc, char** argv)
         for (std::size_t n = 128; n <= max_n; n *= 2) {
             auto g = make_workload(family, n, seed + n);
             auto d = hop_diameter_estimate(g);
-            auto r = run_elkin_mst(g, ElkinOptions{});
+            auto r = run_elkin_mst(g, elkin_opts);
             double bound = (d + std::sqrt(static_cast<double>(n))) *
                            (ceil_log2(n) + 1);
             table.new_row()

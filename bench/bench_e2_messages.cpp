@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "dmst/sim/engine.h"
+
 #include "dmst/core/elkin_mst.h"
 #include "dmst/exp/workloads.h"
 #include "dmst/graph/generators.h"
@@ -34,12 +36,18 @@ int main(int argc, char** argv)
     args.define("max_n", "1024", "largest graph size in the size sweep");
     args.define("seed", "2", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
+    ElkinOptions elkin_opts;
+    elkin_opts.engine = eng;
+    elkin_opts.threads = threads;
     const std::uint64_t seed = args.get_int("seed");
     const std::size_t max_n = args.get_int("max_n");
 
@@ -48,7 +56,7 @@ int main(int argc, char** argv)
     for (const char* family : {"er", "grid"}) {
         for (std::size_t n = 128; n <= max_n; n *= 2) {
             auto g = make_workload(family, n, seed + n);
-            auto r = run_elkin_mst(g, ElkinOptions{});
+            auto r = run_elkin_mst(g, elkin_opts);
             double bound = message_bound(g.vertex_count(), g.edge_count());
             size_table.new_row()
                 .add(std::string(family))
@@ -68,7 +76,7 @@ int main(int argc, char** argv)
     for (std::size_t m = 2 * n; m <= 32 * n && m <= n * (n - 1) / 2; m *= 2) {
         Rng rng(seed + m);
         auto g = gen_erdos_renyi(n, m, rng);
-        auto r = run_elkin_mst(g, ElkinOptions{});
+        auto r = run_elkin_mst(g, elkin_opts);
         double bound = message_bound(n, m);
         dens_table.new_row()
             .add(static_cast<std::uint64_t>(n))

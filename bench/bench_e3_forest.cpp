@@ -6,6 +6,8 @@
 
 #include <iostream>
 
+#include "dmst/sim/engine.h"
+
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/core/forest_stats.h"
 #include "dmst/exp/workloads.h"
@@ -21,12 +23,15 @@ int main(int argc, char** argv)
     args.define("n", "1024", "graph size");
     args.define("seed", "3", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
     const std::size_t n = args.get_int("n");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -36,7 +41,7 @@ int main(int argc, char** argv)
     for (const char* family : {"er", "grid"}) {
         auto g = make_workload(family, n, seed);
         for (std::uint64_t k = 2; k <= 256 && k <= n / 4; k *= 4) {
-            auto r = run_controlled_ghs(g, GhsOptions{.k = k});
+            auto r = run_controlled_ghs(g, GhsOptions{.k = k, .engine = eng, .threads = threads});
             auto stats = analyze_forest(g, r.parent_port, r.fragment_id);
             std::uint64_t frag_bound = std::max<std::uint64_t>(1, 2 * n / k);
             std::uint64_t height_bound =

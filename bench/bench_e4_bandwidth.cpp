@@ -4,6 +4,8 @@
 // Sweeps b on fixed low-diameter and high-diameter graphs.
 
 #include <cmath>
+
+#include "dmst/sim/engine.h"
 #include <iostream>
 
 #include "dmst/core/elkin_mst.h"
@@ -21,12 +23,15 @@ int main(int argc, char** argv)
     args.define("n", "1024", "graph size");
     args.define("seed", "4", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
     const std::size_t n = args.get_int("n");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -36,7 +41,13 @@ int main(int argc, char** argv)
         auto g = make_workload(family, n, seed);
         auto d = hop_diameter_estimate(g);
         for (int b : {1, 2, 4, 8, 16}) {
-            auto r = run_elkin_mst(g, ElkinOptions{.bandwidth = b});
+            auto r = run_elkin_mst(g, [&] {
+                ElkinOptions o;
+                o.bandwidth = b;
+                o.engine = eng;
+                o.threads = threads;
+                return o;
+            }());
             double bound =
                 (static_cast<double>(d) +
                  std::sqrt(static_cast<double>(n) / b)) *

@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "dmst/sim/engine.h"
+
 #include "dmst/core/elkin_mst.h"
 #include "dmst/graph/generators.h"
 #include "dmst/graph/metrics.h"
@@ -25,12 +27,18 @@ int main(int argc, char** argv)
     args.define("max_cliques", "128", "largest chain length in the sweep");
     args.define("seed", "5", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
+    ElkinOptions elkin_opts;
+    elkin_opts.engine = eng;
+    elkin_opts.threads = threads;
     const std::size_t max_cliques = args.get_int("max_cliques");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -43,9 +51,13 @@ int main(int argc, char** argv)
         const std::size_t n = g.vertex_count();
         auto d = hop_diameter_estimate(g);
 
-        auto auto_k = run_elkin_mst(g, ElkinOptions{});
+        auto auto_k = run_elkin_mst(g, elkin_opts);
         auto forced =
-            run_elkin_mst(g, ElkinOptions{.k_override = isqrt(n)});
+            [&] {
+                ElkinOptions o = elkin_opts;
+                o.k_override = isqrt(n);
+                return run_elkin_mst(g, o);
+            }();
 
         table.new_row()
             .add(static_cast<std::uint64_t>(n))

@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "dmst/sim/engine.h"
+
 #include "dmst/core/elkin_mst.h"
 #include "dmst/core/pipeline_mst.h"
 #include "dmst/core/sync_boruvka.h"
@@ -26,12 +28,21 @@ int main(int argc, char** argv)
     args.define("n", "1024", "graph size");
     args.define("seed", "6", "workload seed");
     args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
     try {
         args.parse(argc, argv);
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
     }
+
+    const auto [eng, threads] = engine_from_args(args);
+    ElkinOptions elkin_opts;
+    elkin_opts.engine = eng;
+    elkin_opts.threads = threads;
+    PipelineMstOptions gkp_opts;
+    gkp_opts.engine = eng;
+    gkp_opts.threads = threads;
     const std::size_t n = args.get_int("n");
     const std::uint64_t seed = args.get_int("seed");
 
@@ -41,9 +52,10 @@ int main(int argc, char** argv)
         auto g = make_workload(family, n, seed);
         auto d = hop_diameter_estimate(g);
 
-        auto elkin = run_elkin_mst(g, ElkinOptions{});
-        auto gkp = run_pipeline_mst(g, {});
-        auto boruvka = run_sync_boruvka(g);
+        auto elkin = run_elkin_mst(g, elkin_opts);
+        auto gkp = run_pipeline_mst(g, gkp_opts);
+        auto boruvka = run_sync_boruvka(
+            g, SyncBoruvkaOptions{.engine = eng, .threads = threads});
         if (elkin.mst_edges != gkp.mst_edges ||
             elkin.mst_edges != boruvka.mst_edges) {
             std::cerr << "FATAL: algorithms disagree on " << family << "\n";

@@ -8,6 +8,8 @@
 #include "dmst/core/elkin_mst.h"
 #include "dmst/graph/generators.h"
 #include "dmst/seq/mst.h"
+#include "dmst/sim/engine.h"
+#include "dmst/sim/parallel_network.h"
 #include "dmst/util/rng.h"
 
 namespace dmst {
@@ -79,6 +81,39 @@ void BM_SimulatorFlood(benchmark::State& state)
                             static_cast<std::int64_t>(g.vertex_count()));
 }
 BENCHMARK(BM_SimulatorFlood)->Range(8, 64);
+
+// Engine round-throughput comparison on a dense-ish graph at scale: the
+// acceptance bar for the sharded engine is >= 2x vertex-round throughput
+// over serial at n >= 50k on a multi-core host. args: {n, threads};
+// threads == 0 selects the serial reference engine.
+void BM_EngineRoundThroughput(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const int threads = static_cast<int>(state.range(1));
+    Rng rng(7);
+    auto g = gen_erdos_renyi(n, 4 * n, rng);
+    std::uint64_t rounds = 0;
+    for (auto _ : state) {
+        NetConfig config;
+        config.engine = threads == 0 ? Engine::Serial : Engine::Parallel;
+        config.threads = threads;
+        auto net = make_network(g, config);
+        net->init([](VertexId) { return std::make_unique<FloodProcess>(); });
+        RunStats stats = net->run();
+        rounds = stats.rounds;
+        benchmark::DoNotOptimize(stats.messages);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.vertex_count()) *
+                            static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_EngineRoundThroughput)
+    ->Args({50'000, 0})
+    ->Args({50'000, 1})
+    ->Args({50'000, 2})
+    ->Args({50'000, 4})
+    ->Args({50'000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 // End-to-end wall-clock of the full Elkin run (simulation cost, not model
 // rounds).

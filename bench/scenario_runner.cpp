@@ -1,0 +1,90 @@
+// Scenario runner CLI: sweeps a (family x n x bandwidth x engine x
+// threads) grid through one algorithm and emits one JSON object per cell
+// (JSON Lines on stdout or --json=FILE). The shared harness behind the
+// bench matrix and the CI smoke run.
+//
+//   scenario_runner --algo=elkin --families=er,grid --sizes=256,1024
+//       --engines=serial,parallel --threads=1,2,8 --json=-
+
+#include <fstream>
+#include <iostream>
+
+#include "dmst/sim/engine.h"
+#include "dmst/sim/scenario.h"
+#include "dmst/util/cli.h"
+
+using namespace dmst;
+
+int main(int argc, char** argv)
+{
+    Args args;
+    args.define("algo", "elkin", "algorithm: elkin|pipeline|boruvka|ghs");
+    args.define("families", "er", "comma list of workload families");
+    args.define("sizes", "256", "comma list of graph sizes");
+    args.define("bandwidths", "1", "comma list of CONGEST bandwidths");
+    args.define("engines", "serial", "comma list: serial,parallel");
+    args.define("threads", "0",
+                "comma list of parallel worker counts (0 = hardware)");
+    args.define("seed", "1", "workload seed");
+    args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
+    args.define("verify", "true", "cross-check output against Kruskal");
+    args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
+    try {
+        args.parse(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n" << args.help();
+        return 1;
+    }
+
+    ScenarioSpec spec;
+    try {
+        spec.algorithm = args.get("algo");
+        spec.families = split_list(args.get("families"));
+        spec.sizes.clear();
+        for (std::int64_t n : split_int_list(args.get("sizes")))
+            spec.sizes.push_back(static_cast<std::size_t>(n));
+        spec.bandwidths.clear();
+        for (std::int64_t b : split_int_list(args.get("bandwidths")))
+            spec.bandwidths.push_back(static_cast<int>(b));
+        spec.engines.clear();
+        for (const std::string& name : split_list(args.get("engines")))
+            spec.engines.push_back(parse_engine(name));
+        spec.thread_counts.clear();
+        for (std::int64_t t : split_int_list(args.get("threads")))
+            spec.thread_counts.push_back(static_cast<int>(t));
+        spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+        spec.ghs_k = static_cast<std::uint64_t>(args.get_int("ghs_k"));
+        spec.verify = args.get_bool("verify");
+    } catch (const std::exception& e) {
+        std::cerr << "bad flag value: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    const std::string json = args.get("json");
+    if (json != "-") {
+        file.open(json);
+        if (!file) {
+            std::cerr << "cannot open " << json << " for writing\n";
+            return 1;
+        }
+        out = &file;
+    }
+
+    bool all_verified = true;
+    try {
+        run_scenarios(spec, [&](const ScenarioCell& cell) {
+            *out << cell_json(cell) << "\n";
+            if (cell.verify_ran && !cell.verified) {
+                all_verified = false;
+                std::cerr << "VERIFICATION FAILED: " << cell_json(cell)
+                          << "\n";
+            }
+        });
+    } catch (const std::exception& e) {
+        std::cerr << "scenario sweep failed: " << e.what() << "\n";
+        return 1;
+    }
+    return all_verified ? 0 : 2;
+}

@@ -6,134 +6,26 @@
 
 namespace dmst {
 
-// ---------------------------------------------------------------- Context
-
-std::size_t Context::n() const
-{
-    return net_->graph_.vertex_count();
-}
-
-std::uint64_t Context::round() const
-{
-    return net_->round_;
-}
-
-int Context::bandwidth() const
-{
-    return net_->config_.bandwidth;
-}
-
-std::size_t Context::degree() const
-{
-    return net_->graph_.degree(vertex_);
-}
-
-Weight Context::weight(std::size_t port) const
-{
-    return net_->graph_.weight(vertex_, port);
-}
-
-VertexId Context::neighbor_id(std::size_t port) const
-{
-    DMST_ASSERT_MSG(net_->config_.knowledge == Knowledge::KT1,
-                    "neighbor ids are not available in the clean network model (KT0)");
-    return net_->graph_.neighbor(vertex_, port);
-}
-
-const std::vector<Incoming>& Context::inbox() const
-{
-    return net_->inboxes_[vertex_];
-}
-
-void Context::send(std::size_t port, Message msg)
-{
-    Network& net = *net_;
-    DMST_ASSERT_MSG(port < degree(), "send: port out of range");
-    const std::size_t size = msg.size_words();
-    const std::size_t budget =
-        kWordsPerUnit * static_cast<std::size_t>(net.config_.bandwidth);
-    std::size_t& used = net.words_this_round_[vertex_][port];
-    DMST_ASSERT_MSG(used + size <= budget,
-                    "per-edge bandwidth budget exceeded (CONGEST violation)");
-    used += size;
-
-    VertexId target = net.graph_.neighbor(vertex_, port);
-    std::size_t arrival_port = net.reverse_port(vertex_, port);
-    if (net.config_.record_per_edge)
-        ++net.stats_.messages_per_edge[net.graph_.edge_id(vertex_, port)];
-    net.next_inboxes_[target].push_back(Incoming{arrival_port, std::move(msg)});
-    ++net.in_flight_;
-    ++net.round_messages_;
-    net.stats_.messages += 1;
-    net.stats_.words += size;
-}
-
-// ---------------------------------------------------------------- Network
-
 Network::Network(const WeightedGraph& g, NetConfig config)
-    : graph_(g), config_(config)
+    : NetworkBase(g, config)
 {
-    DMST_ASSERT(config_.bandwidth >= 1);
-    const std::size_t n = graph_.vertex_count();
-    inboxes_.resize(n);
-    next_inboxes_.resize(n);
-    words_this_round_.resize(n);
-    for (VertexId v = 0; v < n; ++v)
-        words_this_round_[v].assign(graph_.degree(v), 0);
+    next_inboxes_.resize(graph_.vertex_count());
+}
 
-    // Precompute reverse ports: the port at which a message sent by v via
-    // its port p arrives at the neighbor.
-    reverse_port_.resize(n);
-    for (VertexId v = 0; v < n; ++v)
-        reverse_port_[v].assign(graph_.degree(v), 0);
+void Network::send_from(VertexId from, std::size_t port, Message msg)
+{
+    const std::size_t size = msg.size_words();
+    charge_bandwidth(from, port, size);
+
+    VertexId target = graph_.neighbor(from, port);
+    std::size_t arrival_port = reverse_port(from, port);
     if (config_.record_per_edge)
-        stats_.messages_per_edge.assign(graph_.edge_count(), 0);
-    std::vector<std::size_t> seen(n, 0);
-    // For each vertex u and each of its ports q, record that edge_id ->
-    // (u, q); then match from the other side.
-    std::vector<std::pair<std::size_t, std::size_t>> by_edge(graph_.edge_count(),
-                                                             {0, 0});
-    std::vector<bool> first_side(graph_.edge_count(), true);
-    for (VertexId v = 0; v < n; ++v) {
-        for (std::size_t p = 0; p < graph_.degree(v); ++p) {
-            EdgeId e = graph_.edge_id(v, p);
-            if (first_side[e]) {
-                by_edge[e] = {v, p};
-                first_side[e] = false;
-            } else {
-                auto [u, q] = by_edge[e];
-                reverse_port_[v][p] = q;
-                reverse_port_[u][q] = p;
-            }
-        }
-    }
-    (void)seen;
-}
-
-void Network::init(const Factory& factory)
-{
-    DMST_ASSERT_MSG(processes_.empty(), "init() called twice");
-    const std::size_t n = graph_.vertex_count();
-    processes_.reserve(n);
-    for (VertexId v = 0; v < n; ++v) {
-        processes_.push_back(factory(v));
-        DMST_ASSERT_MSG(processes_.back() != nullptr, "factory returned null process");
-    }
-}
-
-std::size_t Network::reverse_port(VertexId v, std::size_t port) const
-{
-    return reverse_port_[v][port];
-}
-
-bool Network::quiescent() const
-{
-    if (in_flight_ > 0)
-        return false;
-    for (const auto& p : processes_)
-        if (!p->done())
-            return false;
-    return true;
+        ++stats_.messages_per_edge[graph_.edge_id(from, port)];
+    next_inboxes_[target].push_back(Incoming{arrival_port, std::move(msg)});
+    ++in_flight_;
+    ++round_messages_;
+    stats_.messages += 1;
+    stats_.words += size;
 }
 
 bool Network::step()
@@ -145,10 +37,10 @@ bool Network::step()
     ++round_;
     round_messages_ = 0;
     for (VertexId v = 0; v < graph_.vertex_count(); ++v)
-        std::fill(words_this_round_[v].begin(), words_this_round_[v].end(), 0);
+        reset_round_words(v);
 
     for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
-        Context ctx(*this, v);
+        Context ctx = context_for(v);
         processes_[v]->on_round(ctx);
     }
     deliver_outboxes();
@@ -176,27 +68,6 @@ void Network::deliver_outboxes()
     }
     DMST_ASSERT(consumed <= in_flight_);
     in_flight_ -= consumed;
-}
-
-RunStats Network::run()
-{
-    while (step()) {
-        DMST_ASSERT_MSG(round_ <= config_.max_rounds,
-                        "round limit exceeded: protocol appears stuck");
-    }
-    return stats_;
-}
-
-Process& Network::process(VertexId v)
-{
-    DMST_ASSERT(v < processes_.size());
-    return *processes_[v];
-}
-
-const Process& Network::process(VertexId v) const
-{
-    DMST_ASSERT(v < processes_.size());
-    return *processes_[v];
 }
 
 }  // namespace dmst

@@ -1,133 +1,28 @@
 #ifndef DMST_CONGEST_NETWORK_H
 #define DMST_CONGEST_NETWORK_H
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <vector>
-
-#include "dmst/congest/message.h"
-#include "dmst/graph/graph.h"
+#include "dmst/congest/network_base.h"
 
 namespace dmst {
 
-class Network;
-
-// Initial knowledge model. KT0 is the paper's clean network model: a vertex
-// knows its own id, its port count, and the weight of each incident edge —
-// but not its neighbors' ids. KT1 additionally exposes neighbor ids.
-enum class Knowledge { KT0, KT1 };
-
-struct NetConfig {
-    int bandwidth = 1;  // the b of CONGEST(b log n); >= 1
-    Knowledge knowledge = Knowledge::KT0;
-    std::uint64_t max_rounds = 50'000'000;  // runaway guard; run() throws past it
-    bool record_per_round = false;          // keep a per-round message trace
-    bool record_per_edge = false;           // keep a per-edge message histogram
-};
-
-// Counters for a completed (or in-progress) run.
-struct RunStats {
-    std::uint64_t rounds = 0;
-    std::uint64_t messages = 0;  // number of Message sends
-    std::uint64_t words = 0;     // total 64-bit words sent (tags included)
-    std::vector<std::uint64_t> messages_per_round;  // only if record_per_round
-    // Messages per edge (both directions summed), indexed by EdgeId; only
-    // if record_per_edge. Exposes the congestion profile of a protocol —
-    // e.g. how much hotter the root-adjacent τ edges run than the rest.
-    std::vector<std::uint64_t> messages_per_edge;
-};
-
-// The per-round view a process gets of the world. Enforces the CONGEST
-// model: only local information is visible, and sends beyond the per-edge
-// bandwidth budget throw InvariantViolation.
-class Context {
+// Single-threaded reference engine. Deterministic: vertices are stepped in
+// id order and messages are delivered in send order per port. The parallel
+// engine (sim/parallel_network.h) is defined to be bit-identical to this
+// one; when in doubt, this is the model's semantics.
+class Network : public NetworkBase {
 public:
-    VertexId id() const { return vertex_; }
-    std::size_t n() const;
-    std::uint64_t round() const;
-    int bandwidth() const;
-
-    std::size_t degree() const;
-    Weight weight(std::size_t port) const;
-
-    // Neighbor id on a port; throws InvariantViolation under KT0.
-    VertexId neighbor_id(std::size_t port) const;
-
-    // Messages sent to this vertex in the previous round, ordered by port.
-    const std::vector<Incoming>& inbox() const;
-
-    // Queues a message for delivery next round. Throws InvariantViolation
-    // if the per-edge-per-direction word budget for this round is exceeded.
-    void send(std::size_t port, Message msg);
-
-private:
-    friend class Network;
-    Context(Network& net, VertexId vertex) : net_(&net), vertex_(vertex) {}
-
-    Network* net_;
-    VertexId vertex_;
-};
-
-// A per-vertex state machine. on_round() is called once per round for every
-// vertex (inbox may be empty). The run ends when every process reports
-// done() and no messages are in flight.
-class Process {
-public:
-    virtual ~Process() = default;
-    virtual void on_round(Context& ctx) = 0;
-    virtual bool done() const = 0;
-};
-
-// Synchronous message-passing network over a weighted graph. Deterministic:
-// vertices are stepped in id order and messages are delivered in send order
-// per port.
-class Network {
-public:
-    using Factory = std::function<std::unique_ptr<Process>(VertexId)>;
-
     Network(const WeightedGraph& g, NetConfig config);
 
-    // Creates one process per vertex. Must be called exactly once.
-    void init(const Factory& factory);
+    bool step() override;
 
-    // Executes one synchronous round. Returns false if the network was
-    // already quiescent (all done, nothing in flight) and no round ran.
-    bool step();
-
-    // Runs rounds until quiescence. Throws InvariantViolation if
-    // config.max_rounds is exceeded (a stuck protocol, not a user error).
-    RunStats run();
-
-    bool quiescent() const;
-
-    Process& process(VertexId v);
-    const Process& process(VertexId v) const;
-
-    const RunStats& stats() const { return stats_; }
-    const WeightedGraph& graph() const { return graph_; }
-    const NetConfig& config() const { return config_; }
-
-    // Port at which a message sent by v through its port `port` arrives.
-    std::size_t reverse_port(VertexId v, std::size_t port) const;
+protected:
+    void send_from(VertexId from, std::size_t port, Message msg) override;
 
 private:
-    friend class Context;
-
     void deliver_outboxes();
 
-    const WeightedGraph& graph_;
-    NetConfig config_;
-    std::vector<std::unique_ptr<Process>> processes_;
-    std::vector<std::vector<Incoming>> inboxes_;       // delivered this round
     std::vector<std::vector<Incoming>> next_inboxes_;  // staged for next round
-    // Words sent this round per (vertex, port), for bandwidth enforcement.
-    std::vector<std::vector<std::size_t>> words_this_round_;
-    std::vector<std::vector<std::size_t>> reverse_port_;
-    std::uint64_t round_ = 0;
-    std::uint64_t in_flight_ = 0;
     std::uint64_t round_messages_ = 0;
-    RunStats stats_;
 };
 
 }  // namespace dmst

@@ -1,0 +1,184 @@
+#include "dmst/congest/network_base.h"
+
+#include <sstream>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+// ---------------------------------------------------------------- Context
+
+std::size_t Context::n() const
+{
+    return net_->graph_.vertex_count();
+}
+
+std::uint64_t Context::round() const
+{
+    return net_->round_;
+}
+
+int Context::bandwidth() const
+{
+    return net_->config_.bandwidth;
+}
+
+std::size_t Context::degree() const
+{
+    return net_->graph_.degree(vertex_);
+}
+
+Weight Context::weight(std::size_t port) const
+{
+    return net_->graph_.weight(vertex_, port);
+}
+
+VertexId Context::neighbor_id(std::size_t port) const
+{
+    DMST_ASSERT_MSG(net_->config_.knowledge == Knowledge::KT1,
+                    "neighbor ids are not available in the clean network model (KT0)");
+    return net_->graph_.neighbor(vertex_, port);
+}
+
+const std::vector<Incoming>& Context::inbox() const
+{
+    return net_->inboxes_[vertex_];
+}
+
+void Context::send(std::size_t port, Message msg)
+{
+    DMST_ASSERT_MSG(port < degree(), "send: port out of range");
+    net_->send_from(vertex_, port, std::move(msg));
+}
+
+// ------------------------------------------------------------ NetworkBase
+
+NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
+    : graph_(g), config_(config)
+{
+    DMST_ASSERT(config_.bandwidth >= 1);
+    const std::size_t n = graph_.vertex_count();
+    inboxes_.resize(n);
+    words_this_round_.resize(n);
+    for (VertexId v = 0; v < n; ++v)
+        words_this_round_[v].assign(graph_.degree(v), 0);
+
+    // Precompute reverse ports: the port at which a message sent by v via
+    // its port p arrives at the neighbor.
+    reverse_port_.resize(n);
+    for (VertexId v = 0; v < n; ++v)
+        reverse_port_[v].assign(graph_.degree(v), 0);
+    if (config_.record_per_edge)
+        stats_.messages_per_edge.assign(graph_.edge_count(), 0);
+    // For each vertex u and each of its ports q, record that edge_id ->
+    // (u, q); then match from the other side.
+    std::vector<std::pair<std::size_t, std::size_t>> by_edge(graph_.edge_count(),
+                                                             {0, 0});
+    std::vector<bool> first_side(graph_.edge_count(), true);
+    for (VertexId v = 0; v < n; ++v) {
+        for (std::size_t p = 0; p < graph_.degree(v); ++p) {
+            EdgeId e = graph_.edge_id(v, p);
+            if (first_side[e]) {
+                by_edge[e] = {v, p};
+                first_side[e] = false;
+            } else {
+                auto [u, q] = by_edge[e];
+                reverse_port_[v][p] = q;
+                reverse_port_[u][q] = p;
+            }
+        }
+    }
+}
+
+void NetworkBase::init(const Factory& factory)
+{
+    DMST_ASSERT_MSG(processes_.empty(), "init() called twice");
+    const std::size_t n = graph_.vertex_count();
+    processes_.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+        processes_.push_back(factory(v));
+        DMST_ASSERT_MSG(processes_.back() != nullptr, "factory returned null process");
+    }
+}
+
+std::size_t NetworkBase::reverse_port(VertexId v, std::size_t port) const
+{
+    return reverse_port_[v][port];
+}
+
+void NetworkBase::charge_bandwidth(VertexId from, std::size_t port,
+                                   std::size_t size)
+{
+    const std::size_t budget =
+        kWordsPerUnit * static_cast<std::size_t>(config_.bandwidth);
+    std::size_t& used = words_this_round_[from][port];
+    DMST_ASSERT_MSG(used + size <= budget,
+                    "per-edge bandwidth budget exceeded (CONGEST violation)");
+    used += size;
+}
+
+void NetworkBase::reset_round_words(VertexId v)
+{
+    std::fill(words_this_round_[v].begin(), words_this_round_[v].end(), 0);
+}
+
+bool NetworkBase::quiescent() const
+{
+    if (in_flight_ > 0)
+        return false;
+    for (const auto& p : processes_)
+        if (!p->done())
+            return false;
+    return true;
+}
+
+void NetworkBase::throw_round_limit() const
+{
+    std::ostringstream oss;
+    oss << "round limit exceeded: protocol appears stuck after " << round_
+        << " rounds (max_rounds=" << config_.max_rounds << "); " << in_flight_
+        << " messages in flight";
+    std::size_t not_done = 0;
+    std::vector<VertexId> sample;
+    for (VertexId v = 0; v < processes_.size(); ++v) {
+        if (!processes_[v]->done()) {
+            ++not_done;
+            if (sample.size() < 8)
+                sample.push_back(v);
+        }
+    }
+    oss << "; " << not_done << " of " << processes_.size()
+        << " processes not done";
+    if (!sample.empty()) {
+        oss << " (first ids:";
+        for (VertexId v : sample)
+            oss << " " << v;
+        if (not_done > sample.size())
+            oss << " ...";
+        oss << ")";
+    }
+    throw InvariantViolation(oss.str());
+}
+
+RunStats NetworkBase::run()
+{
+    while (step()) {
+        if (round_ > config_.max_rounds)
+            throw_round_limit();
+    }
+    return stats_;
+}
+
+Process& NetworkBase::process(VertexId v)
+{
+    DMST_ASSERT(v < processes_.size());
+    return *processes_[v];
+}
+
+const Process& NetworkBase::process(VertexId v) const
+{
+    DMST_ASSERT(v < processes_.size());
+    return *processes_[v];
+}
+
+}  // namespace dmst

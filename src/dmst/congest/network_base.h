@@ -1,0 +1,167 @@
+#ifndef DMST_CONGEST_NETWORK_BASE_H
+#define DMST_CONGEST_NETWORK_BASE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dmst/congest/message.h"
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+class NetworkBase;
+
+// Initial knowledge model. KT0 is the paper's clean network model: a vertex
+// knows its own id, its port count, and the weight of each incident edge —
+// but not its neighbors' ids. KT1 additionally exposes neighbor ids.
+enum class Knowledge { KT0, KT1 };
+
+// Which simulation engine executes the rounds. Both implement NetworkBase
+// and are observably identical: same RunStats, same delivery order, same
+// process state evolution. Serial steps vertices on one thread; Parallel
+// shards vertices over a worker pool (src/dmst/sim/).
+enum class Engine { Serial, Parallel };
+
+struct NetConfig {
+    int bandwidth = 1;  // the b of CONGEST(b log n); >= 1
+    Knowledge knowledge = Knowledge::KT0;
+    std::uint64_t max_rounds = 50'000'000;  // runaway guard; run() throws past it
+    bool record_per_round = false;          // keep a per-round message trace
+    bool record_per_edge = false;           // keep a per-edge message histogram
+    Engine engine = Engine::Serial;         // which engine make_network builds
+    int threads = 0;  // parallel engine worker count; 0 = hardware concurrency
+};
+
+// Counters for a completed (or in-progress) run.
+struct RunStats {
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;  // number of Message sends
+    std::uint64_t words = 0;     // total 64-bit words sent (tags included)
+    std::vector<std::uint64_t> messages_per_round;  // only if record_per_round
+    // Messages per edge (both directions summed), indexed by EdgeId; only
+    // if record_per_edge. Exposes the congestion profile of a protocol —
+    // e.g. how much hotter the root-adjacent τ edges run than the rest.
+    std::vector<std::uint64_t> messages_per_edge;
+};
+
+// The per-round view a process gets of the world. Enforces the CONGEST
+// model: only local information is visible, and sends beyond the per-edge
+// bandwidth budget throw InvariantViolation.
+class Context {
+public:
+    VertexId id() const { return vertex_; }
+    std::size_t n() const;
+    std::uint64_t round() const;
+    int bandwidth() const;
+
+    std::size_t degree() const;
+    Weight weight(std::size_t port) const;
+
+    // Neighbor id on a port; throws InvariantViolation under KT0.
+    VertexId neighbor_id(std::size_t port) const;
+
+    // Messages sent to this vertex in the previous round, ordered by port.
+    const std::vector<Incoming>& inbox() const;
+
+    // Queues a message for delivery next round. Throws InvariantViolation
+    // if the per-edge-per-direction word budget for this round is exceeded.
+    void send(std::size_t port, Message msg);
+
+private:
+    friend class NetworkBase;
+    Context(NetworkBase& net, VertexId vertex) : net_(&net), vertex_(vertex) {}
+
+    NetworkBase* net_;
+    VertexId vertex_;
+};
+
+// A per-vertex state machine. on_round() is called once per round for every
+// vertex (inbox may be empty). The run ends when every process reports
+// done() and no messages are in flight.
+class Process {
+public:
+    virtual ~Process() = default;
+    virtual void on_round(Context& ctx) = 0;
+    virtual bool done() const = 0;
+};
+
+// Synchronous message-passing network over a weighted graph: the engine
+// interface shared by the serial Network (congest/) and the sharded
+// ParallelNetwork (sim/). The contract every engine must keep, because the
+// protocols and tests rely on it for determinism:
+//
+//   - vertices are stepped in id order (or observably so),
+//   - a vertex's inbox holds last round's messages sorted by arrival port,
+//     ties broken by (sender id, send order),
+//   - per-(edge, direction) bandwidth is charged identically,
+//   - RunStats counters are identical after every completed round.
+class NetworkBase {
+public:
+    using Factory = std::function<std::unique_ptr<Process>(VertexId)>;
+
+    virtual ~NetworkBase() = default;
+
+    // Creates one process per vertex. Must be called exactly once.
+    void init(const Factory& factory);
+
+    // Executes one synchronous round. Returns false if the network was
+    // already quiescent (all done, nothing in flight) and no round ran.
+    virtual bool step() = 0;
+
+    // Runs rounds until quiescence. Throws InvariantViolation if
+    // config.max_rounds is exceeded (a stuck protocol, not a user error);
+    // the message reports the round count and which processes are not done.
+    RunStats run();
+
+    bool quiescent() const;
+
+    Process& process(VertexId v);
+    const Process& process(VertexId v) const;
+
+    const RunStats& stats() const { return stats_; }
+    const WeightedGraph& graph() const { return graph_; }
+    const NetConfig& config() const { return config_; }
+
+    // Port at which a message sent by v through its port `port` arrives.
+    std::size_t reverse_port(VertexId v, std::size_t port) const;
+
+protected:
+    NetworkBase(const WeightedGraph& g, NetConfig config);
+
+    // Engine hook behind Context::send: stage `msg` from `from` via `port`
+    // for delivery next round, charging bandwidth and counters.
+    virtual void send_from(VertexId from, std::size_t port, Message msg) = 0;
+
+    Context context_for(VertexId v) { return Context(*this, v); }
+
+    // Charges `size` words against (from, port) for this round; throws
+    // InvariantViolation past the per-edge-per-direction budget.
+    void charge_bandwidth(VertexId from, std::size_t port, std::size_t size);
+
+    void reset_round_words(VertexId v);
+
+    // Builds the satellite-rich runaway diagnostic and throws.
+    [[noreturn]] void throw_round_limit() const;
+
+    const WeightedGraph& graph_;
+    NetConfig config_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<std::vector<Incoming>> inboxes_;  // delivered this round
+    // Words sent this round per (vertex, port), for bandwidth enforcement.
+    // Only the shard stepping `vertex` ever touches row `vertex`, so the
+    // parallel engine shares this accounting without synchronization.
+    std::vector<std::vector<std::size_t>> words_this_round_;
+    std::vector<std::vector<std::size_t>> reverse_port_;
+    std::uint64_t round_ = 0;
+    std::uint64_t in_flight_ = 0;
+    RunStats stats_;
+
+private:
+    friend class Context;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_CONGEST_NETWORK_BASE_H

@@ -1,5 +1,7 @@
 #include "dmst/core/controlled_ghs.h"
 
+#include "dmst/sim/engine.h"
+
 #include <algorithm>
 
 #include "dmst/proto/cv.h"
@@ -646,7 +648,10 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
 {
     NetConfig config;
     config.bandwidth = opts.bandwidth;
-    Network net(g, config);
+    config.engine = opts.engine;
+    config.threads = opts.threads;
+    std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
+    NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
     net.init([&](VertexId v) { return std::make_unique<GhsProcess>(v, n, opts.k); });
     RunStats stats = net.run();

@@ -242,6 +242,8 @@ struct MstForestResult {
 struct GhsOptions {
     std::uint64_t k = 2;
     int bandwidth = 1;
+    Engine engine = Engine::Serial;
+    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
 };
 
 MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opts);

@@ -1,5 +1,7 @@
 #include "dmst/core/elkin_mst.h"
 
+#include "dmst/sim/engine.h"
+
 #include <algorithm>
 #include <map>
 #include <stdexcept>
@@ -442,7 +444,10 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     config.bandwidth = opts.bandwidth;
     config.record_per_round = true;  // enables the phase-1/phase-2 split
     config.record_per_edge = opts.record_per_edge;
-    Network net(g, config);
+    config.engine = opts.engine;
+    config.threads = opts.threads;
+    std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
+    NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
     net.init([&](VertexId v) { return std::make_unique<ElkinProcess>(v, n, opts); });
     RunStats stats = net.run();

@@ -57,6 +57,11 @@ struct ElkinOptions {
     // Record the per-edge message histogram (stats.messages_per_edge);
     // used by the congestion experiment E11.
     bool record_per_edge = false;
+    // Simulation engine (serial reference or sharded parallel) and, for the
+    // parallel engine, the worker count (0 = hardware concurrency). The
+    // choice affects wall-clock only; results are bit-identical.
+    Engine engine = Engine::Serial;
+    int threads = 0;
 };
 
 struct DistributedMstResult {

@@ -1,5 +1,7 @@
 #include "dmst/core/pipeline_mst.h"
 
+#include "dmst/sim/engine.h"
+
 #include <map>
 #include <stdexcept>
 
@@ -181,7 +183,10 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     NetConfig config;
     config.bandwidth = opts.bandwidth;
     config.record_per_round = true;  // enables the phase-1/phase-2 split
-    Network net(g, config);
+    config.engine = opts.engine;
+    config.threads = opts.threads;
+    std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
+    NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
     net.init([&](VertexId v) {
         return std::make_unique<PipelineMstProcess>(v, n, opts);

@@ -36,6 +36,8 @@ struct PipelineMstOptions {
     int bandwidth = 1;
     VertexId root = 0;
     std::optional<std::uint64_t> k_override;
+    Engine engine = Engine::Serial;
+    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
 };
 
 struct PipelineMstResult {

@@ -1,5 +1,7 @@
 #include "dmst/core/sync_boruvka.h"
 
+#include "dmst/sim/engine.h"
+
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -255,7 +257,10 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
 
     NetConfig config;
     config.bandwidth = opts.bandwidth;
-    Network net(g, config);
+    config.engine = opts.engine;
+    config.threads = opts.threads;
+    std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
+    NetworkBase& net = *net_ptr;
     const std::size_t n = g.vertex_count();
     net.init([](VertexId v) { return std::make_unique<SyncBoruvkaProcess>(v); });
 

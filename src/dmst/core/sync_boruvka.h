@@ -106,6 +106,8 @@ struct SyncBoruvkaOptions {
     // Stop after this many phases even if several fragments remain
     // (0 = run to a single fragment). With a cap, mst_edges stays empty.
     int max_phases = 0;
+    Engine engine = Engine::Serial;
+    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
 };
 
 SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,

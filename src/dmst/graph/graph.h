@@ -1,8 +1,8 @@
 #ifndef DMST_GRAPH_GRAPH_H
 #define DMST_GRAPH_GRAPH_H
 
-#include <compare>
 #include <cstdint>
+#include <tuple>
 #include <vector>
 
 namespace dmst {
@@ -31,7 +31,18 @@ struct EdgeKey {
     VertexId a = 0;  // min endpoint
     VertexId b = 0;  // max endpoint
 
-    friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+    friend bool operator<(const EdgeKey& x, const EdgeKey& y)
+    {
+        return std::tie(x.w, x.a, x.b) < std::tie(y.w, y.a, y.b);
+    }
+    friend bool operator==(const EdgeKey& x, const EdgeKey& y)
+    {
+        return std::tie(x.w, x.a, x.b) == std::tie(y.w, y.a, y.b);
+    }
+    friend bool operator>(const EdgeKey& x, const EdgeKey& y) { return y < x; }
+    friend bool operator<=(const EdgeKey& x, const EdgeKey& y) { return !(y < x); }
+    friend bool operator>=(const EdgeKey& x, const EdgeKey& y) { return !(x < y); }
+    friend bool operator!=(const EdgeKey& x, const EdgeKey& y) { return !(x == y); }
 };
 
 EdgeKey edge_key(const Edge& e);

@@ -1,16 +1,16 @@
 #include "dmst/proto/cv.h"
 
 #include <algorithm>
-#include <bit>
 
 #include "dmst/util/assert.h"
+#include "dmst/util/intmath.h"
 
 namespace dmst {
 
 std::uint64_t cv_step(std::uint64_t own, std::uint64_t parent)
 {
     DMST_ASSERT_MSG(own != parent, "cv_step requires a proper coloring");
-    int j = std::countr_zero(own ^ parent);
+    int j = trailing_zeros(own ^ parent);
     return 2 * static_cast<std::uint64_t>(j) + ((own >> j) & 1);
 }
 
@@ -47,7 +47,7 @@ int cv_dct_iterations_bound(std::uint64_t n)
     while (max_color > 5) {
         // With colors <= C the differing bit index is at most floor(log2 C),
         // so the next maximum color is 2*floor(log2 C) + 1.
-        int bits = 63 - std::countl_zero(max_color);
+        int bits = floor_log2(max_color);
         max_color = 2 * static_cast<std::uint64_t>(bits) + 1;
         ++iterations;
     }

@@ -1,0 +1,53 @@
+#include "dmst/sim/engine.h"
+
+#include <stdexcept>
+
+#include "dmst/congest/network.h"
+#include "dmst/sim/parallel_network.h"
+#include "dmst/util/cli.h"
+
+namespace dmst {
+
+std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
+                                          const NetConfig& config)
+{
+    switch (config.engine) {
+        case Engine::Serial:
+            return std::make_unique<Network>(g, config);
+        case Engine::Parallel:
+            return std::make_unique<ParallelNetwork>(g, config);
+    }
+    throw std::invalid_argument("make_network: unknown engine");
+}
+
+Engine parse_engine(const std::string& name)
+{
+    if (name == "serial")
+        return Engine::Serial;
+    if (name == "parallel")
+        return Engine::Parallel;
+    throw std::invalid_argument("unknown engine '" + name +
+                                "' (expected serial|parallel)");
+}
+
+const char* engine_name(Engine engine)
+{
+    return engine == Engine::Serial ? "serial" : "parallel";
+}
+
+void define_engine_flags(Args& args)
+{
+    args.define("engine", "serial", "simulation engine: serial|parallel");
+    args.define("threads", "0",
+                "parallel engine workers (0 = hardware concurrency)");
+}
+
+EngineSelection engine_from_args(const Args& args)
+{
+    EngineSelection sel;
+    sel.engine = parse_engine(args.get("engine"));
+    sel.threads = static_cast<int>(args.get_int("threads"));
+    return sel;
+}
+
+}  // namespace dmst

@@ -1,0 +1,36 @@
+#ifndef DMST_SIM_ENGINE_H
+#define DMST_SIM_ENGINE_H
+
+#include <memory>
+#include <string>
+
+#include "dmst/congest/network_base.h"
+
+namespace dmst {
+
+// Builds the engine selected by config.engine: the serial reference Network
+// or the sharded ParallelNetwork (config.threads workers). Both honor the
+// NetworkBase contract and are bit-identical in observable behavior.
+std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
+                                          const NetConfig& config);
+
+// "serial" | "parallel" (case-sensitive); throws std::invalid_argument on
+// anything else. The inverse of engine_name, for CLI flags.
+Engine parse_engine(const std::string& name);
+const char* engine_name(Engine engine);
+
+class Args;
+
+// The shared --engine/--threads CLI surface of the bench binaries:
+// define_engine_flags declares both flags, engine_from_args reads them
+// back. Keeps every bench's engine selection identical.
+struct EngineSelection {
+    Engine engine = Engine::Serial;
+    int threads = 0;
+};
+void define_engine_flags(Args& args);
+EngineSelection engine_from_args(const Args& args);
+
+}  // namespace dmst
+
+#endif  // DMST_SIM_ENGINE_H

@@ -1,0 +1,170 @@
+#include "dmst/sim/parallel_network.h"
+
+#include <algorithm>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+ParallelNetwork::ParallelNetwork(const WeightedGraph& g, NetConfig config,
+                                 int shard_override)
+    : NetworkBase(g, config)
+{
+    threads_ = resolve_threads(config_.threads);
+    shards_ = shard_override > 0 ? shard_override : threads_;
+
+    const std::size_t n = graph_.vertex_count();
+    bounds_.resize(static_cast<std::size_t>(shards_) + 1);
+    for (int s = 0; s <= shards_; ++s)
+        bounds_[s] = static_cast<VertexId>(
+            n * static_cast<std::size_t>(s) / static_cast<std::size_t>(shards_));
+
+    shard_of_.resize(n);
+    for (int s = 0; s < shards_; ++s)
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            shard_of_[v] = s;
+
+    shard_states_.resize(static_cast<std::size_t>(shards_));
+    for (auto& st : shard_states_) {
+        st.out.resize(static_cast<std::size_t>(shards_));
+        if (config_.record_per_edge)
+            st.edge_hist.assign(graph_.edge_count(), 0);
+    }
+
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void ParallelNetwork::run_phase(const std::function<void(int)>& phase)
+{
+    if (pool_) {
+        pool_->run_jobs(shards_, phase);
+    } else {
+        for (int s = 0; s < shards_; ++s)
+            phase(s);
+    }
+}
+
+void ParallelNetwork::rethrow_shard_error()
+{
+    for (int s = 0; s < shards_; ++s) {
+        if (shard_states_[s].error) {
+            std::exception_ptr err = shard_states_[s].error;
+            for (auto& st : shard_states_)
+                st.error = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+void ParallelNetwork::send_from(VertexId from, std::size_t port, Message msg)
+{
+    const std::size_t size = msg.size_words();
+    charge_bandwidth(from, port, size);
+
+    ShardState& st = shard_states_[static_cast<std::size_t>(shard_of_[from])];
+    VertexId target = graph_.neighbor(from, port);
+    if (config_.record_per_edge) {
+        EdgeId e = graph_.edge_id(from, port);
+        if (st.edge_hist[e]++ == 0)
+            st.touched_edges.push_back(e);
+    }
+    st.out[static_cast<std::size_t>(shard_of_[target])].push_back(
+        Staged{target, static_cast<std::uint32_t>(reverse_port_[from][port]),
+               std::move(msg)});
+    ++st.messages;
+    st.words += size;
+}
+
+void ParallelNetwork::step_shard(int s)
+{
+    try {
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            reset_round_words(v);
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+            Context ctx = context_for(v);
+            processes_[v]->on_round(ctx);
+        }
+    } catch (...) {
+        shard_states_[static_cast<std::size_t>(s)].error =
+            std::current_exception();
+    }
+}
+
+void ParallelNetwork::deliver_shard(int s)
+{
+    ShardState& st = shard_states_[static_cast<std::size_t>(s)];
+    try {
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+            st.consumed += inboxes_[v].size();
+            inboxes_[v].clear();
+        }
+        // Source shards in ascending order reproduce the serial staging
+        // order: (sender id, send order).
+        for (int t = 0; t < shards_; ++t) {
+            auto& box = shard_states_[static_cast<std::size_t>(t)]
+                            .out[static_cast<std::size_t>(s)];
+            for (Staged& m : box)
+                inboxes_[m.target].push_back(
+                    Incoming{m.port, std::move(m.msg)});
+            box.clear();
+        }
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            std::stable_sort(inboxes_[v].begin(), inboxes_[v].end(),
+                             [](const Incoming& a, const Incoming& b) {
+                                 return a.port < b.port;
+                             });
+    } catch (...) {
+        st.error = std::current_exception();
+    }
+}
+
+void ParallelNetwork::fold_edge_histograms()
+{
+    // Coordinator-only (between phase barriers). Each shard lists the
+    // edges it touched this round, so the fold is O(sends), not O(m).
+    for (auto& st : shard_states_) {
+        for (EdgeId e : st.touched_edges) {
+            stats_.messages_per_edge[e] += st.edge_hist[e];
+            st.edge_hist[e] = 0;
+        }
+        st.touched_edges.clear();
+    }
+}
+
+bool ParallelNetwork::step()
+{
+    DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
+    if (quiescent())
+        return false;
+
+    ++round_;
+    run_phase([this](int s) { step_shard(s); });
+    rethrow_shard_error();
+    run_phase([this](int s) { deliver_shard(s); });
+    rethrow_shard_error();
+    if (config_.record_per_edge)
+        fold_edge_histograms();
+
+    std::uint64_t sent = 0;
+    std::uint64_t consumed = 0;
+    for (auto& st : shard_states_) {
+        sent += st.messages;
+        stats_.messages += st.messages;
+        stats_.words += st.words;
+        consumed += st.consumed;
+        st.messages = 0;
+        st.words = 0;
+        st.consumed = 0;
+    }
+    DMST_ASSERT(consumed <= in_flight_);
+    in_flight_ += sent;
+    in_flight_ -= consumed;
+
+    stats_.rounds = round_;
+    if (config_.record_per_round)
+        stats_.messages_per_round.push_back(sent);
+    return true;
+}
+
+}  // namespace dmst

@@ -1,0 +1,177 @@
+#include "dmst/sim/scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "dmst/core/controlled_ghs.h"
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/pipeline_mst.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/seq/mst.h"
+#include "dmst/sim/engine.h"
+#include "dmst/sim/thread_pool.h"
+
+namespace dmst {
+
+namespace {
+
+struct AlgoRun {
+    std::vector<EdgeId> edges;  // edges the algorithm selected
+    RunStats stats;
+};
+
+AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
+                      int bandwidth, Engine engine, int threads,
+                      std::uint64_t ghs_k)
+{
+    AlgoRun out;
+    if (algorithm == "elkin") {
+        ElkinOptions opts;
+        opts.bandwidth = bandwidth;
+        opts.engine = engine;
+        opts.threads = threads;
+        auto r = run_elkin_mst(g, opts);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    } else if (algorithm == "pipeline") {
+        PipelineMstOptions opts;
+        opts.bandwidth = bandwidth;
+        opts.engine = engine;
+        opts.threads = threads;
+        auto r = run_pipeline_mst(g, opts);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    } else if (algorithm == "boruvka") {
+        SyncBoruvkaOptions opts;
+        opts.bandwidth = bandwidth;
+        opts.engine = engine;
+        opts.threads = threads;
+        auto r = run_sync_boruvka(g, opts);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    } else if (algorithm == "ghs") {
+        GhsOptions opts;
+        opts.k = ghs_k;
+        opts.bandwidth = bandwidth;
+        opts.engine = engine;
+        opts.threads = threads;
+        auto r = run_controlled_ghs(g, opts);
+        // The forest is partial; gather edges straight from the port sets
+        // (collect_mst_edges would reject a non-spanning forest).
+        std::set<EdgeId> edges;
+        for (VertexId v = 0; v < g.vertex_count(); ++v)
+            for (std::size_t p : r.mst_ports[v])
+                edges.insert(g.edge_id(v, p));
+        out.edges.assign(edges.begin(), edges.end());
+        out.stats = std::move(r.stats);
+    } else {
+        throw std::invalid_argument(
+            "unknown algorithm '" + algorithm +
+            "' (expected elkin|pipeline|boruvka|ghs)");
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
+                                        const ScenarioCallback& on_cell)
+{
+    if (spec.families.empty() || spec.sizes.empty() ||
+        spec.bandwidths.empty() || spec.engines.empty() ||
+        spec.thread_counts.empty())
+        throw std::invalid_argument("run_scenarios: empty sweep dimension");
+
+    std::vector<ScenarioCell> cells;
+    for (const std::string& family : spec.families) {
+        for (std::size_t n : spec.sizes) {
+            WeightedGraph g = make_workload(family, n, spec.seed);
+            // The reference MST is per (family, n); reuse it across the
+            // bandwidth/engine/thread dimensions of the grid.
+            MstResult reference;
+            if (spec.verify)
+                reference = mst_kruskal(g);
+            std::set<EdgeId> reference_set(reference.edges.begin(),
+                                           reference.edges.end());
+            for (int bandwidth : spec.bandwidths) {
+                for (Engine engine : spec.engines) {
+                    const std::vector<int> serial_only = {1};
+                    const auto& threads_axis = engine == Engine::Serial
+                                                   ? serial_only
+                                                   : spec.thread_counts;
+                    for (int threads : threads_axis) {
+                        ScenarioCell cell;
+                        cell.algorithm = spec.algorithm;
+                        cell.family = family;
+                        cell.n = g.vertex_count();
+                        cell.m = g.edge_count();
+                        cell.bandwidth = bandwidth;
+                        cell.engine = engine;
+                        cell.threads = engine == Engine::Serial
+                                           ? 1
+                                           : resolve_threads(threads);
+
+                        auto t0 = std::chrono::steady_clock::now();
+                        AlgoRun run = run_algorithm(spec.algorithm, g,
+                                                    bandwidth, engine,
+                                                    threads, spec.ghs_k);
+                        auto t1 = std::chrono::steady_clock::now();
+                        cell.wall_ms =
+                            std::chrono::duration<double, std::milli>(t1 - t0)
+                                .count();
+                        cell.stats = std::move(run.stats);
+                        for (EdgeId e : run.edges)
+                            cell.mst_weight += g.edge(e).w;
+
+                        if (spec.verify) {
+                            cell.verify_ran = true;
+                            if (spec.algorithm == "ghs") {
+                                // A Controlled-GHS forest is a subforest of
+                                // the unique MST.
+                                cell.verified = std::all_of(
+                                    run.edges.begin(), run.edges.end(),
+                                    [&](EdgeId e) {
+                                        return reference_set.count(e) > 0;
+                                    });
+                            } else {
+                                cell.verified =
+                                    run.edges == reference.edges;
+                            }
+                        }
+
+                        if (on_cell)
+                            on_cell(cell);
+                        cells.push_back(std::move(cell));
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+std::string cell_json(const ScenarioCell& cell)
+{
+    std::ostringstream oss;
+    oss << "{\"algorithm\":\"" << cell.algorithm << "\""
+        << ",\"family\":\"" << cell.family << "\""
+        << ",\"n\":" << cell.n << ",\"m\":" << cell.m
+        << ",\"bandwidth\":" << cell.bandwidth
+        << ",\"engine\":\"" << engine_name(cell.engine) << "\""
+        << ",\"threads\":" << cell.threads
+        << ",\"rounds\":" << cell.stats.rounds
+        << ",\"messages\":" << cell.stats.messages
+        << ",\"words\":" << cell.stats.words
+        << ",\"wall_ms\":" << cell.wall_ms
+        << ",\"mst_weight\":" << cell.mst_weight;
+    if (cell.verify_ran)
+        oss << ",\"verified\":" << (cell.verified ? "true" : "false");
+    oss << "}";
+    return oss.str();
+}
+
+}  // namespace dmst

@@ -1,0 +1,68 @@
+#ifndef DMST_SIM_SCENARIO_H
+#define DMST_SIM_SCENARIO_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dmst/congest/network_base.h"
+
+namespace dmst {
+
+// Scenario runner: one harness for every (workload family x n x bandwidth
+// x engine x thread count) sweep the benches and CI smoke runs need.
+// Each grid cell runs one algorithm once and yields a ScenarioCell; cells
+// stream through the callback as they finish (for JSON emission) and are
+// also returned in grid order.
+
+struct ScenarioSpec {
+    // Algorithm under test: elkin | pipeline | boruvka | ghs.
+    std::string algorithm = "elkin";
+    // Workload families from exp/workloads.h (e.g. er, grid, path, tree).
+    std::vector<std::string> families = {"er"};
+    std::vector<std::size_t> sizes = {256};
+    std::vector<int> bandwidths = {1};
+    std::vector<Engine> engines = {Engine::Serial};
+    // Worker counts swept for the parallel engine; the serial engine runs
+    // each cell once (threads reported as 1) regardless of this list.
+    std::vector<int> thread_counts = {0};
+    std::uint64_t seed = 1;
+    // Cross-check the distributed output against sequential Kruskal. For
+    // ghs (a partial forest, not a full MST) the check is containment of
+    // the chosen edges in the unique MST.
+    bool verify = true;
+    // ghs only: the k of Controlled-GHS (fragment diameter budget).
+    std::uint64_t ghs_k = 8;
+};
+
+struct ScenarioCell {
+    std::string algorithm;
+    std::string family;
+    std::size_t n = 0;
+    std::size_t m = 0;
+    int bandwidth = 1;
+    Engine engine = Engine::Serial;
+    int threads = 1;
+    RunStats stats;
+    double wall_ms = 0;          // wall-clock of the simulated run
+    bool verify_ran = false;
+    bool verified = false;       // meaningful only if verify_ran
+    std::uint64_t mst_weight = 0;  // total weight of the edges selected
+};
+
+using ScenarioCallback = std::function<void(const ScenarioCell&)>;
+
+// Runs the full grid; throws std::invalid_argument on an unknown
+// algorithm, family, or empty dimension. Cells are produced in
+// (family, n, bandwidth, engine, threads) lexicographic grid order.
+std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
+                                        const ScenarioCallback& on_cell = {});
+
+// One JSON object per cell (single line, no trailing newline) — the
+// format scenario_runner emits one row of per line (JSON Lines).
+std::string cell_json(const ScenarioCell& cell);
+
+}  // namespace dmst
+
+#endif  // DMST_SIM_SCENARIO_H

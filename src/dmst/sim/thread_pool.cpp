@@ -1,0 +1,74 @@
+#include "dmst/sim/thread_pool.h"
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+ThreadPool::ThreadPool(int workers)
+{
+    DMST_ASSERT_MSG(workers >= 1, "ThreadPool needs at least one worker");
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void ThreadPool::run_jobs(int job_count, const std::function<void(int)>& job)
+{
+    if (job_count <= 0)
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &job;
+    job_count_ = job_count;
+    active_ = size();
+    ++epoch_;
+    cv_start_.notify_all();
+    cv_done_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+}
+
+void ThreadPool::worker_main(int index)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(int)>* job = nullptr;
+        int count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_start_.wait(lock,
+                           [&] { return stop_ || epoch_ != seen_epoch; });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            job = job_;
+            count = job_count_;
+        }
+        for (int j = index; j < count; j += size())
+            (*job)(j);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--active_ == 0)
+                cv_done_.notify_one();
+        }
+    }
+}
+
+int resolve_threads(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace dmst

@@ -1,0 +1,55 @@
+#ifndef DMST_SIM_THREAD_POOL_H
+#define DMST_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmst {
+
+// Persistent fork-join worker pool for the parallel simulation engine.
+// run_jobs() executes job(0..job_count-1), job j on worker j % size(), and
+// blocks until every job finished — a barrier per invocation, which is
+// exactly the shape of one simulation phase (step all shards, then deliver
+// all shards). Jobs must not throw; engines catch per-shard and rethrow
+// deterministically after the barrier.
+class ThreadPool {
+public:
+    // Spawns `workers` >= 1 threads. The pool is idle between run_jobs calls.
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    // Runs job(j) for j in [0, job_count); worker i executes jobs i, i+W,
+    // i+2W, ... in increasing order. Caller blocks until all jobs are done.
+    // Only one run_jobs may be active at a time (single coordinator).
+    void run_jobs(int job_count, const std::function<void(int)>& job);
+
+private:
+    void worker_main(int index);
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    const std::function<void(int)>* job_ = nullptr;
+    int job_count_ = 0;
+    std::uint64_t epoch_ = 0;  // bumped per run_jobs; wakes workers
+    int active_ = 0;           // workers not yet finished this epoch
+    bool stop_ = false;
+};
+
+// Resolves a requested worker count: n >= 1 is taken as-is; 0 (or negative)
+// means hardware concurrency, clamped to at least 1.
+int resolve_threads(int requested);
+
+}  // namespace dmst
+
+#endif  // DMST_SIM_THREAD_POOL_H

@@ -94,4 +94,38 @@ std::string Args::help() const
     return os.str();
 }
 
+std::vector<std::string> split_list(const std::string& value, char sep)
+{
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream iss(value);
+    while (std::getline(iss, item, sep)) {
+        auto first = item.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        auto last = item.find_last_not_of(" \t");
+        items.push_back(item.substr(first, last - first + 1));
+    }
+    return items;
+}
+
+std::vector<std::int64_t> split_int_list(const std::string& value, char sep)
+{
+    std::vector<std::int64_t> items;
+    for (const std::string& item : split_list(value, sep)) {
+        std::size_t used = 0;
+        std::int64_t parsed = 0;
+        try {
+            parsed = std::stoll(item, &used);
+        } catch (const std::exception&) {
+            used = 0;
+        }
+        if (used != item.size())
+            throw std::invalid_argument("expected integer list item, got: " +
+                                        item);
+        items.push_back(parsed);
+    }
+    return items;
+}
+
 }  // namespace dmst

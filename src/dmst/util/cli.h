@@ -40,6 +40,15 @@ private:
     std::vector<std::string> order_;
 };
 
+// Splits a comma-separated flag value ("er,grid,path") into its items,
+// trimming surrounding whitespace and dropping empty entries.
+std::vector<std::string> split_list(const std::string& value, char sep = ',');
+
+// split_list + integer conversion; throws std::invalid_argument on a
+// non-numeric item.
+std::vector<std::int64_t> split_int_list(const std::string& value,
+                                         char sep = ',');
+
 }  // namespace dmst
 
 #endif  // DMST_UTIL_CLI_H

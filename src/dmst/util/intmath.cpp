@@ -1,7 +1,5 @@
 #include "dmst/util/intmath.h"
 
-#include <bit>
-
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -9,7 +7,29 @@ namespace dmst {
 int floor_log2(std::uint64_t x)
 {
     DMST_ASSERT(x >= 1);
-    return 63 - std::countl_zero(x);
+#if defined(__GNUC__) || defined(__clang__)
+    return 63 - __builtin_clzll(x);
+#else
+    int b = 0;
+    while (x >>= 1)
+        ++b;
+    return b;
+#endif
+}
+
+int trailing_zeros(std::uint64_t x)
+{
+    DMST_ASSERT(x != 0);
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(x);
+#else
+    int b = 0;
+    while ((x & 1) == 0) {
+        x >>= 1;
+        ++b;
+    }
+    return b;
+#endif
 }
 
 int ceil_log2(std::uint64_t x)

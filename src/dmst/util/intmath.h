@@ -8,6 +8,9 @@ namespace dmst {
 // floor(log2(x)); requires x >= 1.
 int floor_log2(std::uint64_t x);
 
+// Index of the lowest set bit; requires x != 0.
+int trailing_zeros(std::uint64_t x);
+
 // ceil(log2(x)); requires x >= 1. ceil_log2(1) == 0.
 int ceil_log2(std::uint64_t x);
 

@@ -130,6 +130,63 @@ TEST(Network, BandwidthBudgetEnforced)
     }
 }
 
+TEST(Network, BandwidthBudgetScalesLinearlyAboveOne)
+{
+    // Exact boundary at several b > 1: b * kWordsPerUnit words per edge
+    // direction per round fit; one more message overflows.
+    Rng rng(31);
+    auto g = gen_path(2, rng);
+    const int unit = static_cast<int>(kWordsPerUnit);
+    for (int b : {2, 3, 5}) {
+        {
+            Network net(g, NetConfig{.bandwidth = b});
+            net.init([&](VertexId) {
+                return std::make_unique<ChatterProcess>(b * unit / 2);
+            });
+            EXPECT_NO_THROW(net.run()) << "b=" << b;
+        }
+        {
+            Network net(g, NetConfig{.bandwidth = b});
+            net.init([&](VertexId) {
+                return std::make_unique<ChatterProcess>(b * unit / 2 + 1);
+            });
+            EXPECT_THROW(net.run(), InvariantViolation) << "b=" << b;
+        }
+    }
+}
+
+TEST(Network, BandwidthIsPerRoundAndPerDirection)
+{
+    // The same per-round volume on both directions of one edge is legal
+    // (the budget is per direction), and the ledger resets between rounds:
+    // a full-budget burst every round for three rounds never throws.
+    class BurstProcess : public Process {
+    public:
+        void on_round(Context& ctx) override
+        {
+            if (ctx.round() <= 3) {
+                const int full = static_cast<int>(kWordsPerUnit) *
+                                 ctx.bandwidth() / 2;
+                for (int i = 0; i < full; ++i)
+                    ctx.send(0, Message{3, {7}});  // two words each
+            }
+            rounds_run_ = ctx.round();
+        }
+        bool done() const override { return rounds_run_ >= 3; }
+
+    private:
+        std::uint64_t rounds_run_ = 0;
+    };
+
+    Rng rng(32);
+    auto g = gen_path(2, rng);
+    Network net(g, NetConfig{.bandwidth = 2});
+    net.init([](VertexId) { return std::make_unique<BurstProcess>(); });
+    RunStats stats = net.run();
+    // Both vertices send a full b=2 budget every round for 3 rounds.
+    EXPECT_EQ(stats.words, 2u * 3u * 2u * kWordsPerUnit);
+}
+
 TEST(Network, WordsAccounted)
 {
     Rng rng(4);
@@ -214,6 +271,54 @@ TEST(Network, KT1ExposesNeighborIds)
     net.run();
     EXPECT_EQ(static_cast<const NeighborIdProbe&>(net.process(0)).observed_, 1u);
     EXPECT_EQ(static_cast<const NeighborIdProbe&>(net.process(1)).observed_, 0u);
+}
+
+// Records every neighbor id visible through KT1.
+class AllPortsProbe : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        for (std::size_t p = 0; p < ctx.degree(); ++p)
+            observed_.push_back(ctx.neighbor_id(p));
+        ran_ = true;
+    }
+    bool done() const override { return ran_; }
+
+    std::vector<VertexId> observed_;
+    bool ran_ = false;
+};
+
+TEST(Network, KT1NeighborIdsMatchGraphOnEveryPort)
+{
+    Rng rng(13);
+    auto g = gen_erdos_renyi(24, 60, rng);
+    Network net(g, NetConfig{.knowledge = Knowledge::KT1});
+    net.init([](VertexId) { return std::make_unique<AllPortsProbe>(); });
+    net.run();
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const AllPortsProbe&>(net.process(v));
+        ASSERT_EQ(p.observed_.size(), g.degree(v));
+        for (std::size_t port = 0; port < g.degree(v); ++port)
+            EXPECT_EQ(p.observed_[port], g.neighbor(v, port))
+                << "vertex " << v << " port " << port;
+    }
+}
+
+TEST(Network, KT1ConsistentWithReversePorts)
+{
+    // neighbor(v, p) seen through port p must be the vertex whose
+    // reverse_port maps back to p — i.e. KT1 and the wiring agree.
+    Rng rng(14);
+    auto g = gen_grid(4, 5, rng);
+    Network net(g, NetConfig{.knowledge = Knowledge::KT1});
+    net.init([](VertexId) { return std::make_unique<AllPortsProbe>(); });
+    net.run();
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        for (std::size_t p = 0; p < g.degree(v); ++p) {
+            VertexId u = g.neighbor(v, p);
+            EXPECT_EQ(g.neighbor(u, net.reverse_port(v, p)), v);
+        }
+    }
 }
 
 TEST(Network, RoundLimitThrows)

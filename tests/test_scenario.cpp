@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "dmst/sim/scenario.h"
+#include "dmst/util/cli.h"
+
+namespace dmst {
+namespace {
+
+TEST(Scenario, SweepsFullGridInOrder)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "elkin";
+    spec.families = {"er", "grid"};
+    spec.sizes = {32, 64};
+    spec.bandwidths = {1, 2};
+    spec.engines = {Engine::Serial, Engine::Parallel};
+    spec.thread_counts = {1, 2};
+
+    std::size_t streamed = 0;
+    auto cells = run_scenarios(
+        spec, [&](const ScenarioCell& cell) {
+            ++streamed;
+            EXPECT_TRUE(cell.verify_ran);
+            EXPECT_TRUE(cell.verified);
+            EXPECT_GT(cell.stats.rounds, 0u);
+            EXPECT_GT(cell.mst_weight, 0u);
+        });
+    // Serial cells collapse the thread axis: per (family, n, bandwidth)
+    // there is 1 serial + 2 parallel cells.
+    const std::size_t expected = 2 * 2 * 2 * (1 + 2);
+    EXPECT_EQ(cells.size(), expected);
+    EXPECT_EQ(streamed, expected);
+
+    // Identical complexity counters across the engine/thread axis of each
+    // (family, n, bandwidth) slice.
+    for (std::size_t i = 0; i < cells.size(); i += 3) {
+        EXPECT_EQ(cells[i].stats.rounds, cells[i + 1].stats.rounds);
+        EXPECT_EQ(cells[i].stats.messages, cells[i + 2].stats.messages);
+        EXPECT_EQ(cells[i].mst_weight, cells[i + 1].mst_weight);
+    }
+}
+
+TEST(Scenario, CoversAllAlgorithms)
+{
+    for (const char* algo : {"elkin", "pipeline", "boruvka", "ghs"}) {
+        ScenarioSpec spec;
+        spec.algorithm = algo;
+        spec.families = {"er"};
+        spec.sizes = {48};
+        spec.engines = {Engine::Serial, Engine::Parallel};
+        spec.thread_counts = {2};
+        auto cells = run_scenarios(spec);
+        ASSERT_EQ(cells.size(), 2u) << algo;
+        EXPECT_TRUE(cells[0].verified) << algo;
+        EXPECT_TRUE(cells[1].verified) << algo;
+        EXPECT_EQ(cells[0].stats.rounds, cells[1].stats.rounds) << algo;
+        EXPECT_EQ(cells[0].mst_weight, cells[1].mst_weight) << algo;
+    }
+}
+
+TEST(Scenario, RejectsUnknownAlgorithmAndEmptyDimensions)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "dijkstra";
+    spec.sizes = {16};
+    EXPECT_THROW(run_scenarios(spec), std::invalid_argument);
+
+    ScenarioSpec empty;
+    empty.sizes = {};
+    EXPECT_THROW(run_scenarios(empty), std::invalid_argument);
+}
+
+TEST(Scenario, CellJsonContainsEveryField)
+{
+    ScenarioCell cell;
+    cell.algorithm = "elkin";
+    cell.family = "grid";
+    cell.n = 100;
+    cell.m = 180;
+    cell.bandwidth = 2;
+    cell.engine = Engine::Parallel;
+    cell.threads = 8;
+    cell.stats.rounds = 42;
+    cell.stats.messages = 1234;
+    cell.stats.words = 5678;
+    cell.wall_ms = 1.5;
+    cell.verify_ran = true;
+    cell.verified = true;
+    cell.mst_weight = 999;
+
+    const std::string json = cell_json(cell);
+    for (const char* token :
+         {"\"algorithm\":\"elkin\"", "\"family\":\"grid\"", "\"n\":100",
+          "\"m\":180", "\"bandwidth\":2", "\"engine\":\"parallel\"",
+          "\"threads\":8", "\"rounds\":42", "\"messages\":1234",
+          "\"words\":5678", "\"mst_weight\":999", "\"verified\":true"})
+        EXPECT_NE(json.find(token), std::string::npos) << token;
+
+    cell.verify_ran = false;
+    EXPECT_EQ(cell_json(cell).find("verified"), std::string::npos);
+}
+
+TEST(Scenario, SplitListParsesFlagValues)
+{
+    EXPECT_EQ(split_list("er,grid,path"),
+              (std::vector<std::string>{"er", "grid", "path"}));
+    EXPECT_EQ(split_list(" er , grid "),
+              (std::vector<std::string>{"er", "grid"}));
+    EXPECT_EQ(split_list(""), std::vector<std::string>{});
+    EXPECT_EQ(split_int_list("1,2,8"),
+              (std::vector<std::int64_t>{1, 2, 8}));
+    EXPECT_THROW(split_int_list("1,two"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmst
