@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "dmst/congest/network.h"
 #include "dmst/core/elkin_mst.h"
 #include "dmst/graph/generators.h"
@@ -130,4 +133,39 @@ BENCHMARK(BM_ElkinEndToEnd)->Range(128, 512);
 }  // namespace
 }  // namespace dmst
 
-BENCHMARK_MAIN();
+// `--smoke` (for CI): run a fast, fixed subset once and emit
+// BENCH_substrate.json in the working directory, so every CI run archives a
+// comparable substrate-throughput artifact. Any other arguments pass
+// through to google-benchmark unchanged.
+int main(int argc, char** argv)
+{
+    std::vector<char*> args(argv, argv + argc);
+    bool smoke = false;
+    for (auto it = args.begin(); it != args.end();) {
+        if (std::string(*it) == "--smoke") {
+            smoke = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    static char filter[] =
+        "--benchmark_filter=BM_SimulatorFlood/8|BM_EngineRoundThroughput/"
+        "50000/(0|2)|BM_ElkinEndToEnd/128";
+    static char out[] = "--benchmark_out=BENCH_substrate.json";
+    static char out_format[] = "--benchmark_out_format=json";
+    static char min_time[] = "--benchmark_min_time=0.05";
+    if (smoke) {
+        args.push_back(filter);
+        args.push_back(out);
+        args.push_back(out_format);
+        args.push_back(min_time);
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

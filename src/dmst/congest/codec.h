@@ -1,0 +1,572 @@
+#ifndef DMST_CONGEST_CODEC_H
+#define DMST_CONGEST_CODEC_H
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "dmst/congest/message.h"
+#include "dmst/graph/graph.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+// Typed wire codec for CONGEST messages.
+//
+// Every protocol payload in this library is a fixed sequence of 64-bit
+// words. This layer replaces hand-indexed `msg.words.at(i)` with per-tag
+// payload structs: each struct declares its fields once, and `encode(tag,
+// payload)` / `decode<P>(msg)` are the only places that touch the word
+// layout. decode() asserts that the payload was consumed exactly — a
+// length mismatch between sender and receiver is a protocol bug, caught at
+// the boundary instead of surfacing as a garbage field three hops later.
+//
+// Word layout conventions (shared by every struct below):
+//   - one u64 per field, in declaration order;
+//   - a vertex-id pair packs as (hi << 32) | lo into one word;
+//   - an EdgeKey is two words: the weight, then the packed endpoints.
+
+// ----------------------------------------------------------- reader/writer
+
+class WordWriter {
+public:
+    explicit WordWriter(Message& m) : words_(m.words) {}
+
+    void u64(std::uint64_t v) { words_.push_back(v); }
+    void u32(std::uint32_t v) { words_.push_back(v); }
+    void flag(bool v) { words_.push_back(v ? 1 : 0); }
+
+    // Packs two 32-bit ids into one word: (hi << 32) | lo.
+    void vid_pair(VertexId hi, VertexId lo)
+    {
+        words_.push_back((std::uint64_t{hi} << 32) | lo);
+    }
+
+    // Two words: weight, then packed (a, b) endpoints.
+    void edge_key(const EdgeKey& k)
+    {
+        u64(k.w);
+        vid_pair(k.a, k.b);
+    }
+
+private:
+    WordBuf& words_;
+};
+
+class WordReader {
+public:
+    explicit WordReader(const Message& m) : words_(m.words) {}
+
+    std::uint64_t u64() { return words_.at(cursor_++); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
+    bool flag() { return u64() != 0; }
+
+    std::pair<VertexId, VertexId> vid_pair()
+    {
+        std::uint64_t w = u64();
+        return {static_cast<VertexId>(w >> 32),
+                static_cast<VertexId>(w & 0xFFFFFFFFULL)};
+    }
+
+    EdgeKey edge_key()
+    {
+        EdgeKey k;
+        k.w = u64();
+        auto [a, b] = vid_pair();
+        k.a = a;
+        k.b = b;
+        return k;
+    }
+
+    bool exhausted() const { return cursor_ == words_.size(); }
+
+private:
+    const WordBuf& words_;
+    std::size_t cursor_ = 0;
+};
+
+// ----------------------------------------------------------- entry points
+
+// Builds a Message with `tag` and the payload's wire encoding.
+template <typename P>
+Message encode(std::uint32_t tag, const P& payload)
+{
+    Message m;
+    m.tag = tag;
+    WordWriter w(m);
+    payload.write(w);
+    return m;
+}
+
+// Decodes the payload of `m`, asserting it is consumed exactly.
+template <typename P>
+P decode(const Message& m)
+{
+    WordReader r(m);
+    P payload = P::read(r);
+    DMST_ASSERT_MSG(r.exhausted(), "codec: message longer than its payload type");
+    return payload;
+}
+
+// Word 0 of every phase-scheduled driver message is the phase index; the
+// drivers peek it to route stragglers before committing to a payload type.
+inline std::uint64_t peek_phase(const Message& m)
+{
+    return m.words.at(0);
+}
+
+// ------------------------------------------------------- payload structs
+//
+// Grouped by layer. Several tags share a wire shape on purpose (e.g. every
+// "control ping carrying only the phase" is a PhaseOnlyMsg); the tag, not
+// the struct, identifies the message kind on the wire.
+
+// Tagged signal with no payload (ACCEPT/REJECT, DONE, FINISH, MARK_CROSS).
+struct EmptyMsg {
+    void write(WordWriter&) const {}
+    static EmptyMsg read(WordReader&) { return {}; }
+};
+
+// --- proto/bfs ---
+
+// EXPLORE: sender's BFS depth.
+struct BfsExploreMsg {
+    std::uint64_t depth = 0;
+
+    void write(WordWriter& w) const { w.u64(depth); }
+    static BfsExploreMsg read(WordReader& r) { return {r.u64()}; }
+};
+
+// ECHO: subtree size and height below the sender.
+struct BfsEchoMsg {
+    std::uint64_t subtree_size = 0;
+    std::uint64_t height = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(subtree_size);
+        w.u64(height);
+    }
+    static BfsEchoMsg read(WordReader& r)
+    {
+        BfsEchoMsg m;
+        m.subtree_size = r.u64();
+        m.height = r.u64();
+        return m;
+    }
+};
+
+// --- proto/intervals ---
+
+// ASSIGN: the child's preorder interval [lo, hi).
+struct IntervalAssignMsg {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(lo);
+        w.u64(hi);
+    }
+    static IntervalAssignMsg read(WordReader& r)
+    {
+        IntervalAssignMsg m;
+        m.lo = r.u64();
+        m.hi = r.u64();
+        return m;
+    }
+};
+
+// --- proto/downcast ---
+
+// One interval-routed record: target preorder index + 4 payload words.
+struct DownRecordMsg {
+    std::uint64_t target = 0;
+    std::array<std::uint64_t, 4> payload{};
+
+    void write(WordWriter& w) const
+    {
+        w.u64(target);
+        for (std::uint64_t p : payload)
+            w.u64(p);
+    }
+    static DownRecordMsg read(WordReader& r)
+    {
+        DownRecordMsg m;
+        m.target = r.u64();
+        for (std::uint64_t& p : m.payload)
+            p = r.u64();
+        return m;
+    }
+};
+
+// --- proto/pipeline ---
+
+// One pipelined upcast record: EdgeKey + grouping ids + auxiliary word.
+struct PipeRecordMsg {
+    EdgeKey key;
+    std::uint64_t group = 0;
+    std::uint64_t group2 = 0;
+    std::uint64_t aux = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.edge_key(key);
+        w.u64(group);
+        w.u64(group2);
+        w.u64(aux);
+    }
+    static PipeRecordMsg read(WordReader& r)
+    {
+        PipeRecordMsg m;
+        m.key = r.edge_key();
+        m.group = r.u64();
+        m.group2 = r.u64();
+        m.aux = r.u64();
+        return m;
+    }
+};
+
+// --- core drivers (phase-scheduled) ---
+//
+// Every driver message leads with its phase index (peek_phase above).
+
+// Control ping carrying only the phase: PHASE_START, ACK, NOTIFY,
+// CAND_BCAST, ACCEPT_UP, FLIP, COMMIT, CENTER_UP, MERGE_UP.
+struct PhaseOnlyMsg {
+    std::uint64_t phase = 0;
+
+    void write(WordWriter& w) const { w.u64(phase); }
+    static PhaseOnlyMsg read(WordReader& r) { return {r.u64()}; }
+};
+
+// Identity exchange across an edge: FID (GHS / Boruvka), CHAT (Elkin
+// coarse ids), PROPOSE (Boruvka). `fid` is the fragment/coarse id, `vid`
+// the sender's vertex id.
+struct FidMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t fid = 0;
+    std::uint64_t vid = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(fid);
+        w.u64(vid);
+    }
+    static FidMsg read(WordReader& r)
+    {
+        FidMsg m;
+        m.phase = r.u64();
+        m.fid = r.u64();
+        m.vid = r.u64();
+        return m;
+    }
+};
+
+// Phase + one boolean: CAND_NBR, GATE_INFO.
+struct PhaseFlagMsg {
+    std::uint64_t phase = 0;
+    bool value = false;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.flag(value);
+    }
+    static PhaseFlagMsg read(WordReader& r)
+    {
+        PhaseFlagMsg m;
+        m.phase = r.u64();
+        m.value = r.flag();
+        return m;
+    }
+};
+
+// Phase + one value word: NEW_ID (fid), ANNOUNCE (packed edge),
+// PROPOSE (GHS: proposer fid), EDGE flood words.
+struct PhaseValueMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t value = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(value);
+    }
+    static PhaseValueMsg read(WordReader& r)
+    {
+        PhaseValueMsg m;
+        m.phase = r.u64();
+        m.value = r.u64();
+        return m;
+    }
+};
+
+// Cole–Vishkin color relay: COLOR_DOWN, COLOR_CROSS, COLOR_UP.
+struct ColorMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t iter = 0;
+    std::uint64_t color = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(iter);
+        w.u64(color);
+    }
+    static ColorMsg read(WordReader& r)
+    {
+        ColorMsg m;
+        m.phase = r.u64();
+        m.iter = r.u64();
+        m.color = r.u64();
+        return m;
+    }
+};
+
+// Matching-step relays carrying (phase, MM step, one value): STATUS_DOWN
+// (matched flag), STATUS_REPORT / ACCEPT_DOWN (fragment id).
+struct StepValueMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t step = 0;
+    std::uint64_t value = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(step);
+        w.u64(value);
+    }
+    static StepValueMsg read(WordReader& r)
+    {
+        StepValueMsg m;
+        m.phase = r.u64();
+        m.step = r.u64();
+        m.value = r.u64();
+        return m;
+    }
+};
+
+// ACCEPT_CROSS: phase + MM step.
+struct StepMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t step = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(step);
+    }
+    static StepMsg read(WordReader& r)
+    {
+        StepMsg m;
+        m.phase = r.u64();
+        m.step = r.u64();
+        return m;
+    }
+};
+
+// STATUS_CROSS: the gate tells its foreign partner (phase, step, own fid,
+// matched flag).
+struct StatusCrossMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t step = 0;
+    std::uint64_t fid = 0;
+    bool matched = false;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(step);
+        w.u64(fid);
+        w.flag(matched);
+    }
+    static StatusCrossMsg read(WordReader& r)
+    {
+        StatusCrossMsg m;
+        m.phase = r.u64();
+        m.step = r.u64();
+        m.fid = r.u64();
+        m.matched = r.flag();
+        return m;
+    }
+};
+
+// MWOE convergecast report: best crossing edge + subtree height (GHS).
+struct MwoeReportMsg {
+    std::uint64_t phase = 0;
+    EdgeKey key;
+    std::uint64_t height = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.edge_key(key);
+        w.u64(height);
+    }
+    static MwoeReportMsg read(WordReader& r)
+    {
+        MwoeReportMsg m;
+        m.phase = r.u64();
+        m.key = r.edge_key();
+        m.height = r.u64();
+        return m;
+    }
+};
+
+// Boruvka convergecast report: best crossing edge only.
+struct EdgeReportMsg {
+    std::uint64_t phase = 0;
+    EdgeKey key;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.edge_key(key);
+    }
+    static EdgeReportMsg read(WordReader& r)
+    {
+        EdgeReportMsg m;
+        m.phase = r.u64();
+        m.key = r.edge_key();
+        return m;
+    }
+};
+
+// Elkin fragment report: best crossing edge + the coarse id it leads to.
+struct FragReportMsg {
+    std::uint64_t phase = 0;
+    EdgeKey key;
+    std::uint64_t other_coarse = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.edge_key(key);
+        w.u64(other_coarse);
+    }
+    static FragReportMsg read(WordReader& r)
+    {
+        FragReportMsg m;
+        m.phase = r.u64();
+        m.key = r.edge_key();
+        m.other_coarse = r.u64();
+        return m;
+    }
+};
+
+// ACK_PROP (Boruvka): was the proposal reciprocal, and the acker's fid.
+struct AckPropMsg {
+    std::uint64_t phase = 0;
+    bool reciprocal = false;
+    std::uint64_t fid = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.flag(reciprocal);
+        w.u64(fid);
+    }
+    static AckPropMsg read(WordReader& r)
+    {
+        AckPropMsg m;
+        m.phase = r.u64();
+        m.reciprocal = r.flag();
+        m.fid = r.u64();
+        return m;
+    }
+};
+
+// NEW_COARSE (Elkin): the fragment's new coarse id + the packed MST edge
+// chosen this phase (kNoEdgeWord if none).
+struct NewCoarseMsg {
+    std::uint64_t phase = 0;
+    std::uint64_t coarse = 0;
+    std::uint64_t edge = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(phase);
+        w.u64(coarse);
+        w.u64(edge);
+    }
+    static NewCoarseMsg read(WordReader& r)
+    {
+        NewCoarseMsg m;
+        m.phase = r.u64();
+        m.coarse = r.u64();
+        m.edge = r.u64();
+        return m;
+    }
+};
+
+// START_GHS wave (Elkin / Pipeline): the k parameter and the global round
+// the Controlled-GHS schedule starts at.
+struct StartGhsMsg {
+    std::uint64_t k = 0;
+    std::uint64_t start_round = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(k);
+        w.u64(start_round);
+    }
+    static StartGhsMsg read(WordReader& r)
+    {
+        StartGhsMsg m;
+        m.k = r.u64();
+        m.start_round = r.u64();
+        return m;
+    }
+};
+
+// ID_EXCHANGE (Pipeline baseline): fragment id + vertex id, no phase.
+struct IdExchangeMsg {
+    std::uint64_t fid = 0;
+    std::uint64_t vid = 0;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(fid);
+        w.u64(vid);
+    }
+    static IdExchangeMsg read(WordReader& r)
+    {
+        IdExchangeMsg m;
+        m.fid = r.u64();
+        m.vid = r.u64();
+        return m;
+    }
+};
+
+// Single bare word (EDGE_BCAST packed edge).
+struct WordMsg {
+    std::uint64_t word = 0;
+
+    void write(WordWriter& w) const { w.u64(word); }
+    static WordMsg read(WordReader& r) { return {r.u64()}; }
+};
+
+// FLOOD (Elkin ablation E10b): a 4-word broadcast record
+// (target index, phase, coarse, edge).
+struct FloodMsg {
+    std::array<std::uint64_t, 4> rec{};
+
+    void write(WordWriter& w) const
+    {
+        for (std::uint64_t v : rec)
+            w.u64(v);
+    }
+    static FloodMsg read(WordReader& r)
+    {
+        FloodMsg m;
+        for (std::uint64_t& v : m.rec)
+            v = r.u64();
+        return m;
+    }
+};
+
+}  // namespace dmst
+
+#endif  // DMST_CONGEST_CODEC_H

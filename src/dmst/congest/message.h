@@ -1,10 +1,154 @@
 #ifndef DMST_CONGEST_MESSAGE_H
 #define DMST_CONGEST_MESSAGE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <initializer_list>
+#include <stdexcept>
 
 namespace dmst {
+
+// Words per bandwidth unit (the "O(log n) bits" of the standard model).
+constexpr std::size_t kWordsPerUnit = 16;
+
+// Fixed-capacity inline payload buffer for CONGEST messages.
+//
+// The common case — every message of every protocol in this library — fits
+// in the inline array: at bandwidth b=1 the per-edge budget is kWordsPerUnit
+// words including the tag, so a legal payload is at most kWordsPerUnit - 1
+// words and a send is a memcpy, never a malloc. Payloads beyond the inline
+// capacity (possible only under bandwidth > 1, e.g. a future wide pipelined
+// record) take an explicit heap overflow path; correctness is identical,
+// only the zero-allocation property is waived for those messages.
+//
+// The interface is the subset of std::vector the protocols use: size/empty,
+// at (bounds-checked), operator[], data, begin/end, push_back, clear.
+class WordBuf {
+public:
+    static constexpr std::size_t kInlineCapacity = kWordsPerUnit;
+
+    WordBuf() = default;
+
+    WordBuf(std::initializer_list<std::uint64_t> init)
+    {
+        for (std::uint64_t w : init)
+            push_back(w);
+    }
+
+    WordBuf(const WordBuf& other) { copy_from(other); }
+
+    WordBuf(WordBuf&& other) noexcept { steal_from(other); }
+
+    WordBuf& operator=(const WordBuf& other)
+    {
+        if (this != &other) {
+            release();
+            copy_from(other);
+        }
+        return *this;
+    }
+
+    WordBuf& operator=(WordBuf&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            steal_from(other);
+        }
+        return *this;
+    }
+
+    ~WordBuf() { release(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return cap_; }
+    bool overflowed() const { return heap_ != nullptr; }
+
+    const std::uint64_t* data() const { return heap_ ? heap_ : inline_; }
+    std::uint64_t* data() { return heap_ ? heap_ : inline_; }
+
+    const std::uint64_t* begin() const { return data(); }
+    const std::uint64_t* end() const { return data() + size_; }
+
+    std::uint64_t operator[](std::size_t i) const { return data()[i]; }
+    std::uint64_t& operator[](std::size_t i) { return data()[i]; }
+
+    std::uint64_t at(std::size_t i) const
+    {
+        if (i >= size_)
+            throw std::out_of_range("WordBuf::at: index out of range");
+        return data()[i];
+    }
+
+    void push_back(std::uint64_t w)
+    {
+        if (size_ == cap_)
+            grow();
+        data()[size_++] = w;
+    }
+
+    void clear() { size_ = 0; }
+
+    friend bool operator==(const WordBuf& x, const WordBuf& y)
+    {
+        return x.size_ == y.size_ &&
+               std::equal(x.begin(), x.end(), y.begin());
+    }
+    friend bool operator!=(const WordBuf& x, const WordBuf& y) { return !(x == y); }
+
+private:
+    void copy_from(const WordBuf& other)
+    {
+        size_ = other.size_;
+        if (other.heap_) {
+            cap_ = other.cap_;
+            heap_ = new std::uint64_t[cap_];
+            std::memcpy(heap_, other.heap_, size_ * sizeof(std::uint64_t));
+        } else {
+            cap_ = kInlineCapacity;
+            heap_ = nullptr;
+            std::memcpy(inline_, other.inline_, size_ * sizeof(std::uint64_t));
+        }
+    }
+
+    void steal_from(WordBuf& other) noexcept
+    {
+        size_ = other.size_;
+        cap_ = other.cap_;
+        heap_ = other.heap_;
+        if (!heap_)
+            std::memcpy(inline_, other.inline_, size_ * sizeof(std::uint64_t));
+        other.heap_ = nullptr;
+        other.size_ = 0;
+        other.cap_ = kInlineCapacity;
+    }
+
+    void release() noexcept
+    {
+        delete[] heap_;
+        heap_ = nullptr;
+        size_ = 0;
+        cap_ = kInlineCapacity;
+    }
+
+    // Overflow path: spills to a doubled heap buffer. Reached only by
+    // payloads wider than the b=1 per-edge budget.
+    void grow()
+    {
+        std::size_t new_cap = cap_ * 2;
+        auto* grown = new std::uint64_t[new_cap];
+        std::memcpy(grown, data(), size_ * sizeof(std::uint64_t));
+        delete[] heap_;
+        heap_ = grown;
+        cap_ = new_cap;
+    }
+
+    std::uint64_t inline_[kInlineCapacity];  // uninitialized past size_
+    std::uint64_t* heap_ = nullptr;          // overflow storage, usually null
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = kInlineCapacity;
+};
 
 // One CONGEST message. In CONGEST(b log n) a message carries O(b) edge
 // weights and/or vertex identities; we model one "unit" as kWordsPerUnit
@@ -15,16 +159,19 @@ namespace dmst {
 // the paper's accounting; the word budget is the hard model-violation
 // backstop, with headroom for a pipelined record (6 words) to share a round
 // with the constant-size control messages of a concurrent protocol stage.
+//
+// Word-accounting invariant: size_words() counts the tag as one word plus
+// one word per payload word, exactly as it did when the payload was a heap
+// vector — RunStats::words is comparable across revisions of this library.
+// Payload encode/decode goes through the typed codec layer
+// (congest/codec.h) rather than hand-indexed words.at(i).
 struct Message {
     std::uint32_t tag = 0;
-    std::vector<std::uint64_t> words;
+    WordBuf words;
 
     // Size in 64-bit words, tag counted as one word.
     std::size_t size_words() const { return 1 + words.size(); }
 };
-
-// Words per bandwidth unit (the "O(log n) bits" of the standard model).
-constexpr std::size_t kWordsPerUnit = 16;
 
 // A message delivered to a vertex, annotated with the arrival port.
 struct Incoming {

@@ -9,10 +9,9 @@ namespace dmst {
 Network::Network(const WeightedGraph& g, NetConfig config)
     : NetworkBase(g, config)
 {
-    next_inboxes_.resize(graph_.vertex_count());
 }
 
-void Network::send_from(VertexId from, std::size_t port, Message msg)
+void Network::send_from(VertexId from, std::size_t port, Message&& msg)
 {
     const std::size_t size = msg.size_words();
     charge_bandwidth(from, port, size);
@@ -21,7 +20,9 @@ void Network::send_from(VertexId from, std::size_t port, Message msg)
     std::size_t arrival_port = reverse_port(from, port);
     if (config_.record_per_edge)
         ++stats_.messages_per_edge[graph_.edge_id(from, port)];
-    next_inboxes_[target].push_back(Incoming{arrival_port, std::move(msg)});
+    ++inbox_count_[target];  // consumed (and reset) by deliver_staged
+    staged_.emplace(target, static_cast<std::uint32_t>(arrival_port),
+                    std::move(msg));
     ++in_flight_;
     ++round_messages_;
     stats_.messages += 1;
@@ -43,7 +44,7 @@ bool Network::step()
         Context ctx = context_for(v);
         processes_[v]->on_round(ctx);
     }
-    deliver_outboxes();
+    deliver_staged();
 
     stats_.rounds = round_;
     if (config_.record_per_round)
@@ -51,23 +52,45 @@ bool Network::step()
     return true;
 }
 
-void Network::deliver_outboxes()
+void Network::deliver_staged()
 {
-    // Messages consumed this round are dropped; staged messages become next
-    // round's inboxes. Sort per inbox by arrival port for determinism
-    // (within a port, send order is preserved by stable_sort).
-    std::uint64_t consumed = 0;
-    for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
-        consumed += inboxes_[v].size();
-        inboxes_[v].clear();
-        std::stable_sort(next_inboxes_[v].begin(), next_inboxes_[v].end(),
-                         [](const Incoming& a, const Incoming& b) {
-                             return a.port < b.port;
-                         });
-        std::swap(inboxes_[v], next_inboxes_[v]);
-    }
+    // The arena still holds the messages consumed this round; rebuilding it
+    // from the staging buffer both drops them and delivers the new ones.
+    const std::size_t n = graph_.vertex_count();
+    const std::uint64_t consumed = live_;
     DMST_ASSERT(consumed <= in_flight_);
     in_flight_ -= consumed;
+
+    // Grow-only, with geometric headroom: per-round message volume often
+    // ramps exponentially (e.g. a spreading wave), and each growth
+    // relocates the whole arena, so overshooting halves the relocations.
+    if (slab_.size() < staged_.size())
+        slab_.resize(std::max(staged_.size(), 2 * slab_.size()));
+    live_ = staged_.size();
+
+    // Stable counting scatter by target: staged_ is already in (sender id,
+    // send order) because vertices step in id order, so each target's span
+    // ends up in exactly the order the seed's per-vertex push_backs did.
+    // send_from counted per target as it staged; reset the counts here.
+    Incoming* base = slab_.data();
+    std::size_t cursor = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        inbox_span_[v] = InboxSpan{base + cursor, inbox_count_[v]};
+        scatter_off_[v] = cursor;
+        cursor += inbox_count_[v];
+        inbox_count_[v] = 0;
+    }
+    staged_.for_each([&](Staged& s) {
+        Incoming& slot = base[scatter_off_[s.target]++];
+        slot.port = s.port;
+        slot.msg = std::move(s.msg);
+    });
+    staged_.clear();
+
+    for (VertexId v = 0; v < n; ++v) {
+        const InboxSpan& span = inbox_span_[v];
+        sort_span_by_port(span.data, span.len, sort_scratch_);
+    }
 }
 
 }  // namespace dmst

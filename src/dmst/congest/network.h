@@ -9,6 +9,12 @@ namespace dmst {
 // id order and messages are delivered in send order per port. The parallel
 // engine (sim/parallel_network.h) is defined to be bit-identical to this
 // one; when in doubt, this is the model's semantics.
+//
+// Datapath: sends append to one flat staging vector; the deliver phase
+// counting-sorts it by target into the shared inbox arena (stable, so the
+// (sender id, send order) staging order is preserved per target) and then
+// stable-sorts each per-vertex span by arrival port. All buffers are reused
+// across rounds — no per-message allocation in steady state.
 class Network : public NetworkBase {
 public:
     Network(const WeightedGraph& g, NetConfig config);
@@ -16,12 +22,15 @@ public:
     bool step() override;
 
 protected:
-    void send_from(VertexId from, std::size_t port, Message msg) override;
+    void send_from(VertexId from, std::size_t port, Message&& msg) override;
 
 private:
-    void deliver_outboxes();
+    void deliver_staged();
 
-    std::vector<std::vector<Incoming>> next_inboxes_;  // staged for next round
+    StagedBuffer staged_;  // this round's sends, in send order
+    std::vector<Incoming> slab_;  // grow-only inbox arena
+    std::size_t live_ = 0;        // slots delivered into this round
+    SortScratch sort_scratch_;
     std::uint64_t round_messages_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "dmst/congest/network_base.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "dmst/util/assert.h"
@@ -40,9 +41,10 @@ VertexId Context::neighbor_id(std::size_t port) const
     return net_->graph_.neighbor(vertex_, port);
 }
 
-const std::vector<Incoming>& Context::inbox() const
+InboxView Context::inbox() const
 {
-    return net_->inboxes_[vertex_];
+    const NetworkBase::InboxSpan& span = net_->inbox_span_[vertex_];
+    return InboxView(span.data, span.len);
 }
 
 void Context::send(std::size_t port, Message msg)
@@ -58,7 +60,9 @@ NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
 {
     DMST_ASSERT(config_.bandwidth >= 1);
     const std::size_t n = graph_.vertex_count();
-    inboxes_.resize(n);
+    inbox_span_.resize(n);
+    inbox_count_.assign(n, 0);
+    scatter_off_.assign(n, 0);
     words_this_round_.resize(n);
     for (VertexId v = 0; v < n; ++v)
         words_this_round_[v].assign(graph_.degree(v), 0);
@@ -120,6 +124,56 @@ void NetworkBase::charge_bandwidth(VertexId from, std::size_t port,
 void NetworkBase::reset_round_words(VertexId v)
 {
     std::fill(words_this_round_[v].begin(), words_this_round_[v].end(), 0);
+}
+
+void NetworkBase::sort_span_by_port(Incoming* first, std::size_t n,
+                                    SortScratch& scratch)
+{
+    if (n < 2)
+        return;
+
+    // Short spans (the overwhelmingly common case: an inbox holds at most a
+    // few messages per incident edge): stable insertion sort, in place.
+    constexpr std::size_t kInsertionCutoff = 24;
+    if (n <= kInsertionCutoff) {
+        for (std::size_t i = 1; i < n; ++i) {
+            if (first[i].port >= first[i - 1].port)
+                continue;
+            Incoming pending = std::move(first[i]);
+            std::size_t j = i;
+            while (j > 0 && first[j - 1].port > pending.port) {
+                first[j] = std::move(first[j - 1]);
+                --j;
+            }
+            first[j] = std::move(pending);
+        }
+        return;
+    }
+
+    // Long spans: stable counting sort by port through reusable scratch.
+    // Ports are bounded by the receiver's degree, so the count table stays
+    // small; both buffers keep their high-water capacity across rounds.
+    std::size_t max_port = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_port = std::max(max_port, static_cast<std::size_t>(first[i].port));
+    if (scratch.count.size() < max_port + 1)
+        scratch.count.resize(max_port + 1);
+    std::fill(scratch.count.begin(), scratch.count.begin() + max_port + 1, 0);
+    if (scratch.tmp.size() < n)
+        scratch.tmp.resize(n);
+
+    for (std::size_t i = 0; i < n; ++i)
+        ++scratch.count[first[i].port];
+    std::uint32_t cursor = 0;
+    for (std::size_t p = 0; p <= max_port; ++p) {
+        std::uint32_t c = scratch.count[p];
+        scratch.count[p] = cursor;
+        cursor += c;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.tmp[scratch.count[first[i].port]++] = std::move(first[i]);
+    for (std::size_t i = 0; i < n; ++i)
+        first[i] = std::move(scratch.tmp[i]);
 }
 
 bool NetworkBase::quiescent() const

@@ -46,6 +46,25 @@ struct RunStats {
     std::vector<std::uint64_t> messages_per_edge;
 };
 
+// Read-only view of one vertex's inbox: a contiguous span of the engine's
+// per-round arena (see NetworkBase::inbox_slab_). Valid for the duration of
+// the round it was obtained in; the next deliver phase rewrites the arena.
+class InboxView {
+public:
+    const Incoming* begin() const { return data_; }
+    const Incoming* end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const Incoming& operator[](std::size_t i) const { return data_[i]; }
+
+private:
+    friend class Context;
+    InboxView(const Incoming* data, std::size_t size) : data_(data), size_(size) {}
+
+    const Incoming* data_;
+    std::size_t size_;
+};
+
 // The per-round view a process gets of the world. Enforces the CONGEST
 // model: only local information is visible, and sends beyond the per-edge
 // bandwidth budget throw InvariantViolation.
@@ -63,10 +82,12 @@ public:
     VertexId neighbor_id(std::size_t port) const;
 
     // Messages sent to this vertex in the previous round, ordered by port.
-    const std::vector<Incoming>& inbox() const;
+    InboxView inbox() const;
 
-    // Queues a message for delivery next round. Throws InvariantViolation
-    // if the per-edge-per-direction word budget for this round is exceeded.
+    // Queues a message for delivery next round; the payload is moved, not
+    // copied, all the way into the engine's staging buffer. Throws
+    // InvariantViolation if the per-edge-per-direction word budget for this
+    // round is exceeded.
     void send(std::size_t port, Message msg);
 
 private:
@@ -97,6 +118,13 @@ public:
 //     ties broken by (sender id, send order),
 //   - per-(edge, direction) bandwidth is charged identically,
 //   - RunStats counters are identical after every completed round.
+//
+// Storage model: inboxes live in one contiguous arena (inbox_slab_) with a
+// per-vertex (offset, length) span table, rebuilt every deliver phase from
+// the engines' staging buffers — the slab and every staging vector retain
+// their capacity across rounds, so the bandwidth=1 steady state performs
+// zero per-message heap allocations (message payloads are inline in
+// WordBuf; see congest/message.h).
 class NetworkBase {
 public:
     using Factory = std::function<std::unique_ptr<Process>(VertexId)>;
@@ -128,11 +156,98 @@ public:
     std::size_t reverse_port(VertexId v, std::size_t port) const;
 
 protected:
+    // One staged send: where it is going and at which port it arrives.
+    // Engines append these during the step phase and scatter them into the
+    // inbox arena during the deliver phase.
+    struct Staged {
+        Staged(VertexId target_, std::uint32_t port_, Message&& msg_)
+            : target(target_), port(port_), msg(std::move(msg_))
+        {
+        }
+
+        VertexId target = 0;
+        std::uint32_t port = 0;
+        Message msg;
+    };
+
+    // Append-only staging buffer: fixed-capacity chunks, so growth never
+    // relocates existing messages (a realloc of a flat vector would move
+    // every staged Message) and clear() keeps every chunk's capacity — the
+    // steady state stages without touching the allocator.
+    class StagedBuffer {
+    public:
+        void emplace(VertexId target, std::uint32_t port, Message&& msg)
+        {
+            if (used_ == 0 || chunks_[used_ - 1].size() == kChunkCap) {
+                if (used_ == chunks_.size()) {
+                    chunks_.emplace_back();
+                    chunks_.back().reserve(kChunkCap);
+                }
+                ++used_;
+            }
+            chunks_[used_ - 1].emplace_back(target, port, std::move(msg));
+            ++size_;
+        }
+
+        void clear()
+        {
+            for (std::size_t i = 0; i < used_; ++i)
+                chunks_[i].clear();
+            used_ = 0;
+            size_ = 0;
+        }
+
+        std::size_t size() const { return size_; }
+
+        // Visits every staged message in append order.
+        template <typename F>
+        void for_each(F&& f)
+        {
+            for (std::size_t i = 0; i < used_; ++i)
+                for (Staged& s : chunks_[i])
+                    f(s);
+        }
+
+        template <typename F>
+        void for_each(F&& f) const
+        {
+            for (std::size_t i = 0; i < used_; ++i)
+                for (const Staged& s : chunks_[i])
+                    f(s);
+        }
+
+    private:
+        static constexpr std::size_t kChunkCap = 1024;
+
+        std::vector<std::vector<Staged>> chunks_;
+        std::size_t used_ = 0;  // chunks currently holding messages
+        std::size_t size_ = 0;
+    };
+
+    // Contiguous inbox span of one vertex within its engine's arena slab
+    // (the serial engine keeps one slab; the parallel engine keeps one per
+    // shard, so workers fault-in and fill their own memory). The pointer is
+    // rewritten every deliver phase, after any slab growth.
+    struct InboxSpan {
+        Incoming* data = nullptr;
+        std::size_t len = 0;
+    };
+
+    // Reusable scratch for the stable per-span port sort (one per serial
+    // engine, one per shard in the parallel engine — never shared across
+    // concurrent phases). Buffers grow to a high-water mark and are then
+    // allocation-free.
+    struct SortScratch {
+        std::vector<std::uint32_t> count;
+        std::vector<Incoming> tmp;
+    };
+
     NetworkBase(const WeightedGraph& g, NetConfig config);
 
     // Engine hook behind Context::send: stage `msg` from `from` via `port`
-    // for delivery next round, charging bandwidth and counters.
-    virtual void send_from(VertexId from, std::size_t port, Message msg) = 0;
+    // for delivery next round, charging bandwidth and counters. Takes the
+    // message by rvalue — one move from the caller into staging, no copy.
+    virtual void send_from(VertexId from, std::size_t port, Message&& msg) = 0;
 
     Context context_for(VertexId v) { return Context(*this, v); }
 
@@ -142,13 +257,34 @@ protected:
 
     void reset_round_words(VertexId v);
 
+    // Stable-sorts span [first, first+n) by arrival port, preserving the
+    // staged (sender id, send order) within equal ports. Allocation-free in
+    // steady state: insertion sort for short spans, counting sort through
+    // `scratch` for long ones. Exactly equivalent to std::stable_sort on
+    // Incoming::port (which would heap-allocate its merge buffer).
+    static void sort_span_by_port(Incoming* first, std::size_t n,
+                                  SortScratch& scratch);
+
     // Builds the satellite-rich runaway diagnostic and throws.
     [[noreturn]] void throw_round_limit() const;
 
     const WeightedGraph& graph_;
     NetConfig config_;
     std::vector<std::unique_ptr<Process>> processes_;
-    std::vector<std::vector<Incoming>> inboxes_;  // delivered this round
+
+    // Flat arena inbox: messages delivered this round, grouped per vertex.
+    // inbox_span_[v] addresses vertex v's slice of the engine's arena slab.
+    // Rebuilt by the engines' deliver phase; double-buffered against the
+    // staging buffers (the spans read during a step phase are only
+    // rewritten after every process has run). Slabs are grow-only: rounds
+    // below the high-water mark reuse slots without constructing or
+    // destroying elements.
+    std::vector<InboxSpan> inbox_span_;
+    // Deliver-phase scratch: per-vertex staged-message counts and scatter
+    // cursors. In the parallel engine, shards touch disjoint vertex ranges.
+    std::vector<std::uint32_t> inbox_count_;
+    std::vector<std::size_t> scatter_off_;
+
     // Words sent this round per (vertex, port), for bandwidth enforcement.
     // Only the shard stepping `vertex` ever touches row `vertex`, so the
     // parallel engine shares this accounting without synchronization.

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "dmst/congest/codec.h"
 #include "dmst/proto/cv.h"
 #include "dmst/util/assert.h"
 #include "dmst/util/intmath.h"
@@ -132,7 +133,7 @@ void GhsVertex::begin_phase(Context& ctx, int phase)
 
     const std::uint64_t p = static_cast<std::uint64_t>(phase);
     for (std::size_t port = 0; port < ctx.degree(); ++port)
-        ctx.send(port, Message{tag(kFid), {p, fid_, id_}});
+        ctx.send(port, encode(tag(kFid), FidMsg{p, fid_, id_}));
 }
 
 void GhsVertex::on_round(Context& ctx)
@@ -159,18 +160,18 @@ void GhsVertex::act_as_gate(Context& ctx, const GhsSchedule::Pos& pos)
     gate_ = true;
     mwoe_port_ = best_local_port_;
     ctx.send(mwoe_port_,
-             Message{tag(kPropose),
-                     {static_cast<std::uint64_t>(pos.phase), fid_}});
+             encode(tag(kPropose),
+                    PhaseValueMsg{static_cast<std::uint64_t>(pos.phase), fid_}));
 }
 
 void GhsVertex::deliver_color(Context& ctx, std::uint64_t iter, std::uint64_t color)
 {
     const std::uint64_t p = static_cast<std::uint64_t>(phase_);
     for (std::size_t c : children_)
-        ctx.send(c, Message{tag(kColorDown), {p, iter, color}});
+        ctx.send(c, encode(tag(kColorDown), ColorMsg{p, iter, color}));
     for (const auto& [port, fid] : foreign_fid_) {
         (void)fid;
-        ctx.send(port, Message{tag(kColorCross), {p, iter, color}});
+        ctx.send(port, encode(tag(kColorCross), ColorMsg{p, iter, color}));
     }
 }
 
@@ -178,7 +179,7 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
                                 const Incoming& in)
 {
     const Msg type = msg_of(in.msg.tag);
-    const std::uint64_t msg_phase = in.msg.words.at(0);
+    const std::uint64_t msg_phase = peek_phase(in.msg);
     const std::uint64_t p = static_cast<std::uint64_t>(phase_);
 
     // Convergecast stragglers from fragments that exceeded their window are
@@ -190,23 +191,21 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
     DMST_ASSERT_MSG(msg_phase == p, "message from a different phase");
 
     switch (type) {
-    case kFid:
-        neighbor_fid_.at(in.port) = in.msg.words.at(1);
-        neighbor_vid_.at(in.port) = in.msg.words.at(2);
+    case kFid: {
+        auto m = decode<FidMsg>(in.msg);
+        neighbor_fid_.at(in.port) = m.fid;
+        neighbor_vid_.at(in.port) = m.vid;
         break;
+    }
 
     case kMwoeReport: {
         DMST_ASSERT_MSG(children_.count(in.port), "report from non-child");
         DMST_ASSERT(reports_pending_ > 0);
         --reports_pending_;
-        EdgeKey key;
-        key.w = in.msg.words.at(1);
-        key.a = static_cast<VertexId>(in.msg.words.at(2) >> 32);
-        key.b = static_cast<VertexId>(in.msg.words.at(2) & 0xFFFFFFFFULL);
-        std::uint64_t height = in.msg.words.at(3);
-        subtree_height_ = std::max(subtree_height_, height + 1);
-        if (key < best_key_) {
-            best_key_ = key;
+        auto m = decode<MwoeReportMsg>(in.msg);
+        subtree_height_ = std::max(subtree_height_, m.height + 1);
+        if (m.key < best_key_) {
+            best_key_ = m.key;
             winner_child_ = in.port;
         }
         break;
@@ -216,11 +215,11 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
         DMST_ASSERT(pos.stage == GhsStage::Cand);
         am_candidate_ = true;
         for (std::size_t c : children_)
-            ctx.send(c, Message{tag(kCandBcast), {p}});
+            ctx.send(c, encode(tag(kCandBcast), PhaseOnlyMsg{p}));
         break;
 
     case kCandNbr:
-        neighbor_cand_.at(in.port) = in.msg.words.at(1) != 0;
+        neighbor_cand_.at(in.port) = decode<PhaseFlagMsg>(in.msg).value;
         break;
 
     case kNotify:
@@ -228,83 +227,95 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
         if (winner_child_ == kNoPort)
             act_as_gate(ctx, pos);
         else
-            ctx.send(winner_child_, Message{tag(kNotify), {p}});
+            ctx.send(winner_child_, encode(tag(kNotify), PhaseOnlyMsg{p}));
         break;
 
     case kPropose: {
         // Register unconditionally; the Orient stage un-registers the
         // reciprocal case on the lower-id side (the child of the pair).
-        const std::uint64_t proposer_fid = in.msg.words.at(1);
+        const std::uint64_t proposer_fid = decode<PhaseValueMsg>(in.msg).value;
         propose_fid_[in.port] = proposer_fid;
         foreign_fid_[in.port] = proposer_fid;
         foreign_matched_[in.port] = false;
         break;
     }
 
-    case kGateInfo:
+    case kGateInfo: {
+        auto m = decode<PhaseFlagMsg>(in.msg);
         if (parent_port_ == kNoPort)
-            has_cv_parent_ = in.msg.words.at(1) != 0;
+            has_cv_parent_ = m.value;
         else
-            ctx.send(parent_port_, Message{tag(kGateInfo), {p, in.msg.words.at(1)}});
+            ctx.send(parent_port_,
+                     encode(tag(kGateInfo), PhaseFlagMsg{p, m.value}));
         break;
+    }
 
-    case kColorDown:
-        deliver_color(ctx, in.msg.words.at(1), in.msg.words.at(2));
+    case kColorDown: {
+        auto m = decode<ColorMsg>(in.msg);
+        deliver_color(ctx, m.iter, m.color);
         break;
+    }
 
-    case kColorCross:
+    case kColorCross: {
         DMST_ASSERT_MSG(gate_ && in.port == mwoe_port_ && has_cv_parent_,
                         "stray COLOR_CROSS");
+        auto m = decode<ColorMsg>(in.msg);
         if (parent_port_ == kNoPort)
-            parent_color_ = in.msg.words.at(2);
+            parent_color_ = m.color;
         else
             ctx.send(parent_port_,
-                     Message{tag(kColorUp),
-                             {p, in.msg.words.at(1), in.msg.words.at(2)}});
+                     encode(tag(kColorUp), ColorMsg{p, m.iter, m.color}));
         break;
+    }
 
-    case kColorUp:
+    case kColorUp: {
+        auto m = decode<ColorMsg>(in.msg);
         if (parent_port_ == kNoPort)
-            parent_color_ = in.msg.words.at(2);
+            parent_color_ = m.color;
         else
             ctx.send(parent_port_,
-                     Message{tag(kColorUp),
-                             {p, in.msg.words.at(1), in.msg.words.at(2)}});
+                     encode(tag(kColorUp), ColorMsg{p, m.iter, m.color}));
         break;
+    }
 
-    case kStatusDown:
+    case kStatusDown: {
+        auto m = decode<StepValueMsg>(in.msg);
         if (winner_child_ == kNoPort) {
             DMST_ASSERT(gate_);
             ctx.send(mwoe_port_,
-                     Message{tag(kStatusCross),
-                             {p, in.msg.words.at(1), fid_, in.msg.words.at(2)}});
+                     encode(tag(kStatusCross),
+                            StatusCrossMsg{p, m.step, fid_, m.value != 0}));
         } else {
             ctx.send(winner_child_,
-                     Message{tag(kStatusDown),
-                             {p, in.msg.words.at(1), in.msg.words.at(2)}});
+                     encode(tag(kStatusDown),
+                            StepValueMsg{p, m.step, m.value}));
         }
         break;
+    }
 
-    case kStatusCross:
+    case kStatusCross: {
         // Only proposals registered this phase matter (the reciprocal
         // parent's status lands on an unregistered port and is ignored).
+        auto m = decode<StatusCrossMsg>(in.msg);
         if (foreign_fid_.count(in.port))
-            foreign_matched_[in.port] = in.msg.words.at(3) != 0;
+            foreign_matched_[in.port] = m.matched;
         break;
+    }
 
     case kStatusReport: {
         DMST_ASSERT(status_pending_ > 0);
         --status_pending_;
-        std::uint64_t fid = in.msg.words.at(2);
-        if (fid < status_best_fid_) {
-            status_best_fid_ = fid;
+        auto m = decode<StepValueMsg>(in.msg);
+        if (m.value < status_best_fid_) {
+            status_best_fid_ = m.value;
             status_winner_child_ = in.port;
         }
         break;
     }
 
     case kAcceptDown: {
-        const std::uint64_t child_fid = in.msg.words.at(2);
+        auto m = decode<StepValueMsg>(in.msg);
+        const std::uint64_t child_fid = m.value;
         if (status_winner_child_ == kNoPort) {
             // The accepted child hangs off this vertex: cross the MWOE.
             std::size_t port = kNoPort;
@@ -316,11 +327,11 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
             }
             DMST_ASSERT_MSG(port != kNoPort, "accepted child not found");
             foreign_matched_[port] = true;
-            ctx.send(port, Message{tag(kAcceptCross), {p, in.msg.words.at(1)}});
+            ctx.send(port, encode(tag(kAcceptCross), StepMsg{p, m.step}));
         } else {
             ctx.send(status_winner_child_,
-                     Message{tag(kAcceptDown),
-                             {p, in.msg.words.at(1), child_fid}});
+                     encode(tag(kAcceptDown),
+                            StepValueMsg{p, m.step, child_fid}));
         }
         break;
     }
@@ -332,7 +343,7 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
             matched_ = true;
             matched_as_child_ = true;
         } else {
-            ctx.send(parent_port_, Message{tag(kAcceptUp), {p}});
+            ctx.send(parent_port_, encode(tag(kAcceptUp), PhaseOnlyMsg{p}));
         }
         break;
 
@@ -342,7 +353,7 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
             matched_ = true;
             matched_as_child_ = true;
         } else {
-            ctx.send(parent_port_, Message{tag(kAcceptUp), {p}});
+            ctx.send(parent_port_, encode(tag(kAcceptUp), PhaseOnlyMsg{p}));
         }
         break;
 
@@ -357,15 +368,15 @@ void GhsVertex::process_message(Context& ctx, const GhsSchedule::Pos& pos,
         mst_ports_.insert(in.port);
         committed_[in.port] = true;
         if (newid_)
-            ctx.send(in.port, Message{tag(kNewId), {p, *newid_}});
+            ctx.send(in.port, encode(tag(kNewId), PhaseValueMsg{p, *newid_}));
         break;
 
     case kNewId:
-        fid_ = in.msg.words.at(1);
+        fid_ = decode<PhaseValueMsg>(in.msg).value;
         newid_ = fid_;
         for (std::size_t c : children_) {
             if (c != in.port)
-                ctx.send(c, Message{tag(kNewId), {p, fid_}});
+                ctx.send(c, encode(tag(kNewId), PhaseValueMsg{p, fid_}));
         }
         break;
     }
@@ -377,10 +388,9 @@ void GhsVertex::send_mwoe_report_if_ready(Context& ctx, const GhsSchedule::Pos& 
         return;
     report_sent_ = true;
     ctx.send(parent_port_,
-             Message{tag(kMwoeReport),
-                     {static_cast<std::uint64_t>(pos.phase), best_key_.w,
-                      (std::uint64_t{best_key_.a} << 32) | best_key_.b,
-                      subtree_height_}});
+             encode(tag(kMwoeReport),
+                    MwoeReportMsg{static_cast<std::uint64_t>(pos.phase),
+                                  best_key_, subtree_height_}));
 }
 
 void GhsVertex::send_status_report_if_ready(Context& ctx,
@@ -391,9 +401,9 @@ void GhsVertex::send_status_report_if_ready(Context& ctx,
         return;
     status_sent_ = true;
     ctx.send(parent_port_,
-             Message{tag(kStatusReport),
-                     {static_cast<std::uint64_t>(pos.phase), step,
-                      status_best_fid_}});
+             encode(tag(kStatusReport),
+                    StepValueMsg{static_cast<std::uint64_t>(pos.phase), step,
+                                 status_best_fid_}));
 }
 
 void GhsVertex::do_merge_flip(Context& ctx)
@@ -404,11 +414,11 @@ void GhsVertex::do_merge_flip(Context& ctx)
         DMST_ASSERT(gate_);
         parent_port_ = mwoe_port_;
         mst_ports_.insert(mwoe_port_);
-        ctx.send(mwoe_port_, Message{tag(kCommit), {p}});
+        ctx.send(mwoe_port_, encode(tag(kCommit), PhaseOnlyMsg{p}));
     } else {
         children_.erase(winner_child_);
         parent_port_ = winner_child_;
-        ctx.send(winner_child_, Message{tag(kFlip), {p}});
+        ctx.send(winner_child_, encode(tag(kFlip), PhaseOnlyMsg{p}));
     }
 }
 
@@ -494,12 +504,12 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
     case GhsStage::Cand:
         if (pos.offset == 0 && is_root && am_candidate_) {
             for (std::size_t c : children_)
-                ctx.send(c, Message{tag(kCandBcast), {p}});
+                ctx.send(c, encode(tag(kCandBcast), PhaseOnlyMsg{p}));
         }
         if (pos.offset + 2 == pos.stage_len) {
             for (std::size_t port = 0; port < ctx.degree(); ++port)
-                ctx.send(port, Message{tag(kCandNbr),
-                                       {p, am_candidate_ ? 1u : 0u}});
+                ctx.send(port, encode(tag(kCandNbr),
+                                      PhaseFlagMsg{p, am_candidate_}));
         }
         break;
 
@@ -508,7 +518,7 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
             if (winner_child_ == kNoPort)
                 act_as_gate(ctx, pos);
             else
-                ctx.send(winner_child_, Message{tag(kNotify), {p}});
+                ctx.send(winner_child_, encode(tag(kNotify), PhaseOnlyMsg{p}));
         }
         break;
 
@@ -527,7 +537,7 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
                              !(reciprocal && fid_ > recip->second);
             if (!is_root)
                 ctx.send(parent_port_,
-                         Message{tag(kGateInfo), {p, has_cv_parent_ ? 1u : 0u}});
+                         encode(tag(kGateInfo), PhaseFlagMsg{p, has_cv_parent_}));
         }
         break;
 
@@ -562,12 +572,12 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
                 if (winner_child_ == kNoPort) {
                     DMST_ASSERT(gate_);
                     ctx.send(mwoe_port_,
-                             Message{tag(kStatusCross),
-                                     {p, step, fid_, matched_ ? 1u : 0u}});
+                             encode(tag(kStatusCross),
+                                    StatusCrossMsg{p, step, fid_, matched_}));
                 } else {
                     ctx.send(winner_child_,
-                             Message{tag(kStatusDown),
-                                     {p, step, matched_ ? 1u : 0u}});
+                             encode(tag(kStatusDown),
+                                    StepValueMsg{p, step, matched_ ? 1u : 0u}));
                 }
             }
         }
@@ -596,10 +606,11 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
                 }
                 DMST_ASSERT(port != kNoPort);
                 foreign_matched_[port] = true;
-                ctx.send(port, Message{tag(kAcceptCross), {p, step}});
+                ctx.send(port, encode(tag(kAcceptCross), StepMsg{p, step}));
             } else {
                 ctx.send(status_winner_child_,
-                         Message{tag(kAcceptDown), {p, step, status_best_fid_}});
+                         encode(tag(kAcceptDown),
+                                StepValueMsg{p, step, status_best_fid_}));
             }
         }
         break;
@@ -612,7 +623,7 @@ void GhsVertex::stage_actions(Context& ctx, const GhsSchedule::Pos& pos)
             } else {
                 newid_ = fid_;
                 for (std::size_t c : children_)
-                    ctx.send(c, Message{tag(kNewId), {p, fid_}});
+                    ctx.send(c, encode(tag(kNewId), PhaseValueMsg{p, fid_}));
             }
         }
         break;

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
 #include "dmst/util/assert.h"
@@ -69,49 +70,47 @@ void ElkinProcess::on_round(Context& ctx)
     for (const Incoming& in : ctx.inbox()) {
         const std::uint32_t t = in.msg.tag;
         if (t == tag(kStartGhs)) {
-            start_ghs_from_wave(ctx, in.msg.words.at(0), in.msg.words.at(1));
+            auto m = decode<StartGhsMsg>(in.msg);
+            start_ghs_from_wave(ctx, m.k, m.start_round);
         } else if (t == tag(kPhaseStart)) {
-            begin_boruvka_phase(ctx, in.msg.words.at(0));
+            begin_boruvka_phase(ctx, decode<PhaseOnlyMsg>(in.msg).phase);
         } else if (t == tag(kChat)) {
-            const std::uint64_t j = in.msg.words.at(0);
-            neighbor_coarse_.at(in.port) = in.msg.words.at(1);
-            neighbor_vid_.at(in.port) = in.msg.words.at(2);
-            if (static_cast<std::int64_t>(j) == phase_) {
+            auto m = decode<FidMsg>(in.msg);
+            neighbor_coarse_.at(in.port) = m.fid;
+            neighbor_vid_.at(in.port) = m.vid;
+            if (static_cast<std::int64_t>(m.phase) == phase_) {
                 ++chats_received_;
             } else {
-                DMST_ASSERT_MSG(static_cast<std::int64_t>(j) == phase_ + 1,
+                DMST_ASSERT_MSG(static_cast<std::int64_t>(m.phase) == phase_ + 1,
                                 "CHAT from an unexpected phase");
                 ++chats_next_;
             }
         } else if (t == tag(kFragReport)) {
-            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
+            auto m = decode<FragReportMsg>(in.msg);
+            DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
             DMST_ASSERT(frag_reports_pending_ > 0);
             --frag_reports_pending_;
-            EdgeKey key{in.msg.words.at(1),
-                        static_cast<VertexId>(in.msg.words.at(2) >> 32),
-                        static_cast<VertexId>(in.msg.words.at(2) & 0xFFFFFFFFULL)};
-            if (key < frag_best_) {
-                frag_best_ = key;
-                frag_best_other_ = in.msg.words.at(3);
+            if (m.key < frag_best_) {
+                frag_best_ = m.key;
+                frag_best_other_ = m.other_coarse;
             }
         } else if (t == tag(kNewCoarse)) {
-            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
-            handle_new_coarse(ctx, in.msg.words.at(1), in.msg.words.at(2));
+            auto m = decode<NewCoarseMsg>(in.msg);
+            DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
+            handle_new_coarse(ctx, m.coarse, m.edge);
         } else if (t == tag(kAck)) {
-            DMST_ASSERT(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_);
+            DMST_ASSERT(static_cast<std::int64_t>(
+                            decode<PhaseOnlyMsg>(in.msg).phase) == phase_);
             DMST_ASSERT(acks_pending_ > 0);
             --acks_pending_;
         } else if (t == tag(kFlood)) {
             // Ablation E10b: every record floods the whole tree.
-            std::array<std::uint64_t, 4> rec{in.msg.words.at(0),
-                                             in.msg.words.at(1),
-                                             in.msg.words.at(2),
-                                             in.msg.words.at(3)};
-            if (rec[0] == labeler_.own_index()) {
-                DMST_ASSERT(static_cast<std::int64_t>(rec[1]) == phase_);
-                handle_new_coarse(ctx, rec[2], rec[3]);
+            auto m = decode<FloodMsg>(in.msg);
+            if (m.rec[0] == labeler_.own_index()) {
+                DMST_ASSERT(static_cast<std::int64_t>(m.rec[1]) == phase_);
+                handle_new_coarse(ctx, m.rec[2], m.rec[3]);
             }
-            flood_enqueue(rec);
+            flood_enqueue(m.rec);
         } else if (t == tag(kFinish)) {
             finish(ctx);
             return;
@@ -180,7 +179,7 @@ void ElkinProcess::start_ghs_from_wave(Context& ctx, std::uint64_t k,
     k_ = k;
     ghs_ = std::make_unique<GhsVertex>(id_, n_, k, start_round, tag(kGhsBase));
     for (std::size_t c : bfs_.children_ports())
-        ctx.send(c, Message{tag(kStartGhs), {k, start_round}});
+        ctx.send(c, encode(tag(kStartGhs), StartGhsMsg{k, start_round}));
 }
 
 void ElkinProcess::begin_registration(Context& ctx)
@@ -212,7 +211,7 @@ void ElkinProcess::begin_registration(Context& ctx)
 
     // First coarse-id exchange; usable in Boruvka phase 0.
     for (std::size_t port = 0; port < ctx.degree(); ++port)
-        ctx.send(port, Message{tag(kChat), {0, coarse_, id_}});
+        ctx.send(port, encode(tag(kChat), FidMsg{0, coarse_, id_}));
 }
 
 void ElkinProcess::root_finish_registration(Context& ctx)
@@ -254,7 +253,7 @@ void ElkinProcess::begin_boruvka_phase(Context& ctx, std::uint64_t j)
         upcast_->close_local();
 
     for (std::size_t c : bfs_.children_ports())
-        ctx.send(c, Message{tag(kPhaseStart), {j}});
+        ctx.send(c, encode(tag(kPhaseStart), PhaseOnlyMsg{j}));
 }
 
 void ElkinProcess::compute_local_mwoe(Context& ctx)
@@ -280,10 +279,8 @@ void ElkinProcess::send_frag_report_if_ready(Context& ctx)
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     if (frag_parent_ != kNoPort) {
         ctx.send(frag_parent_,
-                 Message{tag(kFragReport),
-                         {j, frag_best_.w,
-                          (std::uint64_t{frag_best_.a} << 32) | frag_best_.b,
-                          frag_best_other_}});
+                 encode(tag(kFragReport),
+                        FragReportMsg{j, frag_best_, frag_best_other_}));
         return;
     }
     // Base fragment root: inject the fragment's candidate edge (if any)
@@ -314,7 +311,7 @@ void ElkinProcess::pump_flood(Context& ctx)
         int sent = 0;
         while (sent < ctx.bandwidth() && !flood_queues_[i].empty()) {
             const auto& r = flood_queues_[i].front();
-            ctx.send(children[i], Message{tag(kFlood), {r[0], r[1], r[2], r[3]}});
+            ctx.send(children[i], encode(tag(kFlood), FloodMsg{r}));
             flood_queues_[i].pop_front();
             ++sent;
         }
@@ -381,7 +378,7 @@ void ElkinProcess::handle_new_coarse(Context& ctx, std::uint64_t coarse,
     coarse_ = coarse;
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     for (std::size_t c : frag_children_)
-        ctx.send(c, Message{tag(kNewCoarse), {j, coarse, edge}});
+        ctx.send(c, encode(tag(kNewCoarse), NewCoarseMsg{j, coarse, edge}));
 
     if (edge != kNoEdgeWord) {
         VertexId a = static_cast<VertexId>(edge >> 32);
@@ -391,7 +388,7 @@ void ElkinProcess::handle_new_coarse(Context& ctx, std::uint64_t coarse,
             for (std::size_t port = 0; port < ctx.degree(); ++port) {
                 if (neighbor_vid_[port] == other) {
                     mst_ports_.insert(port);
-                    ctx.send(port, Message{tag(kMarkCross), {}});
+                    ctx.send(port, encode(tag(kMarkCross), EmptyMsg{}));
                     break;
                 }
             }
@@ -400,7 +397,7 @@ void ElkinProcess::handle_new_coarse(Context& ctx, std::uint64_t coarse,
 
     // Updated coarse id for the neighbors' next phase.
     for (std::size_t port = 0; port < ctx.degree(); ++port)
-        ctx.send(port, Message{tag(kChat), {j + 1, coarse_, id_}});
+        ctx.send(port, encode(tag(kChat), FidMsg{j + 1, coarse_, id_}));
 }
 
 void ElkinProcess::maybe_ack(Context& ctx)
@@ -410,7 +407,7 @@ void ElkinProcess::maybe_ack(Context& ctx)
     ack_sent_ = true;
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     if (!is_root_vertex()) {
-        ctx.send(bfs_.parent_port(), Message{tag(kAck), {j}});
+        ctx.send(bfs_.parent_port(), encode(tag(kAck), PhaseOnlyMsg{j}));
         return;
     }
     // Root: the phase is globally complete.
@@ -427,7 +424,7 @@ void ElkinProcess::maybe_ack(Context& ctx)
 void ElkinProcess::finish(Context& ctx)
 {
     for (std::size_t c : bfs_.children_ports())
-        ctx.send(c, Message{tag(kFinish), {}});
+        ctx.send(c, encode(tag(kFinish), EmptyMsg{}));
     finished_ = true;
 }
 

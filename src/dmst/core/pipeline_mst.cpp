@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
 #include "dmst/util/assert.h"
@@ -45,7 +46,8 @@ void PipelineMstProcess::begin_pipeline(Context& ctx)
     neighbor_fid_.assign(ctx.degree(), 0);
     neighbor_vid_.assign(ctx.degree(), 0);
     for (std::size_t port = 0; port < ctx.degree(); ++port)
-        ctx.send(port, Message{kIdExchange, {ghs_->fragment_id(), id_}});
+        ctx.send(port,
+                 encode(kIdExchange, IdExchangeMsg{ghs_->fragment_id(), id_}));
 
     upcast_ = std::make_unique<SortedMergeUpcast>(
         kUpcastBase, std::make_unique<DsuCycleFilter>());
@@ -64,9 +66,9 @@ void PipelineMstProcess::pump_broadcast(Context& ctx)
             std::uint64_t word = bcast_queues_[i].front();
             bcast_queues_[i].pop_front();
             if (word == kFinishWord)
-                ctx.send(children[i], Message{kFinish, {}});
+                ctx.send(children[i], encode(kFinish, EmptyMsg{}));
             else
-                ctx.send(children[i], Message{kEdgeBcast, {word}});
+                ctx.send(children[i], encode(kEdgeBcast, WordMsg{word}));
             ++sent;
         }
         drained = drained && bcast_queues_[i].empty();
@@ -90,21 +92,24 @@ void PipelineMstProcess::on_round(Context& ctx)
         const std::uint32_t t = in.msg.tag;
         if (t == kStartGhs) {
             if (!ghs_) {
-                k_ = in.msg.words.at(0);
-                ghs_ = std::make_unique<GhsVertex>(id_, n_, k_,
-                                                   in.msg.words.at(1), kGhsBase);
+                auto m = decode<StartGhsMsg>(in.msg);
+                k_ = m.k;
+                ghs_ = std::make_unique<GhsVertex>(id_, n_, k_, m.start_round,
+                                                   kGhsBase);
                 for (std::size_t c : bfs_.children_ports())
-                    ctx.send(c, Message{kStartGhs,
-                                        {in.msg.words.at(0), in.msg.words.at(1)}});
+                    ctx.send(c, encode(kStartGhs,
+                                       StartGhsMsg{m.k, m.start_round}));
             }
         } else if (t == kIdExchange) {
-            neighbor_fid_.at(in.port) = in.msg.words.at(0);
-            neighbor_vid_.at(in.port) = in.msg.words.at(1);
+            auto m = decode<IdExchangeMsg>(in.msg);
+            neighbor_fid_.at(in.port) = m.fid;
+            neighbor_vid_.at(in.port) = m.vid;
             ++ids_received_;
         } else if (t == kEdgeBcast) {
-            mark_if_incident(in.msg.words.at(0));
+            auto m = decode<WordMsg>(in.msg);
+            mark_if_incident(m.word);
             for (auto& q : bcast_queues_)
-                q.push_back(in.msg.words.at(0));
+                q.push_back(m.word);
         } else if (t == kFinish) {
             finish_seen_ = true;
             for (auto& q : bcast_queues_)
@@ -126,7 +131,7 @@ void PipelineMstProcess::on_round(Context& ctx)
         const std::uint64_t ghs_start = ctx.round() + bfs_.subtree_height() + 2;
         ghs_ = std::make_unique<GhsVertex>(id_, n_, k_, ghs_start, kGhsBase);
         for (std::size_t c : bfs_.children_ports())
-            ctx.send(c, Message{kStartGhs, {k_, ghs_start}});
+            ctx.send(c, encode(kStartGhs, StartGhsMsg{k_, ghs_start}));
     }
 
     if (ghs_ && ghs_->finished() && !pipeline_started_) {

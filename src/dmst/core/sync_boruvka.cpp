@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
 #include "dmst/util/assert.h"
@@ -50,10 +51,7 @@ void SyncBoruvkaProcess::send_report_if_ready(Context& ctx)
     report_sent_ = true;
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     if (!is_root()) {
-        ctx.send(parent_port_,
-                 Message{kReport,
-                         {j, best_key_.w,
-                          (std::uint64_t{best_key_.a} << 32) | best_key_.b}});
+        ctx.send(parent_port_, encode(kReport, EdgeReportMsg{j, best_key_}));
         return;
     }
     // Fragment root: announce the MWOE (if any) to the whole fragment.
@@ -68,7 +66,7 @@ void SyncBoruvkaProcess::handle_announce(Context& ctx, std::uint64_t packed_edge
     fragment_edge_ = packed_edge;
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     for (std::size_t c : children_)
-        ctx.send(c, Message{kAnnounce, {j, packed_edge}});
+        ctx.send(c, encode(kAnnounce, PhaseValueMsg{j, packed_edge}));
 
     VertexId a = static_cast<VertexId>(packed_edge >> 32);
     VertexId b = static_cast<VertexId>(packed_edge & 0xFFFFFFFFULL);
@@ -78,7 +76,7 @@ void SyncBoruvkaProcess::handle_announce(Context& ctx, std::uint64_t packed_edge
             if (neighbor_vid_[port] == other && neighbor_fid_[port] != fid_) {
                 gate_ = true;
                 gate_port_ = port;
-                ctx.send(port, Message{kPropose, {j, fid_, id_}});
+                ctx.send(port, encode(kPropose, FidMsg{j, fid_, id_}));
                 break;
             }
         }
@@ -95,8 +93,7 @@ void SyncBoruvkaProcess::reply_ack(Context& ctx, std::size_t port,
 {
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     std::uint64_t edge = pack_edge(id_, static_cast<VertexId>(proposer_vid));
-    std::uint64_t reciprocal = edge == fragment_edge_ ? 1 : 0;
-    ctx.send(port, Message{kAckProp, {j, reciprocal, fid_}});
+    ctx.send(port, encode(kAckProp, AckPropMsg{j, edge == fragment_edge_, fid_}));
 }
 
 void SyncBoruvkaProcess::become_center(Context& ctx)
@@ -104,7 +101,7 @@ void SyncBoruvkaProcess::become_center(Context& ctx)
     const std::uint64_t j = static_cast<std::uint64_t>(phase_);
     newid_ = fid_;
     for (std::size_t c : children_)
-        ctx.send(c, Message{kNewId, {j, fid_}});
+        ctx.send(c, encode(kNewId, PhaseValueMsg{j, fid_}));
 }
 
 void SyncBoruvkaProcess::do_flip(Context& ctx)
@@ -114,11 +111,11 @@ void SyncBoruvkaProcess::do_flip(Context& ctx)
         DMST_ASSERT(gate_);
         parent_port_ = gate_port_;
         mst_ports_.insert(gate_port_);
-        ctx.send(gate_port_, Message{kCommit, {j}});
+        ctx.send(gate_port_, encode(kCommit, PhaseOnlyMsg{j}));
     } else {
         children_.erase(winner_child_);
         parent_port_ = winner_child_;
-        ctx.send(winner_child_, Message{kFlip, {j}});
+        ctx.send(winner_child_, encode(kFlip, PhaseOnlyMsg{j}));
     }
 }
 
@@ -132,58 +129,56 @@ void SyncBoruvkaProcess::on_round(Context& ctx)
         }
         const std::uint64_t j = static_cast<std::uint64_t>(phase_);
         for (std::size_t port = 0; port < ctx.degree(); ++port)
-            ctx.send(port, Message{kFid, {j, fid_, id_}});
+            ctx.send(port, encode(kFid, FidMsg{j, fid_, id_}));
     }
 
     for (const Incoming& in : ctx.inbox()) {
-        DMST_ASSERT_MSG(static_cast<std::int64_t>(in.msg.words.at(0)) == phase_,
+        DMST_ASSERT_MSG(static_cast<std::int64_t>(peek_phase(in.msg)) == phase_,
                         "message from a different phase");
+        const std::uint64_t j = static_cast<std::uint64_t>(phase_);
         switch (in.msg.tag) {
-        case kFid:
-            neighbor_fid_.at(in.port) = in.msg.words.at(1);
-            neighbor_vid_.at(in.port) = in.msg.words.at(2);
+        case kFid: {
+            auto m = decode<FidMsg>(in.msg);
+            neighbor_fid_.at(in.port) = m.fid;
+            neighbor_vid_.at(in.port) = m.vid;
             ++fids_received_;
             break;
+        }
         case kReport: {
             DMST_ASSERT(reports_pending_ > 0);
             --reports_pending_;
-            EdgeKey key{in.msg.words.at(1),
-                        static_cast<VertexId>(in.msg.words.at(2) >> 32),
-                        static_cast<VertexId>(in.msg.words.at(2) & 0xFFFFFFFFULL)};
-            if (key < best_key_) {
-                best_key_ = key;
+            auto m = decode<EdgeReportMsg>(in.msg);
+            if (m.key < best_key_) {
+                best_key_ = m.key;
                 winner_child_ = in.port;
             }
             break;
         }
         case kAnnounce:
-            handle_announce(ctx, in.msg.words.at(1));
+            handle_announce(ctx, decode<PhaseValueMsg>(in.msg).value);
             break;
-        case kPropose:
+        case kPropose: {
+            auto m = decode<FidMsg>(in.msg);
             if (announced_)
-                reply_ack(ctx, in.port, in.msg.words.at(2));
+                reply_ack(ctx, in.port, m.vid);
             else
-                queued_proposals_.emplace_back(in.port, in.msg.words.at(2));
+                queued_proposals_.emplace_back(in.port, m.vid);
             break;
+        }
         case kAckProp: {
             DMST_ASSERT(gate_ && in.port == gate_port_);
-            bool reciprocal = in.msg.words.at(1) != 0;
-            std::uint64_t other_fid = in.msg.words.at(2);
-            if (reciprocal && fid_ > other_fid) {
+            auto m = decode<AckPropMsg>(in.msg);
+            if (m.reciprocal && fid_ > m.fid) {
                 // This fragment is the center of its merge component.
                 if (is_root())
                     become_center(ctx);
                 else
-                    ctx.send(parent_port_,
-                             Message{kCenterUp,
-                                     {static_cast<std::uint64_t>(phase_)}});
+                    ctx.send(parent_port_, encode(kCenterUp, PhaseOnlyMsg{j}));
             } else {
                 if (is_root())
                     do_flip(ctx);
                 else
-                    ctx.send(parent_port_,
-                             Message{kMergeUp,
-                                     {static_cast<std::uint64_t>(phase_)}});
+                    ctx.send(parent_port_, encode(kMergeUp, PhaseOnlyMsg{j}));
             }
             break;
         }
@@ -191,15 +186,13 @@ void SyncBoruvkaProcess::on_round(Context& ctx)
             if (is_root())
                 become_center(ctx);
             else
-                ctx.send(parent_port_,
-                         Message{kCenterUp, {static_cast<std::uint64_t>(phase_)}});
+                ctx.send(parent_port_, encode(kCenterUp, PhaseOnlyMsg{j}));
             break;
         case kMergeUp:
             if (is_root())
                 do_flip(ctx);
             else
-                ctx.send(parent_port_,
-                         Message{kMergeUp, {static_cast<std::uint64_t>(phase_)}});
+                ctx.send(parent_port_, encode(kMergeUp, PhaseOnlyMsg{j}));
             break;
         case kFlip:
             DMST_ASSERT(in.port == parent_port_);
@@ -210,17 +203,14 @@ void SyncBoruvkaProcess::on_round(Context& ctx)
             children_.insert(in.port);
             mst_ports_.insert(in.port);
             if (newid_)
-                ctx.send(in.port,
-                         Message{kNewId,
-                                 {static_cast<std::uint64_t>(phase_), *newid_}});
+                ctx.send(in.port, encode(kNewId, PhaseValueMsg{j, *newid_}));
             break;
         case kNewId:
-            fid_ = in.msg.words.at(1);
+            fid_ = decode<PhaseValueMsg>(in.msg).value;
             newid_ = fid_;
             for (std::size_t c : children_) {
                 if (c != in.port)
-                    ctx.send(c, Message{kNewId,
-                                        {static_cast<std::uint64_t>(phase_), fid_}});
+                    ctx.send(c, encode(kNewId, PhaseValueMsg{j, fid_}));
             }
             break;
         default:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dmst/congest/codec.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -20,7 +21,7 @@ void BfsBuilder::join(Context& ctx, std::uint32_t depth, std::size_t parent_port
     if (parent_port != kNoPort) {
         ports_[parent_port] = PortState::Parent;
         --unresolved_ports_;
-        ctx.send(parent_port, Message{tag_accept(), {}});
+        ctx.send(parent_port, encode(tag_accept(), EmptyMsg{}));
     }
 }
 
@@ -72,8 +73,8 @@ void BfsBuilder::on_round(Context& ctx)
                 }
             }
             DMST_ASSERT(parent_msg != nullptr);
-            join(ctx, static_cast<std::uint32_t>(parent_msg->msg.words.at(0)) + 1,
-                 parent);
+            auto explore = decode<BfsExploreMsg>(parent_msg->msg);
+            join(ctx, static_cast<std::uint32_t>(explore.depth) + 1, parent);
         }
         if (joined_) {
             // Reject the other same-round explorers; explore silent ports.
@@ -83,11 +84,11 @@ void BfsBuilder::on_round(Context& ctx)
                 DMST_ASSERT(ports_[p] == PortState::Unknown);
                 ports_[p] = PortState::NonChild;
                 --unresolved_ports_;
-                ctx.send(p, Message{tag_reject(), {}});
+                ctx.send(p, encode(tag_reject(), EmptyMsg{}));
             }
             for (std::size_t p = 0; p < ports_.size(); ++p) {
                 if (ports_[p] == PortState::Unknown)
-                    ctx.send(p, Message{tag_explore(), {depth_}});
+                    ctx.send(p, encode(tag_explore(), BfsExploreMsg{depth_}));
             }
         }
     } else {
@@ -97,7 +98,7 @@ void BfsBuilder::on_round(Context& ctx)
                 ports_[p] = PortState::NonChild;
                 --unresolved_ports_;
             }
-            ctx.send(p, Message{tag_reject(), {}});
+            ctx.send(p, encode(tag_reject(), EmptyMsg{}));
         }
     }
 
@@ -108,10 +109,11 @@ void BfsBuilder::on_round(Context& ctx)
             continue;
         DMST_ASSERT_MSG(ports_[in.port] == PortState::Child,
                         "ECHO from a non-child port");
-        child_sizes_[in.port] = in.msg.words.at(0);
-        subtree_size_ += in.msg.words.at(0);
+        auto echo = decode<BfsEchoMsg>(in.msg);
+        child_sizes_[in.port] = echo.subtree_size;
+        subtree_size_ += echo.subtree_size;
         subtree_height_ = std::max(
-            subtree_height_, static_cast<std::uint32_t>(in.msg.words.at(1)) + 1);
+            subtree_height_, static_cast<std::uint32_t>(echo.height) + 1);
         ++echoes_received_;
     }
 
@@ -126,7 +128,8 @@ void BfsBuilder::maybe_echo(Context& ctx)
         return;
     echo_sent_ = true;
     if (parent_port_ != kNoPort)
-        ctx.send(parent_port_, Message{tag_echo(), {subtree_size_, subtree_height_}});
+        ctx.send(parent_port_,
+                 encode(tag_echo(), BfsEchoMsg{subtree_size_, subtree_height_}));
     finished_ = true;
 }
 

@@ -1,5 +1,6 @@
 #include "dmst/proto/downcast.h"
 
+#include "dmst/congest/codec.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -44,11 +45,8 @@ void IntervalDowncast::on_round(Context& ctx)
         if (!handles(in.msg.tag))
             continue;
         DMST_ASSERT_MSG(attached_, "downcast traffic before attach()");
-        DownRecord r;
-        r.target = in.msg.words.at(0);
-        for (std::size_t i = 0; i < r.payload.size(); ++i)
-            r.payload[i] = in.msg.words.at(1 + i);
-        route(r);
+        auto m = decode<DownRecordMsg>(in.msg);
+        route(DownRecord{m.target, m.payload});
     }
     if (!attached_)
         return;
@@ -59,9 +57,7 @@ void IntervalDowncast::on_round(Context& ctx)
         while (sent < budget && !queues_[i].empty()) {
             const DownRecord& r = queues_[i].front();
             ctx.send(children_ports_[i],
-                     Message{tag_base_,
-                             {r.target, r.payload[0], r.payload[1], r.payload[2],
-                              r.payload[3]}});
+                     encode(tag_base_, DownRecordMsg{r.target, r.payload}));
             queues_[i].pop_front();
             ++sent;
         }

@@ -1,5 +1,6 @@
 #include "dmst/proto/intervals.h"
 
+#include "dmst/congest/codec.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -29,7 +30,8 @@ void IntervalLabeler::assign(Context& ctx, Interval interval)
         Interval child{cursor, cursor + child_sizes_[i]};
         cursor += child_sizes_[i];
         child_intervals_.push_back(child);
-        ctx.send(children_ports_[i], Message{tag_base_, {child.lo, child.hi}});
+        ctx.send(children_ports_[i],
+                 encode(tag_base_, IntervalAssignMsg{child.lo, child.hi}));
     }
     DMST_ASSERT(cursor == interval.hi);
 }
@@ -46,7 +48,8 @@ void IntervalLabeler::on_round(Context& ctx)
         if (!handles(in.msg.tag))
             continue;
         DMST_ASSERT_MSG(attached_, "ASSIGN before attach()");
-        assign(ctx, Interval{in.msg.words.at(0), in.msg.words.at(1)});
+        auto m = decode<IntervalAssignMsg>(in.msg);
+        assign(ctx, Interval{m.lo, m.hi});
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dmst/congest/codec.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -76,22 +77,14 @@ void SortedMergeUpcast::close_local()
 
 Message SortedMergeUpcast::serialize(const PipeRecord& r) const
 {
-    return Message{tag_record(),
-                   {r.key.w,
-                    (std::uint64_t{r.key.a} << 32) | r.key.b,
-                    r.group, r.group2, r.aux}};
+    return encode(tag_record(),
+                  PipeRecordMsg{r.key, r.group, r.group2, r.aux});
 }
 
 PipeRecord SortedMergeUpcast::deserialize(const Message& m)
 {
-    PipeRecord r;
-    r.key.w = m.words.at(0);
-    r.key.a = static_cast<VertexId>(m.words.at(1) >> 32);
-    r.key.b = static_cast<VertexId>(m.words.at(1) & 0xFFFFFFFFULL);
-    r.group = m.words.at(2);
-    r.group2 = m.words.at(3);
-    r.aux = m.words.at(4);
-    return r;
+    auto p = decode<PipeRecordMsg>(m);
+    return PipeRecord{p.key, p.group, p.group2, p.aux};
 }
 
 bool SortedMergeUpcast::safe_to_emit(const PipeSortKey& k) const
@@ -162,7 +155,7 @@ void SortedMergeUpcast::on_round(Context& ctx)
         buffer_.empty() &&
         std::all_of(children_.begin(), children_.end(),
                     [](const ChildStream& c) { return c.done; })) {
-        ctx.send(parent_port_, Message{tag_done(), {}});
+        ctx.send(parent_port_, encode(tag_done(), EmptyMsg{}));
         done_sent_ = true;
     }
 }

@@ -57,7 +57,7 @@ void ParallelNetwork::rethrow_shard_error()
     }
 }
 
-void ParallelNetwork::send_from(VertexId from, std::size_t port, Message msg)
+void ParallelNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
 {
     const std::size_t size = msg.size_words();
     charge_bandwidth(from, port, size);
@@ -69,9 +69,9 @@ void ParallelNetwork::send_from(VertexId from, std::size_t port, Message msg)
         if (st.edge_hist[e]++ == 0)
             st.touched_edges.push_back(e);
     }
-    st.out[static_cast<std::size_t>(shard_of_[target])].push_back(
-        Staged{target, static_cast<std::uint32_t>(reverse_port_[from][port]),
-               std::move(msg)});
+    st.out[static_cast<std::size_t>(shard_of_[target])].emplace(
+        target, static_cast<std::uint32_t>(reverse_port_[from][port]),
+        std::move(msg));
     ++st.messages;
     st.words += size;
 }
@@ -95,25 +95,51 @@ void ParallelNetwork::deliver_shard(int s)
 {
     ShardState& st = shard_states_[static_cast<std::size_t>(s)];
     try {
+        // Size this shard's own arena; growth happens on the worker, so
+        // each shard faults-in and fills only its own memory.
+        std::size_t total = 0;
+        for (int t = 0; t < shards_; ++t)
+            total += shard_states_[static_cast<std::size_t>(t)]
+                         .out[static_cast<std::size_t>(s)]
+                         .size();
+        if (st.slab.size() < total)
+            st.slab.resize(std::max(total, 2 * st.slab.size()));
+        st.live = total;
+
+        // Count staged messages per target vertex of this shard.
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            inbox_count_[v] = 0;
+        for (int t = 0; t < shards_; ++t)
+            shard_states_[static_cast<std::size_t>(t)]
+                .out[static_cast<std::size_t>(s)]
+                .for_each([&](const Staged& m) { ++inbox_count_[m.target]; });
+
+        // Lay the shard's vertices out contiguously within its slab.
+        Incoming* base = st.slab.data();
+        std::size_t cursor = 0;
         for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
-            st.consumed += inboxes_[v].size();
-            inboxes_[v].clear();
+            inbox_span_[v] = InboxSpan{base + cursor, inbox_count_[v]};
+            scatter_off_[v] = cursor;
+            cursor += inbox_count_[v];
         }
-        // Source shards in ascending order reproduce the serial staging
-        // order: (sender id, send order).
+
+        // Stable scatter: source shards in ascending order reproduce the
+        // serial staging order (sender id, send order) per target.
         for (int t = 0; t < shards_; ++t) {
             auto& box = shard_states_[static_cast<std::size_t>(t)]
                             .out[static_cast<std::size_t>(s)];
-            for (Staged& m : box)
-                inboxes_[m.target].push_back(
-                    Incoming{m.port, std::move(m.msg)});
+            box.for_each([&](Staged& m) {
+                Incoming& slot = base[scatter_off_[m.target]++];
+                slot.port = m.port;
+                slot.msg = std::move(m.msg);
+            });
             box.clear();
         }
-        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
-            std::stable_sort(inboxes_[v].begin(), inboxes_[v].end(),
-                             [](const Incoming& a, const Incoming& b) {
-                                 return a.port < b.port;
-                             });
+
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+            const InboxSpan& span = inbox_span_[v];
+            sort_span_by_port(span.data, span.len, st.sort_scratch);
+        }
     } catch (...) {
         st.error = std::current_exception();
     }
@@ -141,25 +167,29 @@ bool ParallelNetwork::step()
     ++round_;
     run_phase([this](int s) { step_shard(s); });
     rethrow_shard_error();
+
+    // Last round's arena contents are exactly the messages consumed this
+    // round; the deliver phase overwrites them shard-locally.
+    std::uint64_t consumed = 0;
+    for (const auto& st : shard_states_)
+        consumed += st.live;
+    DMST_ASSERT(consumed <= in_flight_);
+    in_flight_ -= consumed;
+
     run_phase([this](int s) { deliver_shard(s); });
     rethrow_shard_error();
     if (config_.record_per_edge)
         fold_edge_histograms();
 
     std::uint64_t sent = 0;
-    std::uint64_t consumed = 0;
     for (auto& st : shard_states_) {
         sent += st.messages;
         stats_.messages += st.messages;
         stats_.words += st.words;
-        consumed += st.consumed;
         st.messages = 0;
         st.words = 0;
-        st.consumed = 0;
     }
-    DMST_ASSERT(consumed <= in_flight_);
     in_flight_ += sent;
-    in_flight_ -= consumed;
 
     stats_.rounds = round_;
     if (config_.record_per_round)

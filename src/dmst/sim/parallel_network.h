@@ -16,16 +16,23 @@ namespace dmst {
 //   1. step:    every shard resets its vertices' bandwidth ledgers and runs
 //               on_round() in id order, staging sends into per-(source
 //               shard, destination shard) outboxes;
-//   2. deliver: every shard drains last round's inboxes for its vertices,
-//               concatenates the staged outboxes addressed to it in source-
-//               shard order, and stable-sorts each inbox by arrival port.
+//   2. deliver: every shard counting-scatters the staged outboxes addressed
+//               to it — source shards in ascending order — into its region
+//               of the shared inbox arena, then stable-sorts each vertex
+//               span by arrival port. The coordinator sizes the arena and
+//               assigns the per-shard regions between the two phases.
 //
 // Determinism: concatenating contiguous source shards in ascending order
 // reproduces exactly the (sender id, send order) staging order of the
-// serial engine, and the same stable sort then yields bit-identical
+// serial engine, and the same stable per-port sort then yields bit-identical
 // inboxes — so RunStats, process state, and protocol output are identical
 // to Network for every shard and thread count. Counters are accumulated
 // per shard and merged by the coordinator after each round.
+//
+// Shards write disjoint regions of the shared arena (and disjoint vertex
+// ranges of the span/scratch tables), so the deliver phase needs no
+// synchronization beyond the phase barrier; like the serial engine, the
+// steady state performs zero per-message heap allocations at bandwidth=1.
 //
 // A process exception (e.g. a bandwidth violation) is captured per shard
 // and rethrown after the phase barrier; when several shards throw in the
@@ -45,24 +52,20 @@ public:
     int shards() const { return shards_; }
 
 protected:
-    void send_from(VertexId from, std::size_t port, Message msg) override;
+    void send_from(VertexId from, std::size_t port, Message&& msg) override;
 
 private:
-    struct Staged {
-        VertexId target = 0;
-        std::uint32_t port = 0;
-        Message msg;
-    };
-
     // Per-shard scratch, cache-line separated: only the owning worker
     // touches it during a phase; the coordinator merges between phases.
     struct alignas(64) ShardState {
-        std::vector<std::vector<Staged>> out;  // by destination shard
+        std::vector<StagedBuffer> out;  // by destination shard
+        std::vector<Incoming> slab;     // grow-only arena for own vertices
+        std::size_t live = 0;           // slots delivered into this round
         std::uint64_t messages = 0;
         std::uint64_t words = 0;
-        std::uint64_t consumed = 0;
         std::vector<std::uint64_t> edge_hist;  // only if record_per_edge
         std::vector<EdgeId> touched_edges;     // edges with edge_hist != 0
+        SortScratch sort_scratch;
         std::exception_ptr error;
     };
 

@@ -1,0 +1,294 @@
+// Typed codec layer (congest/codec.h): every payload struct must survive
+// an encode/decode round trip bit-exactly, at its documented word count —
+// the word-accounting invariant that keeps RunStats comparable across
+// revisions. Also covers the WordBuf inline/overflow payload storage that
+// backs Message.
+
+#include <gtest/gtest.h>
+
+#include "dmst/congest/codec.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+EdgeKey random_key(Rng& rng)
+{
+    return EdgeKey{rng.next(), static_cast<VertexId>(rng.next()),
+                   static_cast<VertexId>(rng.next())};
+}
+
+// Encodes, checks the wire size, decodes, returns the round-tripped value.
+template <typename P>
+P round_trip(const P& payload, std::uint32_t tag, std::size_t payload_words)
+{
+    Message m = encode(tag, payload);
+    EXPECT_EQ(m.tag, tag);
+    EXPECT_EQ(m.words.size(), payload_words);
+    EXPECT_EQ(m.size_words(), payload_words + 1);  // tag counts as one word
+    return decode<P>(m);
+}
+
+TEST(Codec, EmptyMsg)
+{
+    round_trip(EmptyMsg{}, 7, 0);
+}
+
+TEST(Codec, ProtoPayloads)
+{
+    Rng rng(101);
+    for (int i = 0; i < 200; ++i) {
+        {
+            BfsExploreMsg in{rng.next()};
+            auto out = round_trip(in, 1, 1);
+            EXPECT_EQ(out.depth, in.depth);
+        }
+        {
+            BfsEchoMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 2, 2);
+            EXPECT_EQ(out.subtree_size, in.subtree_size);
+            EXPECT_EQ(out.height, in.height);
+        }
+        {
+            IntervalAssignMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 3, 2);
+            EXPECT_EQ(out.lo, in.lo);
+            EXPECT_EQ(out.hi, in.hi);
+        }
+        {
+            DownRecordMsg in{rng.next(),
+                             {rng.next(), rng.next(), rng.next(), rng.next()}};
+            auto out = round_trip(in, 4, 5);
+            EXPECT_EQ(out.target, in.target);
+            EXPECT_EQ(out.payload, in.payload);
+        }
+        {
+            PipeRecordMsg in{random_key(rng), rng.next(), rng.next(), rng.next()};
+            auto out = round_trip(in, 5, 5);
+            EXPECT_EQ(out.key, in.key);
+            EXPECT_EQ(out.group, in.group);
+            EXPECT_EQ(out.group2, in.group2);
+            EXPECT_EQ(out.aux, in.aux);
+        }
+    }
+}
+
+TEST(Codec, DriverPayloads)
+{
+    Rng rng(102);
+    for (int i = 0; i < 200; ++i) {
+        {
+            PhaseOnlyMsg in{rng.next()};
+            EXPECT_EQ(round_trip(in, 10, 1).phase, in.phase);
+        }
+        {
+            FidMsg in{rng.next(), rng.next(), rng.next()};
+            auto out = round_trip(in, 11, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.fid, in.fid);
+            EXPECT_EQ(out.vid, in.vid);
+        }
+        {
+            PhaseFlagMsg in{rng.next(), rng.next_below(2) == 1};
+            auto out = round_trip(in, 12, 2);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.value, in.value);
+        }
+        {
+            PhaseValueMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 13, 2);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.value, in.value);
+        }
+        {
+            ColorMsg in{rng.next(), rng.next(), rng.next()};
+            auto out = round_trip(in, 14, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.iter, in.iter);
+            EXPECT_EQ(out.color, in.color);
+        }
+        {
+            StepValueMsg in{rng.next(), rng.next(), rng.next()};
+            auto out = round_trip(in, 15, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.step, in.step);
+            EXPECT_EQ(out.value, in.value);
+        }
+        {
+            StepMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 16, 2);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.step, in.step);
+        }
+        {
+            StatusCrossMsg in{rng.next(), rng.next(), rng.next(),
+                              rng.next_below(2) == 1};
+            auto out = round_trip(in, 17, 4);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.step, in.step);
+            EXPECT_EQ(out.fid, in.fid);
+            EXPECT_EQ(out.matched, in.matched);
+        }
+        {
+            MwoeReportMsg in{rng.next(), random_key(rng), rng.next()};
+            auto out = round_trip(in, 18, 4);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.key, in.key);
+            EXPECT_EQ(out.height, in.height);
+        }
+        {
+            EdgeReportMsg in{rng.next(), random_key(rng)};
+            auto out = round_trip(in, 19, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.key, in.key);
+        }
+        {
+            FragReportMsg in{rng.next(), random_key(rng), rng.next()};
+            auto out = round_trip(in, 20, 4);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.key, in.key);
+            EXPECT_EQ(out.other_coarse, in.other_coarse);
+        }
+        {
+            AckPropMsg in{rng.next(), rng.next_below(2) == 1, rng.next()};
+            auto out = round_trip(in, 21, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.reciprocal, in.reciprocal);
+            EXPECT_EQ(out.fid, in.fid);
+        }
+        {
+            NewCoarseMsg in{rng.next(), rng.next(), rng.next()};
+            auto out = round_trip(in, 22, 3);
+            EXPECT_EQ(out.phase, in.phase);
+            EXPECT_EQ(out.coarse, in.coarse);
+            EXPECT_EQ(out.edge, in.edge);
+        }
+        {
+            StartGhsMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 23, 2);
+            EXPECT_EQ(out.k, in.k);
+            EXPECT_EQ(out.start_round, in.start_round);
+        }
+        {
+            IdExchangeMsg in{rng.next(), rng.next()};
+            auto out = round_trip(in, 24, 2);
+            EXPECT_EQ(out.fid, in.fid);
+            EXPECT_EQ(out.vid, in.vid);
+        }
+        {
+            WordMsg in{rng.next()};
+            EXPECT_EQ(round_trip(in, 25, 1).word, in.word);
+        }
+        {
+            FloodMsg in{{rng.next(), rng.next(), rng.next(), rng.next()}};
+            EXPECT_EQ(round_trip(in, 26, 4).rec, in.rec);
+        }
+    }
+}
+
+TEST(Codec, EdgeKeyPackingIsLossless)
+{
+    // The endpoint pair packs into one word; extreme 32-bit values must not
+    // bleed into each other.
+    for (VertexId a : {VertexId{0}, VertexId{1}, ~VertexId{0}}) {
+        for (VertexId b : {VertexId{0}, VertexId{1}, ~VertexId{0}}) {
+            EdgeKey in{~Weight{0}, a, b};
+            Message m = encode(42, EdgeReportMsg{0, in});
+            EXPECT_EQ(decode<EdgeReportMsg>(m).key, in);
+        }
+    }
+}
+
+TEST(Codec, DecodeRejectsTrailingWords)
+{
+    Message m = encode(1, PhaseOnlyMsg{5});
+    m.words.push_back(99);  // a stray extra word
+    EXPECT_THROW(decode<PhaseOnlyMsg>(m), InvariantViolation);
+}
+
+TEST(Codec, DecodeRejectsTruncatedMessage)
+{
+    Message m = encode(1, PhaseOnlyMsg{5});  // one payload word
+    EXPECT_THROW(decode<FidMsg>(m), std::out_of_range);  // needs three
+}
+
+TEST(Codec, PeekPhaseReadsWordZero)
+{
+    Message m = encode(9, FidMsg{1234, 5, 6});
+    EXPECT_EQ(peek_phase(m), 1234u);
+}
+
+// ------------------------------------------------------------ WordBuf
+
+TEST(WordBuf, InlineSmallPayloads)
+{
+    WordBuf b{1, 2, 3};
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_FALSE(b.overflowed());
+    EXPECT_EQ(b.at(0), 1u);
+    EXPECT_EQ(b.at(2), 3u);
+    EXPECT_THROW(b.at(3), std::out_of_range);
+}
+
+TEST(WordBuf, StaysInlineUpToCapacity)
+{
+    WordBuf b;
+    for (std::size_t i = 0; i < WordBuf::kInlineCapacity; ++i)
+        b.push_back(i);
+    EXPECT_EQ(b.size(), WordBuf::kInlineCapacity);
+    EXPECT_FALSE(b.overflowed());
+}
+
+TEST(WordBuf, OverflowPathPreservesContents)
+{
+    WordBuf b;
+    const std::size_t n = 3 * WordBuf::kInlineCapacity + 1;
+    for (std::size_t i = 0; i < n; ++i)
+        b.push_back(i * 7);
+    EXPECT_TRUE(b.overflowed());
+    ASSERT_EQ(b.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(b[i], i * 7);
+}
+
+TEST(WordBuf, CopyAndMoveBothStorageModes)
+{
+    for (std::size_t n : {std::size_t{3}, 2 * WordBuf::kInlineCapacity}) {
+        WordBuf src;
+        for (std::size_t i = 0; i < n; ++i)
+            src.push_back(i + 1);
+
+        WordBuf copied(src);
+        EXPECT_EQ(copied, src);
+
+        WordBuf assigned;
+        assigned = src;
+        EXPECT_EQ(assigned, src);
+
+        WordBuf moved(std::move(copied));
+        EXPECT_EQ(moved, src);
+
+        WordBuf move_assigned{9, 9, 9};
+        move_assigned = std::move(moved);
+        EXPECT_EQ(move_assigned, src);
+    }
+}
+
+TEST(WordBuf, EqualityComparesContents)
+{
+    EXPECT_EQ((WordBuf{1, 2}), (WordBuf{1, 2}));
+    EXPECT_NE((WordBuf{1, 2}), (WordBuf{1, 3}));
+    EXPECT_NE((WordBuf{1, 2}), (WordBuf{1, 2, 3}));
+
+    // Inline vs overflowed storage with equal contents compares equal.
+    WordBuf big_then_cleared;
+    for (std::size_t i = 0; i < 2 * WordBuf::kInlineCapacity; ++i)
+        big_then_cleared.push_back(i);
+    big_then_cleared.clear();
+    big_then_cleared.push_back(1);
+    big_then_cleared.push_back(2);
+    EXPECT_EQ(big_then_cleared, (WordBuf{1, 2}));
+}
+
+}  // namespace
+}  // namespace dmst

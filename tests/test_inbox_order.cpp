@@ -1,0 +1,180 @@
+// Delivery-order contract of the arena-backed inboxes: a vertex's inbox
+// holds last round's messages sorted by arrival port, ties broken by
+// (sender id, send order). This test pins the contract against an
+// independently computed reference — the same sequence the seed
+// implementation (per-vertex vectors + std::stable_sort) produced — on
+// fuzzed graphs and fuzzed send plans, for the serial engine and for the
+// parallel engine across shard counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dmst/congest/codec.h"
+#include "dmst/congest/network.h"
+#include "dmst/graph/generators.h"
+#include "dmst/sim/parallel_network.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+// (sender id, per-sender send sequence) — the identity of one message.
+using Sent = std::pair<std::uint64_t, std::uint64_t>;
+// What a receiver records per delivered message: arrival port + identity.
+using Delivered = std::tuple<std::size_t, std::uint64_t, std::uint64_t>;
+
+// Send plan: in round 1, vertex v sends plan[v][i] = port, in order.
+using SendPlan = std::vector<std::vector<std::size_t>>;
+
+SendPlan random_plan(const WeightedGraph& g, Rng& rng, int bandwidth)
+{
+    // Each message is 3 words (tag + sender + seq); keep every (vertex,
+    // port) within the bandwidth * kWordsPerUnit word budget.
+    const std::size_t per_port_cap =
+        bandwidth * kWordsPerUnit / 3;
+    SendPlan plan(g.vertex_count());
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        std::vector<std::size_t> per_port(g.degree(v), 0);
+        std::size_t sends = rng.next_below(3 * g.degree(v) + 2);
+        for (std::size_t i = 0; i < sends; ++i) {
+            std::size_t port = rng.next_below(g.degree(v));
+            if (per_port[port] + 1 > per_port_cap)
+                continue;
+            ++per_port[port];
+            plan[v].push_back(port);
+        }
+    }
+    return plan;
+}
+
+// The contract, computed from first principles: for receiver u, every
+// message staged to u in (sender id, send order), stable-sorted by the
+// port it arrives at.
+std::vector<Delivered> expected_inbox(const WeightedGraph& g,
+                                      const SendPlan& plan, VertexId u)
+{
+    // reverse port: for sender v port p, the arrival port at the neighbor.
+    std::vector<Delivered> staged;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        std::uint64_t seq = 0;
+        for (std::size_t port : plan[v]) {
+            VertexId target = g.neighbor(v, port);
+            std::uint64_t s = seq++;
+            if (target != u)
+                continue;
+            std::size_t arrival = g.port_of(u, v);
+            staged.emplace_back(arrival, v, s);
+        }
+    }
+    std::stable_sort(staged.begin(), staged.end(),
+                     [](const Delivered& a, const Delivered& b) {
+                         return std::get<0>(a) < std::get<0>(b);
+                     });
+    return staged;
+}
+
+class PlannedSender : public Process {
+public:
+    PlannedSender(VertexId id, const SendPlan& plan) : id_(id), plan_(&plan) {}
+
+    void on_round(Context& ctx) override
+    {
+        if (ctx.round() == 1) {
+            std::uint64_t seq = 0;
+            for (std::size_t port : (*plan_)[id_])
+                ctx.send(port, encode(1, IdExchangeMsg{id_, seq++}));
+        } else if (ctx.round() == 2) {
+            for (const Incoming& in : ctx.inbox()) {
+                auto m = decode<IdExchangeMsg>(in.msg);
+                received_.emplace_back(in.port, m.fid, m.vid);
+            }
+        }
+        finished_ = ctx.round() >= 2;
+    }
+
+    bool done() const override { return finished_; }
+
+    const std::vector<Delivered>& received() const { return received_; }
+
+private:
+    VertexId id_;
+    const SendPlan* plan_;
+    std::vector<Delivered> received_;
+    bool finished_ = false;
+};
+
+void check_engine(NetworkBase& net, const WeightedGraph& g,
+                  const SendPlan& plan, const char* label)
+{
+    net.init([&](VertexId v) { return std::make_unique<PlannedSender>(v, plan); });
+    net.run();
+    for (VertexId u = 0; u < g.vertex_count(); ++u) {
+        const auto& p = static_cast<const PlannedSender&>(net.process(u));
+        EXPECT_EQ(p.received(), expected_inbox(g, plan, u))
+            << label << ", receiver " << u;
+    }
+}
+
+TEST(InboxOrder, SerialMatchesReferenceOnFuzzedGraphs)
+{
+    Rng rng(401);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::size_t n = 12 + rng.next_below(28);
+        auto g = gen_erdos_renyi(n, n - 1 + rng.next_below(2 * n), rng);
+        NetConfig config;
+        config.bandwidth = 4;
+        auto plan = random_plan(g, rng, config.bandwidth);
+        Network net(g, config);
+        check_engine(net, g, plan, "serial");
+    }
+}
+
+TEST(InboxOrder, ParallelMatchesReferenceAcrossShardCounts)
+{
+    Rng rng(402);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::size_t n = 12 + rng.next_below(28);
+        auto g = gen_erdos_renyi(n, n - 1 + rng.next_below(2 * n), rng);
+        NetConfig config;
+        config.bandwidth = 4;
+        config.threads = 3;
+        auto plan = random_plan(g, rng, config.bandwidth);
+        for (int shards : {1, 2, 5, 13}) {
+            ParallelNetwork net(g, config, shards);
+            check_engine(net, g, plan, "parallel");
+        }
+    }
+}
+
+TEST(InboxOrder, LongInboxTakesCountingSortPath)
+{
+    // A hub receiving well over the insertion-sort cutoff: every leaf of a
+    // star sends several messages to the center in one round.
+    Rng rng(403);
+    const std::size_t leaves = 60;
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v <= leaves; ++v)
+        edges.push_back({0, v, v});
+    auto g = WeightedGraph::from_edges(leaves + 1, std::move(edges));
+
+    NetConfig config;
+    config.bandwidth = 2;
+    SendPlan plan(g.vertex_count());
+    for (VertexId v = 1; v <= leaves; ++v) {
+        // Port 0 is each leaf's only port; 2-4 sends each.
+        std::size_t sends = 2 + rng.next_below(3);
+        plan[v].assign(sends, 0);
+    }
+    Network net(g, config);
+    check_engine(net, g, plan, "star hub");
+    ParallelNetwork par(g, config, 7);
+    check_engine(par, g, plan, "star hub parallel");
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,0 +1,131 @@
+// Zero-allocation contract of the message datapath: after warmup, a
+// bandwidth=1 steady state — inline WordBuf payloads, reused staging
+// vectors, the flat inbox arena, and the allocation-free per-span port sort
+// — performs no per-message heap allocations in either engine. Verified
+// with a counting global operator new; this file must stay its own test
+// binary so the counter sees only this test's traffic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "dmst/congest/network.h"
+#include "dmst/graph/generators.h"
+#include "dmst/sim/parallel_network.h"
+#include "dmst/util/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace dmst {
+namespace {
+
+// Saturates the substrate every round without allocating itself: sends a
+// three-word message on every port, reads every inbox message.
+class SteadyChatter : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        for (const Incoming& in : ctx.inbox())
+            checksum_ += in.msg.words[0] + in.port;
+        for (std::size_t p = 0; p < ctx.degree(); ++p)
+            ctx.send(p, Message{1, {ctx.round(), 7}});
+    }
+
+    bool done() const override { return false; }  // stepped manually
+
+    std::uint64_t checksum_ = 0;
+};
+
+std::uint64_t measure_steady_state_allocs(NetworkBase& net, int warmup_rounds,
+                                          int measured_rounds)
+{
+    net.init([](VertexId) { return std::make_unique<SteadyChatter>(); });
+    for (int i = 0; i < warmup_rounds; ++i)
+        net.step();
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < measured_rounds; ++i)
+        net.step();
+    return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(SubstrateAlloc, SerialSteadyStateIsAllocationFree)
+{
+    Rng rng(31);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    Network net(g, NetConfig{});
+    // ~1600 messages per measured round; not one allocation.
+    EXPECT_EQ(measure_steady_state_allocs(net, 3, 8), 0u);
+}
+
+TEST(SubstrateAlloc, ParallelSteadyStateIsAllocationFree)
+{
+    // Single worker keeps the counter meaningful (the coordinator path is
+    // identical for any thread count; worker threads would only add their
+    // own wakeup machinery, not per-message traffic).
+    Rng rng(32);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.threads = 1;
+    ParallelNetwork net(g, config, /*shard_override=*/4);
+    EXPECT_EQ(measure_steady_state_allocs(net, 3, 8), 0u);
+}
+
+TEST(SubstrateAlloc, HighDegreeHubStaysAllocationFree)
+{
+    // Star hub inboxes take the counting-sort path; its scratch buffers
+    // must hit their high-water mark during warmup and then stay put.
+    Rng rng(33);
+    auto g = gen_star(64, rng);
+    Network net(g, NetConfig{});
+    EXPECT_EQ(measure_steady_state_allocs(net, 3, 8), 0u);
+}
+
+TEST(SubstrateAlloc, CountingOperatorNewIsLive)
+{
+    // Sanity-check the harness itself: an actual allocation is counted.
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    auto* p = new std::uint64_t(42);
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    delete p;
+    EXPECT_GE(after - before, 1u);
+}
+
+}  // namespace
+}  // namespace dmst
