@@ -5,9 +5,19 @@
 //
 //   scenario_runner --algo=elkin --families=er,grid --sizes=256,1024
 //       --engines=serial,parallel --threads=1,2,8 --json=-
+//
+// Verification modes (--verify):
+//   oracle  cross-check the output against sequential Kruskal (default)
+//   model   additionally run the in-model verification protocol on the
+//           constructed forest (expect accept) and the forest-mutation
+//           battery (expect rejects with correct witnesses)
+//   none    no checking (timing-only sweeps)
+// A bare `--verify` selects model mode. Exit status 2 if any check fails.
 
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "dmst/sim/engine.h"
 #include "dmst/sim/scenario.h"
@@ -27,10 +37,27 @@ int main(int argc, char** argv)
                 "comma list of parallel worker counts (0 = hardware)");
     args.define("seed", "1", "workload seed");
     args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
-    args.define("verify", "true", "cross-check output against Kruskal");
+    args.define("verify", "oracle", "oracle|model|none (bare --verify = model)");
     args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
+
+    // A bare trailing/valueless `--verify` means "the full self-check":
+    // rewrite it before the --key=value parser sees it.
+    std::vector<std::string> rewritten(argv, argv + argc);
+    for (std::size_t i = 1; i < rewritten.size(); ++i) {
+        if (rewritten[i] != "--verify")
+            continue;
+        bool has_value = i + 1 < rewritten.size() &&
+                         rewritten[i + 1].rfind("--", 0) != 0;
+        if (!has_value)
+            rewritten[i] = "--verify=model";
+    }
+    std::vector<const char*> rewritten_argv;
+    for (const std::string& s : rewritten)
+        rewritten_argv.push_back(s.c_str());
+
     try {
-        args.parse(argc, argv);
+        args.parse(static_cast<int>(rewritten_argv.size()),
+                   rewritten_argv.data());
     } catch (const std::exception& e) {
         std::cerr << e.what() << "\n" << args.help();
         return 1;
@@ -54,11 +81,28 @@ int main(int argc, char** argv)
             spec.thread_counts.push_back(static_cast<int>(t));
         spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
         spec.ghs_k = static_cast<std::uint64_t>(args.get_int("ghs_k"));
-        spec.verify = args.get_bool("verify");
+        const std::string verify = args.get("verify");
+        // Legacy spellings from before the mode flag: true/false.
+        if (verify == "oracle" || verify == "true") {
+            spec.verify = true;
+        } else if (verify == "model") {
+            spec.verify = true;
+            spec.model_verify = true;
+        } else if (verify == "none" || verify == "false") {
+            spec.verify = false;
+        } else {
+            throw std::invalid_argument("--verify must be oracle|model|none");
+        }
     } catch (const std::exception& e) {
         std::cerr << "bad flag value: " << e.what() << "\n";
         return 1;
     }
+
+    if (spec.model_verify && spec.algorithm == "ghs")
+        std::cerr << "note: --verify=model is skipped for algo=ghs (its "
+                     "partial forest is not a spanning tree, the verifier's "
+                     "input contract); only the oracle containment check "
+                     "runs\n";
 
     std::ofstream file;
     std::ostream* out = &std::cout;
@@ -80,6 +124,13 @@ int main(int argc, char** argv)
                 all_verified = false;
                 std::cerr << "VERIFICATION FAILED: " << cell_json(cell)
                           << "\n";
+            }
+            if (cell.model_verify_ran &&
+                (!cell.model_verified ||
+                 cell.mutations_passed != cell.mutations_run)) {
+                all_verified = false;
+                std::cerr << "IN-MODEL VERIFICATION FAILED: "
+                          << cell_json(cell) << "\n";
             }
         });
     } catch (const std::exception& e) {

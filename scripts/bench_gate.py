@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI bench regression gate: compare a fresh `bench_substrate --smoke`
+JSON against the committed baseline (BENCH_substrate.json) and fail on a
+regression beyond the tolerance.
+
+Gated metrics (the ISSUE-3 contract):
+  - BM_EngineRoundThroughput/50000/0 and /50000/2: items_per_second,
+    higher is better (simulator round throughput, serial and 2-worker).
+  - BM_ElkinEndToEnd/128: real_time, lower is better (Elkin end-to-end
+    wall clock).
+Other benchmarks in the files are reported but not gated.
+
+Usage: bench_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
+Exit status: 0 ok, 1 regression, 2 missing metric/bad input.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_HIGHER_IS_BETTER = [
+    ("BM_EngineRoundThroughput/50000/0", "items_per_second"),
+    ("BM_EngineRoundThroughput/50000/2", "items_per_second"),
+]
+GATED_LOWER_IS_BETTER = [
+    ("BM_ElkinEndToEnd/128", "real_time"),
+]
+
+
+def load_metrics(path):
+    with open(path) as f:
+        data = json.load(f)
+    metrics = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        metrics[bench["name"]] = bench
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_metrics(args.baseline)
+        current = load_metrics(args.current)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read input: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    rows = []
+
+    def check(name, field, higher_is_better):
+        if name not in baseline or name not in current:
+            print(f"bench_gate: metric {name} missing "
+                  f"(baseline: {name in baseline}, current: {name in current})",
+                  file=sys.stderr)
+            return False
+        old = float(baseline[name][field])
+        new = float(current[name][field])
+        if old <= 0:
+            print(f"bench_gate: non-positive baseline for {name}",
+                  file=sys.stderr)
+            return False
+        change = (new - old) / old
+        if higher_is_better:
+            regressed = new < old * (1.0 - args.tolerance)
+        else:
+            regressed = new > old * (1.0 + args.tolerance)
+        verdict = "REGRESSED" if regressed else "ok"
+        rows.append((name, field, old, new, f"{change:+.1%}", verdict))
+        if regressed:
+            failures.append(name)
+        return True
+
+    ok = True
+    for name, field in GATED_HIGHER_IS_BETTER:
+        ok &= check(name, field, higher_is_better=True)
+    for name, field in GATED_LOWER_IS_BETTER:
+        ok &= check(name, field, higher_is_better=False)
+    if not ok:
+        return 2
+
+    width = max(len(r[0]) for r in rows)
+    print(f"bench regression gate (tolerance {args.tolerance:.0%}):")
+    for name, field, old, new, change, verdict in rows:
+        print(f"  {name:<{width}}  {field:<16} "
+              f"{old:>14.4g} -> {new:>14.4g}  {change:>7}  {verdict}")
+
+    if failures:
+        print(f"bench_gate: regression in {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("bench_gate: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

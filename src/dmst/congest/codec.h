@@ -548,6 +548,145 @@ struct WordMsg {
     static WordMsg read(WordReader& r) { return {r.u64()}; }
 };
 
+// --- proto/verify + core/verify_mst ---
+
+// HELLO: opening exchange of the verification protocol — the sender's
+// vertex id and whether it marked the connecting port as a claimed tree
+// edge. Gives every vertex its neighbors' ids (KT0-legal: learned via
+// messages) and the symmetric intersection of the claimed edge set.
+struct HelloMsg {
+    std::uint64_t vid = 0;
+    bool marked = false;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(vid);
+        w.flag(marked);
+    }
+    static HelloMsg read(WordReader& r)
+    {
+        HelloMsg m;
+        m.vid = r.u64();
+        m.marked = r.flag();
+        return m;
+    }
+};
+
+// SNAPSHOT: per-subtree aggregate of the spanning check, convergecast over
+// the BFS tree τ: claimed/non-tree port counts plus the minimal asymmetry
+// and cycle witnesses (kInfiniteEdgeKey = none).
+struct VerifySnapshotMsg {
+    std::uint64_t claimed_ports = 0;
+    std::uint64_t nontree_ports = 0;
+    EdgeKey asym = kInfiniteEdgeKey;
+    EdgeKey cycle = kInfiniteEdgeKey;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(claimed_ports);
+        w.u64(nontree_ports);
+        w.edge_key(asym);
+        w.edge_key(cycle);
+    }
+    static VerifySnapshotMsg read(WordReader& r)
+    {
+        VerifySnapshotMsg m;
+        m.claimed_ports = r.u64();
+        m.nontree_ports = r.u64();
+        m.asym = r.edge_key();
+        m.cycle = r.edge_key();
+        return m;
+    }
+};
+
+// TOKEN: one half of a cycle-max query climbing the claimed tree. `pair`
+// packs the claimed-preorder indices of the non-tree edge's endpoints
+// (lo << 32 | hi); `key` is the queried non-tree edge; `max_seen` the
+// heaviest claimed edge traversed so far.
+struct PathTokenMsg {
+    std::uint64_t pair = 0;
+    EdgeKey key;
+    EdgeKey max_seen;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(pair);
+        w.edge_key(key);
+        w.edge_key(max_seen);
+    }
+    static PathTokenMsg read(WordReader& r)
+    {
+        PathTokenMsg m;
+        m.pair = r.u64();
+        m.key = r.edge_key();
+        m.max_seen = r.edge_key();
+        return m;
+    }
+};
+
+// COUNT: monotone pair-completion counter convergecast over τ, carrying
+// the minimal cycle-max violation found so far (witness = the heavy
+// claimed edge, offender = the lighter non-tree edge it lost to).
+struct VerifyCountMsg {
+    std::uint64_t pairs = 0;
+    EdgeKey witness = kInfiniteEdgeKey;
+    EdgeKey offender = kInfiniteEdgeKey;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(pairs);
+        w.edge_key(witness);
+        w.edge_key(offender);
+    }
+    static VerifyCountMsg read(WordReader& r)
+    {
+        VerifyCountMsg m;
+        m.pairs = r.u64();
+        m.witness = r.edge_key();
+        m.offender = r.edge_key();
+        return m;
+    }
+};
+
+// FINAL: the root's verdict broadcast (verdict enum as a word + witness
+// pair), after which every vertex knows accept/reject and the witness.
+struct VerdictMsg {
+    std::uint64_t verdict = 0;
+    EdgeKey witness = kInfiniteEdgeKey;
+    EdgeKey offender = kInfiniteEdgeKey;
+
+    void write(WordWriter& w) const
+    {
+        w.u64(verdict);
+        w.edge_key(witness);
+        w.edge_key(offender);
+    }
+    static VerdictMsg read(WordReader& r)
+    {
+        VerdictMsg m;
+        m.verdict = r.u64();
+        m.witness = r.edge_key();
+        m.offender = r.edge_key();
+        return m;
+    }
+};
+
+// Bare EdgeKey (CUT_REPORT: minimal crossing edge of the disconnection cut).
+struct EdgeKeyMsg {
+    EdgeKey key;
+
+    void write(WordWriter& w) const { w.edge_key(key); }
+    static EdgeKeyMsg read(WordReader& r) { return {r.edge_key()}; }
+};
+
+// Single boolean (SIDE: which side of the disconnection cut the sender is on).
+struct FlagMsg {
+    bool value = false;
+
+    void write(WordWriter& w) const { w.flag(value); }
+    static FlagMsg read(WordReader& r) { return {r.flag()}; }
+};
+
 // FLOOD (Elkin ablation E10b): a 4-word broadcast record
 // (target index, phase, coarse, edge).
 struct FloodMsg {

@@ -31,6 +31,18 @@ std::vector<EdgeId> collect_mst_edges(
     return edges;
 }
 
+std::vector<std::vector<std::size_t>> ports_from_edges(
+    const WeightedGraph& g, const std::vector<EdgeId>& edges)
+{
+    std::vector<std::vector<std::size_t>> ports(g.vertex_count());
+    for (EdgeId e : edges) {
+        const Edge& edge = g.edge(e);
+        ports[edge.u].push_back(g.port_of(edge.u, edge.v));
+        ports[edge.v].push_back(g.port_of(edge.v, edge.u));
+    }
+    return ports;
+}
+
 std::vector<std::vector<std::size_t>> ports_to_vectors(
     const std::vector<std::set<std::size_t>>& ports)
 {

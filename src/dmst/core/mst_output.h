@@ -20,6 +20,12 @@ std::vector<EdgeId> collect_mst_edges(
     const std::vector<std::vector<std::size_t>>& mst_ports,
     bool expect_spanning = true);
 
+// Inverse of collect_mst_edges: per-vertex marked ports of a global edge
+// list — the claimed-forest input shape of the verification protocol
+// (core/verify_mst.h). Linear in Σ degree of the touched vertices.
+std::vector<std::vector<std::size_t>> ports_from_edges(
+    const WeightedGraph& g, const std::vector<EdgeId>& edges);
+
 // Convenience conversion from per-vertex port sets.
 std::vector<std::vector<std::size_t>> ports_to_vectors(
     const std::vector<std::set<std::size_t>>& ports);

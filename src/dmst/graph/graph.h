@@ -50,6 +50,10 @@ EdgeKey edge_key(const Edge& e);
 // Key value strictly greater than every real edge key; used as "no edge".
 constexpr EdgeKey kInfiniteEdgeKey{~Weight{0}, ~VertexId{0}, ~VertexId{0}};
 
+// Key value strictly less than every real edge key (a real edge has a < b,
+// so {0, 0, 0} is never one); the identity of running EdgeKey maxima.
+constexpr EdgeKey kMinEdgeKey{0, 0, 0};
+
 // Immutable undirected weighted graph in CSR form. Vertices are 0..n-1.
 // Each vertex addresses its incident edges through ports 0..degree-1; the
 // CONGEST simulator exposes exactly this port interface to processes.

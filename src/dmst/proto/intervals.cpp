@@ -1,21 +1,24 @@
 #include "dmst/proto/intervals.h"
 
+#include <utility>
+
 #include "dmst/congest/codec.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
 
-void IntervalLabeler::attach(const BfsBuilder& bfs)
+void IntervalLabeler::attach(bool is_root,
+                             std::vector<std::size_t> children_ports,
+                             std::vector<std::uint64_t> child_sizes,
+                             std::uint64_t subtree_size)
 {
     DMST_ASSERT_MSG(!attached_, "attach() called twice");
-    DMST_ASSERT_MSG(bfs.finished(), "attach() requires a finished BFS");
+    DMST_ASSERT(children_ports.size() == child_sizes.size());
     attached_ = true;
-    is_root_ = bfs.parent_port() == kNoPort;
-    children_ports_ = bfs.children_ports();
-    subtree_size_ = bfs.subtree_size();
-    child_sizes_.reserve(children_ports_.size());
-    for (std::size_t p : children_ports_)
-        child_sizes_.push_back(bfs.child_sizes().at(p));
+    is_root_ = is_root;
+    children_ports_ = std::move(children_ports);
+    child_sizes_ = std::move(child_sizes);
+    subtree_size_ = subtree_size;
 }
 
 void IntervalLabeler::assign(Context& ctx, Interval interval)

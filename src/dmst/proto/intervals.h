@@ -2,10 +2,12 @@
 #define DMST_PROTO_INTERVALS_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dmst/proto/bfs.h"
 #include "dmst/proto/downcast.h"
+#include "dmst/util/assert.h"
 
 namespace dmst {
 
@@ -19,10 +21,30 @@ class IntervalLabeler {
 public:
     explicit IntervalLabeler(std::uint32_t tag_base) : tag_base_(tag_base) {}
 
-    // Copies the tree position from a finished BFS builder. For non-roots
-    // this must happen before the parent's ASSIGN message arrives; calling
-    // it when the local BFS echo completes is always early enough.
-    void attach(const BfsBuilder& bfs);
+    // Copies the tree position from any finished tree builder exposing
+    // parent_port()/children_ports()/child_sizes()/subtree_size() —
+    // BfsBuilder, or the claimed-tree MarkedTreeBuilder of the MST
+    // verification protocol (proto/verify.h). For non-roots this must
+    // happen before the parent's ASSIGN message arrives; calling it when
+    // the builder's local echo completes is always early enough.
+    template <typename Builder>
+    void attach(const Builder& builder)
+    {
+        DMST_ASSERT_MSG(builder.finished(), "attach() requires a finished tree");
+        std::vector<std::uint64_t> sizes;
+        sizes.reserve(builder.children_ports().size());
+        for (std::size_t p : builder.children_ports())
+            sizes.push_back(builder.child_sizes().at(p));
+        attach(builder.parent_port() == kNoPort, builder.children_ports(),
+               std::move(sizes), builder.subtree_size());
+    }
+
+    // Same, from an explicit tree position (`child_sizes` parallel to
+    // `children_ports`).
+    void attach(bool is_root, std::vector<std::size_t> children_ports,
+                std::vector<std::uint64_t> child_sizes,
+                std::uint64_t subtree_size);
+
     bool attached() const { return attached_; }
 
     // Root only: assigns [0, n) to itself and starts the downcast.

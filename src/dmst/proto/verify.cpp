@@ -1,0 +1,225 @@
+#include "dmst/proto/verify.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dmst/congest/codec.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+// ----------------------------------------------------- MarkedTreeBuilder
+
+MarkedTreeBuilder::MarkedTreeBuilder(bool is_root, std::uint32_t tag_base,
+                                     std::uint64_t start_round)
+    : is_root_(is_root), tag_base_(tag_base), start_round_(start_round)
+{
+}
+
+void MarkedTreeBuilder::attach(std::vector<std::uint8_t> marked)
+{
+    DMST_ASSERT_MSG(!attached_, "attach() called twice");
+    attached_ = true;
+    ports_.resize(marked.size());
+    for (std::size_t p = 0; p < marked.size(); ++p) {
+        ports_[p] = marked[p] ? PortState::Unknown : PortState::Unmarked;
+        if (marked[p])
+            ++unresolved_ports_;
+    }
+}
+
+void MarkedTreeBuilder::join(Context& ctx, std::uint32_t depth,
+                             std::size_t parent_port)
+{
+    DMST_ASSERT(!joined_);
+    joined_ = true;
+    depth_ = depth;
+    parent_port_ = parent_port;
+    if (parent_port != kNoPort) {
+        ports_[parent_port] = PortState::Parent;
+        --unresolved_ports_;
+        ctx.send(parent_port, encode(tag_accept(), EmptyMsg{}));
+    }
+}
+
+void MarkedTreeBuilder::resolve_nonchild(std::size_t port)
+{
+    ports_[port] = PortState::NonChild;
+    nonchild_ports_.push_back(port);
+    --unresolved_ports_;
+}
+
+void MarkedTreeBuilder::on_round(Context& ctx)
+{
+    if (finished_ || !attached_)
+        return;
+
+    // Pass 1: exploration traffic. The mask is the symmetric intersection
+    // of the two endpoints' claims, so traffic on an unmarked port is a
+    // protocol bug, not an input error.
+    std::vector<std::size_t> explorers_this_round;
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag))
+            continue;
+        DMST_ASSERT_MSG(ports_[in.port] != PortState::Unmarked,
+                        "marked-BFS traffic on an unmarked port");
+        if (in.msg.tag == tag_explore()) {
+            explorers_this_round.push_back(in.port);
+        } else if (in.msg.tag == tag_accept()) {
+            DMST_ASSERT(ports_[in.port] == PortState::Unknown);
+            ports_[in.port] = PortState::Child;
+            children_ports_.push_back(in.port);
+            --unresolved_ports_;
+        } else if (in.msg.tag == tag_reject()) {
+            // Crossing EXPLOREs can resolve a port before the REJECT
+            // lands; only an Unknown port still needs resolving.
+            if (ports_[in.port] == PortState::Unknown)
+                resolve_nonchild(in.port);
+        }
+    }
+
+    if (!joined_) {
+        if (is_root_ && ctx.round() >= start_round_) {
+            join(ctx, 0, kNoPort);
+        } else if (!explorers_this_round.empty()) {
+            std::size_t parent = *std::min_element(explorers_this_round.begin(),
+                                                   explorers_this_round.end());
+            const Incoming* parent_msg = nullptr;
+            for (const Incoming& in : ctx.inbox()) {
+                if (handles(in.msg.tag) && in.msg.tag == tag_explore() &&
+                    in.port == parent) {
+                    parent_msg = &in;
+                    break;
+                }
+            }
+            DMST_ASSERT(parent_msg != nullptr);
+            auto explore = decode<BfsExploreMsg>(parent_msg->msg);
+            join(ctx, static_cast<std::uint32_t>(explore.depth) + 1, parent);
+        }
+        if (joined_) {
+            for (std::size_t p : explorers_this_round) {
+                if (p == parent_port_)
+                    continue;
+                DMST_ASSERT(ports_[p] == PortState::Unknown);
+                resolve_nonchild(p);
+                ctx.send(p, encode(tag_reject(), EmptyMsg{}));
+            }
+            for (std::size_t p = 0; p < ports_.size(); ++p) {
+                if (ports_[p] == PortState::Unknown)
+                    ctx.send(p, encode(tag_explore(), BfsExploreMsg{depth_}));
+            }
+        }
+    } else {
+        // Already in the tree: a late explorer closed a cycle.
+        for (std::size_t p : explorers_this_round) {
+            if (ports_[p] == PortState::Unknown)
+                resolve_nonchild(p);
+            ctx.send(p, encode(tag_reject(), EmptyMsg{}));
+        }
+    }
+
+    // Pass 2: echoes (a leaf child may ACCEPT and ECHO in the same round).
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag) || in.msg.tag != tag_echo())
+            continue;
+        DMST_ASSERT_MSG(ports_[in.port] == PortState::Child,
+                        "ECHO from a non-child port");
+        auto echo = decode<BfsEchoMsg>(in.msg);
+        child_sizes_[in.port] = echo.subtree_size;
+        subtree_size_ += echo.subtree_size;
+        subtree_height_ = std::max(
+            subtree_height_, static_cast<std::uint32_t>(echo.height) + 1);
+        ++echoes_received_;
+    }
+
+    maybe_echo(ctx);
+}
+
+void MarkedTreeBuilder::maybe_echo(Context& ctx)
+{
+    if (!joined_ || echo_sent_ || unresolved_ports_ > 0)
+        return;
+    if (echoes_received_ < children_ports_.size())
+        return;
+    echo_sent_ = true;
+    if (parent_port_ != kNoPort)
+        ctx.send(parent_port_,
+                 encode(tag_echo(), BfsEchoMsg{subtree_size_, subtree_height_}));
+    finished_ = true;
+}
+
+// -------------------------------------------------------- PathMaxTokens
+
+void PathMaxTokens::attach(std::uint64_t own_index, Interval own_interval,
+                           std::size_t parent_port, EdgeKey parent_edge)
+{
+    DMST_ASSERT_MSG(!attached_, "attach() called twice");
+    attached_ = true;
+    own_index_ = own_index;
+    own_interval_ = own_interval;
+    parent_port_ = parent_port;
+    parent_edge_ = parent_edge;
+}
+
+void PathMaxTokens::inject(std::uint64_t pair, const EdgeKey& key)
+{
+    DMST_ASSERT_MSG(attached_, "inject() before attach()");
+    absorb(pair, key, kMinEdgeKey);
+}
+
+void PathMaxTokens::absorb(std::uint64_t pair, const EdgeKey& key,
+                           const EdgeKey& max_seen)
+{
+    const std::uint64_t lo = pair >> 32;
+    const std::uint64_t hi = pair & 0xFFFFFFFFULL;
+    if (!own_interval_.contains(lo) || !own_interval_.contains(hi)) {
+        // Not a common ancestor yet: keep climbing.
+        DMST_ASSERT_MSG(parent_port_ != kNoPort,
+                        "token missed every interval on the way to the root");
+        queue_.push_back(Half{pair, key, max_seen});
+        return;
+    }
+    auto it = pending_.find(pair);
+    if (it == pending_.end()) {
+        pending_.emplace(pair, Half{pair, key, max_seen});
+        return;
+    }
+    // Second half arrived: the pair resolves here, at the LCA.
+    DMST_ASSERT_MSG(it->second.key == key, "paired tokens disagree on the query");
+    EdgeKey path_max = std::max(max_seen, it->second.max_seen);
+    pending_.erase(it);
+    ++pairs_completed_;
+    if (path_max > key) {
+        CycleMaxViolation found{path_max, key};
+        if (std::tie(found.witness, found.offender) <
+            std::tie(violation_.witness, violation_.offender))
+            violation_ = found;
+    }
+}
+
+void PathMaxTokens::on_round(Context& ctx)
+{
+    for (const Incoming& in : ctx.inbox()) {
+        if (!handles(in.msg.tag))
+            continue;
+        DMST_ASSERT_MSG(attached_, "token traffic before attach()");
+        auto m = decode<PathTokenMsg>(in.msg);
+        absorb(m.pair, m.key, m.max_seen);
+    }
+    if (!attached_)
+        return;
+
+    // Climb one hop, charging the traversed claimed edge into the running
+    // max at send time (the receiver absorbs verbatim).
+    int sent = 0;
+    while (sent < ctx.bandwidth() && !queue_.empty()) {
+        const Half& h = queue_.front();
+        ctx.send(parent_port_,
+                 encode(tag_, PathTokenMsg{h.pair, h.key,
+                                           std::max(h.max_seen, parent_edge_)}));
+        queue_.pop_front();
+        ++sent;
+    }
+}
+
+}  // namespace dmst

@@ -1,0 +1,187 @@
+#ifndef DMST_PROTO_VERIFY_H
+#define DMST_PROTO_VERIFY_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dmst/congest/network.h"
+#include "dmst/proto/bfs.h"
+#include "dmst/proto/downcast.h"
+
+namespace dmst {
+
+// Pipelined primitives of the distributed MST verification protocol
+// (core/verify_mst.{h,cpp} is the driver): a BFS restricted to the claimed
+// edge set, and the cycle-max query tokens that climb the claimed tree.
+// Both are embeddable components in the BfsBuilder mold — the owning
+// Process forwards every round and each component reads only its own tags.
+
+// BFS tree construction restricted to a marked subset of each vertex's
+// ports — the fragment labeling step of MST verification: exploring only
+// claimed edges from the root discovers the root's claimed component, and
+// every claimed edge that resolves as a non-child closed a cycle among
+// claimed edges (both endpoints were already in the tree), which localizes
+// a cycle witness at its endpoints.
+//
+// Wire shapes are shared with BfsBuilder (EXPLORE carries the sender
+// depth, ECHO the subtree size and height); the tags differ. Vertices
+// outside the root's marked component never join and never echo — the
+// root's echo completing means exactly its component is resolved, which
+// is the signal the verification driver acts on.
+class MarkedTreeBuilder {
+public:
+    // Tags used: tag_base + {0 EXPLORE, 1 ACCEPT, 2 REJECT, 3 ECHO}.
+    MarkedTreeBuilder(bool is_root, std::uint32_t tag_base,
+                      std::uint64_t start_round);
+
+    // Installs the marked-port mask (one entry per port). Must be called
+    // before start_round and before any traffic arrives.
+    void attach(std::vector<std::uint8_t> marked);
+    bool attached() const { return attached_; }
+
+    void on_round(Context& ctx);
+
+    bool handles(std::uint32_t tag) const
+    {
+        return tag >= tag_base_ && tag < tag_base_ + 4;
+    }
+
+    // Local completion: joined, all marked ports resolved, echo sent (the
+    // root's completion implies its whole marked component completed).
+    bool finished() const { return finished_; }
+    bool joined() const { return joined_; }
+
+    std::uint32_t depth() const { return depth_; }
+    std::size_t parent_port() const { return parent_port_; }
+    const std::vector<std::size_t>& children_ports() const { return children_ports_; }
+
+    // Marked ports that resolved as neither parent nor child: each closed
+    // a cycle within the marked edge set (cycle witnesses).
+    const std::vector<std::size_t>& nonchild_ports() const { return nonchild_ports_; }
+
+    // Valid once finished(): vertices / height of own marked subtree.
+    std::uint64_t subtree_size() const { return subtree_size_; }
+    std::uint32_t subtree_height() const { return subtree_height_; }
+    const std::unordered_map<std::size_t, std::uint64_t>& child_sizes() const
+    {
+        return child_sizes_;
+    }
+
+private:
+    enum class PortState : std::uint8_t { Unmarked, Unknown, Parent, Child, NonChild };
+
+    std::uint32_t tag_explore() const { return tag_base_ + 0; }
+    std::uint32_t tag_accept() const { return tag_base_ + 1; }
+    std::uint32_t tag_reject() const { return tag_base_ + 2; }
+    std::uint32_t tag_echo() const { return tag_base_ + 3; }
+
+    void join(Context& ctx, std::uint32_t depth, std::size_t parent_port);
+    void resolve_nonchild(std::size_t port);
+    void maybe_echo(Context& ctx);
+
+    bool is_root_;
+    std::uint32_t tag_base_;
+    std::uint64_t start_round_;
+
+    bool attached_ = false;
+    bool joined_ = false;
+    bool finished_ = false;
+    std::uint32_t depth_ = 0;
+    std::size_t parent_port_ = kNoPort;
+    std::vector<PortState> ports_;
+    std::vector<std::size_t> children_ports_;
+    std::vector<std::size_t> nonchild_ports_;
+    std::size_t unresolved_ports_ = 0;
+    std::size_t echoes_received_ = 0;
+    std::unordered_map<std::size_t, std::uint64_t> child_sizes_;
+    std::uint64_t subtree_size_ = 1;
+    std::uint32_t subtree_height_ = 0;
+    bool echo_sent_ = false;
+};
+
+// A cycle-max violation: `witness` is a claimed tree edge that is heavier
+// than `offender`, a non-tree edge whose tree path contains it — swapping
+// the two strictly improves the claimed tree, so it is not the MST.
+struct CycleMaxViolation {
+    EdgeKey witness = kInfiniteEdgeKey;
+    EdgeKey offender = kInfiniteEdgeKey;
+
+    bool found() const { return witness != kInfiniteEdgeKey; }
+};
+
+// The minimality-check engine at one vertex: path-max query tokens
+// aggregated over the claimed-tree hierarchy.
+//
+// For every non-tree edge (u, v) both endpoints inject one token carrying
+// the packed claimed-preorder index pair, the edge's key, and a running
+// maximum over claimed edges traversed. Tokens climb toward the claimed
+// root — at most `bandwidth` per round per edge, the running max updated
+// with the parent edge at each hop — and stop at the first vertex whose
+// claimed interval contains both endpoint indices. That vertex is the LCA
+// for both halves, so they meet: the pair completes, and the combined
+// path maximum must be lighter than the queried edge (the cycle-max
+// invariant characterizing the MST), else the violation is recorded.
+// Completions are counted (pairs_completed() is monotone) so the driver
+// can detect global quiescence by comparing the convergecast total
+// against the known number of non-tree edges.
+class PathMaxTokens {
+public:
+    explicit PathMaxTokens(std::uint32_t tag) : tag_(tag) {}
+
+    // Installs this vertex's claimed-preorder position: its own index and
+    // interval, and its claimed parent (kNoPort at the claimed root, with
+    // `parent_edge` ignored). Must precede inject() and any traffic.
+    void attach(std::uint64_t own_index, Interval own_interval,
+                std::size_t parent_port, EdgeKey parent_edge);
+    bool attached() const { return attached_; }
+
+    // Starts one query half for a non-tree edge incident to this vertex.
+    // `pair` packs the two endpoints' claimed indices (lo << 32 | hi);
+    // `key` is the non-tree edge. Both endpoints must inject.
+    void inject(std::uint64_t pair, const EdgeKey& key);
+
+    void on_round(Context& ctx);
+
+    bool handles(std::uint32_t tag) const { return tag == tag_; }
+
+    // Monotone count of query pairs resolved at this vertex (as the LCA).
+    std::uint64_t pairs_completed() const { return pairs_completed_; }
+
+    // The minimal violation found here, ordered by (witness, offender);
+    // !found() if every pair resolved at this vertex satisfied the
+    // invariant so far.
+    const CycleMaxViolation& violation() const { return violation_; }
+
+    // No tokens queued and no unpaired halves held at this vertex.
+    bool idle() const { return queue_.empty() && pending_.empty(); }
+
+private:
+    struct Half {
+        std::uint64_t pair = 0;
+        EdgeKey key;
+        EdgeKey max_seen;
+    };
+
+    // Pairs at this vertex if it is the halves' LCA, else queues upward.
+    void absorb(std::uint64_t pair, const EdgeKey& key, const EdgeKey& max_seen);
+
+    std::uint32_t tag_;
+    bool attached_ = false;
+    std::uint64_t own_index_ = 0;
+    Interval own_interval_;
+    std::size_t parent_port_ = kNoPort;
+    EdgeKey parent_edge_ = kInfiniteEdgeKey;
+
+    std::deque<Half> queue_;                    // climbing toward the root
+    std::map<std::uint64_t, Half> pending_;     // first halves awaiting partner
+    std::uint64_t pairs_completed_ = 0;
+    CycleMaxViolation violation_;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_PROTO_VERIFY_H

@@ -135,6 +135,39 @@ bool is_spanning_tree(const WeightedGraph& g, const std::vector<EdgeId>& edges)
     return dsu.component_count() == 1;
 }
 
+std::vector<EdgeId> tree_path_edges(const WeightedGraph& g,
+                                    const std::vector<EdgeId>& tree_edges,
+                                    VertexId u, VertexId v)
+{
+    std::vector<std::vector<std::pair<VertexId, EdgeId>>> adj(g.vertex_count());
+    for (EdgeId e : tree_edges) {
+        adj[g.edge(e).u].push_back({g.edge(e).v, e});
+        adj[g.edge(e).v].push_back({g.edge(e).u, e});
+    }
+    std::vector<EdgeId> via(g.vertex_count(), kNoEdge);
+    std::vector<VertexId> prev(g.vertex_count(), kNoVertex);
+    std::queue<VertexId> q;
+    q.push(u);
+    prev[u] = u;
+    while (!q.empty()) {
+        VertexId x = q.front();
+        q.pop();
+        for (auto [y, e] : adj[x]) {
+            if (prev[y] != kNoVertex)
+                continue;
+            prev[y] = x;
+            via[y] = e;
+            q.push(y);
+        }
+    }
+    if (prev[v] == kNoVertex)
+        throw std::invalid_argument("tree_path_edges: endpoints disconnected");
+    std::vector<EdgeId> path;
+    for (VertexId x = v; x != u; x = prev[x])
+        path.push_back(via[x]);
+    return path;
+}
+
 Weight total_weight(const WeightedGraph& g, const std::vector<EdgeId>& edges)
 {
     Weight total = 0;

@@ -23,6 +23,14 @@ MstResult mst_boruvka(const WeightedGraph& g);
 // True iff `edges` forms a spanning tree of g (n-1 distinct edges, connected).
 bool is_spanning_tree(const WeightedGraph& g, const std::vector<EdgeId>& edges);
 
+// The unique path between u and v within the forest `tree_edges`, as edge
+// ids; throws std::invalid_argument if they are in different components.
+// Sequential scaffolding for cycle/witness expectations (e.g. the
+// forest-mutation checks of sim/scenario.h).
+std::vector<EdgeId> tree_path_edges(const WeightedGraph& g,
+                                    const std::vector<EdgeId>& tree_edges,
+                                    VertexId u, VertexId v);
+
 Weight total_weight(const WeightedGraph& g, const std::vector<EdgeId>& edges);
 
 }  // namespace dmst

@@ -2,18 +2,21 @@
 
 #include <algorithm>
 #include <chrono>
+#include <queue>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/core/elkin_mst.h"
+#include "dmst/core/mst_output.h"
 #include "dmst/core/pipeline_mst.h"
 #include "dmst/core/sync_boruvka.h"
 #include "dmst/exp/workloads.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/engine.h"
 #include "dmst/sim/thread_pool.h"
+#include "dmst/util/assert.h"
 
 namespace dmst {
 
@@ -76,7 +79,179 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
     return out;
 }
 
+// Tree path between the endpoints of non-tree edge `f` within `tree_edges`.
+std::vector<EdgeId> tree_path_of(const WeightedGraph& g,
+                                 const std::vector<EdgeId>& tree_edges,
+                                 EdgeId f)
+{
+    return tree_path_edges(g, tree_edges, g.edge(f).u, g.edge(f).v);
+}
+
+// The (unweighted) BFS tree of g rooted at `root`, in deterministic port
+// order — the ForeignTreeClaim forest.
+std::vector<EdgeId> bfs_tree_edges(const WeightedGraph& g, VertexId root)
+{
+    std::vector<EdgeId> tree;
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::queue<VertexId> q;
+    q.push(root);
+    seen[root] = true;
+    while (!q.empty()) {
+        VertexId x = q.front();
+        q.pop();
+        for (std::size_t p = 0; p < g.degree(x); ++p) {
+            VertexId y = g.neighbor(x, p);
+            if (seen[y])
+                continue;
+            seen[y] = true;
+            tree.push_back(g.edge_id(x, p));
+            q.push(y);
+        }
+    }
+    std::sort(tree.begin(), tree.end());
+    return tree;
+}
+
+// The deterministically chosen mutation targets: the minimal non-tree
+// edge (by EdgeKey) and the maximal tree edge.
+EdgeId min_nontree_edge(const WeightedGraph& g, const std::set<EdgeId>& tree)
+{
+    EdgeId best = kNoEdge;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        if (tree.count(e))
+            continue;
+        if (best == kNoEdge || edge_key(g.edge(e)) < edge_key(g.edge(best)))
+            best = e;
+    }
+    return best;
+}
+
 }  // namespace
+
+const std::vector<ForestMutation>& forest_mutations()
+{
+    static const std::vector<ForestMutation> all = {
+        ForestMutation::SwapCycleEdge, ForestMutation::DropEdge,
+        ForestMutation::HalfDropEdge, ForestMutation::AddExtraEdge,
+        ForestMutation::ForeignTreeClaim,
+    };
+    return all;
+}
+
+const char* mutation_name(ForestMutation m)
+{
+    switch (m) {
+        case ForestMutation::SwapCycleEdge: return "swap_cycle_edge";
+        case ForestMutation::DropEdge: return "drop_edge";
+        case ForestMutation::HalfDropEdge: return "half_drop_edge";
+        case ForestMutation::AddExtraEdge: return "add_extra_edge";
+        case ForestMutation::ForeignTreeClaim: return "foreign_tree_claim";
+    }
+    return "unknown";
+}
+
+MutationCheck run_forest_mutation(const WeightedGraph& g,
+                                  const std::vector<EdgeId>& mst_edges,
+                                  ForestMutation mutation,
+                                  const VerifyOptions& opts)
+{
+    MutationCheck check;
+    check.mutation = mutation;
+    const std::set<EdgeId> mst_set(mst_edges.begin(), mst_edges.end());
+    const bool has_nontree = g.edge_count() > mst_edges.size();
+
+    std::vector<std::vector<std::size_t>> claimed;
+    EdgeKey exact_witness = kInfiniteEdgeKey;   // required witness, if pinned
+    std::set<EdgeKey> witness_set;              // allowed witnesses otherwise
+
+    switch (mutation) {
+        case ForestMutation::SwapCycleEdge: {
+            if (!has_nontree || mst_edges.empty())
+                return check;
+            EdgeId f = min_nontree_edge(g, mst_set);
+            auto path = tree_path_of(g, mst_edges, f);
+            EdgeId e = *std::max_element(
+                path.begin(), path.end(), [&](EdgeId a, EdgeId b) {
+                    return edge_key(g.edge(a)) < edge_key(g.edge(b));
+                });
+            auto edges = mst_edges;
+            edges.erase(std::find(edges.begin(), edges.end(), e));
+            edges.push_back(f);
+            claimed = ports_from_edges(g, edges);
+            check.expected = VerifyVerdict::RejectNotMinimal;
+            exact_witness = edge_key(g.edge(f));
+            break;
+        }
+        case ForestMutation::DropEdge: {
+            if (mst_edges.empty())
+                return check;
+            auto edges = mst_edges;
+            EdgeId e = *std::max_element(
+                edges.begin(), edges.end(), [&](EdgeId a, EdgeId b) {
+                    return edge_key(g.edge(a)) < edge_key(g.edge(b));
+                });
+            edges.erase(std::find(edges.begin(), edges.end(), e));
+            claimed = ports_from_edges(g, edges);
+            check.expected = VerifyVerdict::RejectDisconnected;
+            exact_witness = edge_key(g.edge(e));
+            break;
+        }
+        case ForestMutation::HalfDropEdge: {
+            if (mst_edges.empty())
+                return check;
+            claimed = ports_from_edges(g, mst_edges);
+            EdgeId e = mst_edges[mst_edges.size() / 2];
+            VertexId u = g.edge(e).u;
+            auto& ports = claimed[u];
+            ports.erase(std::find(ports.begin(), ports.end(),
+                                  g.port_of(u, g.edge(e).v)));
+            check.expected = VerifyVerdict::RejectAsymmetric;
+            exact_witness = edge_key(g.edge(e));
+            break;
+        }
+        case ForestMutation::AddExtraEdge: {
+            if (!has_nontree)
+                return check;
+            EdgeId f = min_nontree_edge(g, mst_set);
+            auto edges = mst_edges;
+            edges.push_back(f);
+            claimed = ports_from_edges(g, edges);
+            check.expected = VerifyVerdict::RejectCycle;
+            witness_set.insert(edge_key(g.edge(f)));
+            for (EdgeId e : tree_path_of(g, mst_edges, f))
+                witness_set.insert(edge_key(g.edge(e)));
+            break;
+        }
+        case ForestMutation::ForeignTreeClaim: {
+            auto edges =
+                bfs_tree_edges(g, static_cast<VertexId>(g.vertex_count() / 2));
+            claimed = ports_from_edges(g, edges);
+            if (edges == mst_edges) {
+                check.expected = VerifyVerdict::Accept;
+            } else {
+                check.expected = VerifyVerdict::RejectNotMinimal;
+                // Any claimed edge outside the MST certifies.
+                for (EdgeId e : edges)
+                    if (!mst_set.count(e))
+                        witness_set.insert(edge_key(g.edge(e)));
+            }
+            break;
+        }
+    }
+
+    check.applicable = true;
+    auto r = run_verify_mst(g, claimed, opts);
+    check.actual = r.verdict;
+    check.witness = r.witness;
+    check.passed = check.actual == check.expected;
+    if (check.passed && check.actual != VerifyVerdict::Accept) {
+        if (exact_witness != kInfiniteEdgeKey)
+            check.passed = r.witness == exact_witness;
+        else
+            check.passed = witness_set.count(r.witness) > 0;
+    }
+    return check;
+}
 
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell)
@@ -143,6 +318,30 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             }
                         }
 
+                        if (spec.model_verify && spec.algorithm != "ghs") {
+                            // Self-check inside the model: the constructed
+                            // forest must be accepted, every mutation of it
+                            // rejected with a correct witness.
+                            cell.model_verify_ran = true;
+                            VerifyOptions vo;
+                            vo.bandwidth = bandwidth;
+                            vo.engine = engine;
+                            vo.threads = threads;
+                            auto claimed = ports_from_edges(g, run.edges);
+                            auto vr = run_verify_mst(g, claimed, vo);
+                            cell.model_verified = vr.accepted;
+                            cell.verify_stats = std::move(vr.stats);
+                            for (ForestMutation m : forest_mutations()) {
+                                auto mc =
+                                    run_forest_mutation(g, run.edges, m, vo);
+                                if (!mc.applicable)
+                                    continue;
+                                ++cell.mutations_run;
+                                if (mc.passed)
+                                    ++cell.mutations_passed;
+                            }
+                        }
+
                         if (on_cell)
                             on_cell(cell);
                         cells.push_back(std::move(cell));
@@ -170,6 +369,13 @@ std::string cell_json(const ScenarioCell& cell)
         << ",\"mst_weight\":" << cell.mst_weight;
     if (cell.verify_ran)
         oss << ",\"verified\":" << (cell.verified ? "true" : "false");
+    if (cell.model_verify_ran)
+        oss << ",\"model_verified\":" << (cell.model_verified ? "true" : "false")
+            << ",\"verify_rounds\":" << cell.verify_stats.rounds
+            << ",\"verify_messages\":" << cell.verify_stats.messages
+            << ",\"verify_words\":" << cell.verify_stats.words
+            << ",\"mutations_passed\":" << cell.mutations_passed
+            << ",\"mutations_run\":" << cell.mutations_run;
     oss << "}";
     return oss.str();
 }

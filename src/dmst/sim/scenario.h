@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dmst/congest/network_base.h"
+#include "dmst/core/verify_mst.h"
 
 namespace dmst {
 
@@ -32,6 +33,13 @@ struct ScenarioSpec {
     // ghs (a partial forest, not a full MST) the check is containment of
     // the chosen edges in the unique MST.
     bool verify = true;
+    // Self-checking sweep: after each cell's construction, run the
+    // in-model verification protocol (core/verify_mst.h) on the produced
+    // forest — same bandwidth/engine/threads — expecting acceptance, then
+    // the full forest-mutation battery below, expecting each perturbation
+    // to be rejected with a correct witness. Skipped for ghs (its partial
+    // forest is not a spanning tree, the verifier's input contract).
+    bool model_verify = false;
     // ghs only: the k of Controlled-GHS (fragment diameter budget).
     std::uint64_t ghs_k = 8;
 };
@@ -49,7 +57,64 @@ struct ScenarioCell {
     bool verify_ran = false;
     bool verified = false;       // meaningful only if verify_ran
     std::uint64_t mst_weight = 0;  // total weight of the edges selected
+
+    // In-model verification (spec.model_verify): the protocol's own
+    // verdict on the constructed forest plus its complexity counters, and
+    // the mutation battery tally (passed = rejected with the expected
+    // verdict and a correct witness).
+    bool model_verify_ran = false;
+    bool model_verified = false;
+    RunStats verify_stats;
+    int mutations_run = 0;
+    int mutations_passed = 0;
 };
+
+// Forest perturbations for the self-checking sweeps: each mutates a
+// correct MST claim in a way the verification protocol must reject with a
+// localized witness.
+enum class ForestMutation : std::uint8_t {
+    // Swap a non-tree edge for the heaviest tree edge on its cycle: still
+    // a spanning tree, strictly heavier. Expect reject_not_minimal with
+    // the swapped-in edge as the witness.
+    SwapCycleEdge,
+    // Drop one tree edge on both endpoints. Expect reject_disconnected
+    // with the dropped edge as the witness (cut property).
+    DropEdge,
+    // Drop one tree edge's mark on a single endpoint. Expect
+    // reject_asymmetric with that edge as the witness.
+    HalfDropEdge,
+    // Additionally claim one non-tree edge. Expect reject_cycle with a
+    // witness on the unique claimed cycle.
+    AddExtraEdge,
+    // Claim a different spanning tree: the (unweighted) BFS tree rooted
+    // at n/2 — the "wrong root" forest. Expect reject_not_minimal with a
+    // claimed non-MST edge as witness (accept in the rare case the BFS
+    // tree *is* the MST, e.g. on tree workloads).
+    ForeignTreeClaim,
+};
+
+const std::vector<ForestMutation>& forest_mutations();
+const char* mutation_name(ForestMutation m);
+
+// Outcome of one mutation check: `expected` is derived from the
+// sequential oracle, `passed` requires the protocol's verdict to match it
+// and the witness to certify the failure (exact where the mutation pins
+// it: DropEdge, HalfDropEdge, SwapCycleEdge).
+struct MutationCheck {
+    ForestMutation mutation = ForestMutation::SwapCycleEdge;
+    bool applicable = false;    // e.g. no non-tree edge exists to swap in
+    VerifyVerdict expected = VerifyVerdict::Accept;
+    VerifyVerdict actual = VerifyVerdict::Accept;
+    EdgeKey witness = kInfiniteEdgeKey;
+    bool passed = false;
+};
+
+// Perturbs `mst_edges` (a verified-correct MST of g) per `mutation` and
+// runs the in-model verification on the result.
+MutationCheck run_forest_mutation(const WeightedGraph& g,
+                                  const std::vector<EdgeId>& mst_edges,
+                                  ForestMutation mutation,
+                                  const VerifyOptions& opts);
 
 using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 

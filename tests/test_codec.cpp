@@ -186,6 +186,57 @@ TEST(Codec, DriverPayloads)
     }
 }
 
+TEST(Codec, VerifyPayloads)
+{
+    Rng rng(103);
+    for (int i = 0; i < 200; ++i) {
+        {
+            HelloMsg in{rng.next(), rng.next_below(2) == 1};
+            auto out = round_trip(in, 30, 2);
+            EXPECT_EQ(out.vid, in.vid);
+            EXPECT_EQ(out.marked, in.marked);
+        }
+        {
+            VerifySnapshotMsg in{rng.next(), rng.next(), random_key(rng),
+                                 random_key(rng)};
+            auto out = round_trip(in, 31, 6);
+            EXPECT_EQ(out.claimed_ports, in.claimed_ports);
+            EXPECT_EQ(out.nontree_ports, in.nontree_ports);
+            EXPECT_EQ(out.asym, in.asym);
+            EXPECT_EQ(out.cycle, in.cycle);
+        }
+        {
+            PathTokenMsg in{rng.next(), random_key(rng), random_key(rng)};
+            auto out = round_trip(in, 32, 5);
+            EXPECT_EQ(out.pair, in.pair);
+            EXPECT_EQ(out.key, in.key);
+            EXPECT_EQ(out.max_seen, in.max_seen);
+        }
+        {
+            VerifyCountMsg in{rng.next(), random_key(rng), random_key(rng)};
+            auto out = round_trip(in, 33, 5);
+            EXPECT_EQ(out.pairs, in.pairs);
+            EXPECT_EQ(out.witness, in.witness);
+            EXPECT_EQ(out.offender, in.offender);
+        }
+        {
+            VerdictMsg in{rng.next(), random_key(rng), random_key(rng)};
+            auto out = round_trip(in, 34, 5);
+            EXPECT_EQ(out.verdict, in.verdict);
+            EXPECT_EQ(out.witness, in.witness);
+            EXPECT_EQ(out.offender, in.offender);
+        }
+        {
+            EdgeKeyMsg in{random_key(rng)};
+            EXPECT_EQ(round_trip(in, 35, 2).key, in.key);
+        }
+        {
+            FlagMsg in{rng.next_below(2) == 1};
+            EXPECT_EQ(round_trip(in, 36, 1).value, in.value);
+        }
+    }
+}
+
 TEST(Codec, EdgeKeyPackingIsLossless)
 {
     // The endpoint pair packs into one word; extreme 32-bit values must not

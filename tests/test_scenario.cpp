@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "dmst/exp/workloads.h"
+#include "dmst/seq/mst.h"
 #include "dmst/sim/scenario.h"
 #include "dmst/util/cli.h"
 
@@ -58,6 +60,75 @@ TEST(Scenario, CoversAllAlgorithms)
     }
 }
 
+TEST(Scenario, ModelVerifySelfChecksEveryCell)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "elkin";
+    spec.families = {"er", "grid"};
+    spec.sizes = {48};
+    spec.engines = {Engine::Serial, Engine::Parallel};
+    spec.thread_counts = {2};
+    spec.model_verify = true;
+
+    auto cells = run_scenarios(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    for (const auto& cell : cells) {
+        EXPECT_TRUE(cell.model_verify_ran);
+        EXPECT_TRUE(cell.model_verified);
+        EXPECT_GT(cell.verify_stats.rounds, 0u);
+        EXPECT_EQ(cell.mutations_run, 5);
+        EXPECT_EQ(cell.mutations_passed, cell.mutations_run);
+    }
+    // The in-model verification is part of the engine-determinism
+    // contract: identical counters across the engine axis.
+    EXPECT_EQ(cells[0].verify_stats.rounds, cells[1].verify_stats.rounds);
+    EXPECT_EQ(cells[0].verify_stats.messages, cells[1].verify_stats.messages);
+    EXPECT_EQ(cells[0].verify_stats.words, cells[1].verify_stats.words);
+}
+
+TEST(Scenario, ModelVerifySkipsPartialForests)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "ghs";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.model_verify = true;
+    auto cells = run_scenarios(spec);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].verified);
+    EXPECT_FALSE(cells[0].model_verify_ran);
+}
+
+TEST(Scenario, MutationChecksRejectWithExpectedVerdicts)
+{
+    auto g = make_workload("er", 56, 7);
+    auto mst = mst_kruskal(g);
+    for (ForestMutation m : forest_mutations()) {
+        auto check = run_forest_mutation(g, mst.edges, m, VerifyOptions{});
+        EXPECT_TRUE(check.applicable) << mutation_name(m);
+        EXPECT_TRUE(check.passed)
+            << mutation_name(m) << ": expected "
+            << verify_verdict_name(check.expected) << ", got "
+            << verify_verdict_name(check.actual);
+        EXPECT_NE(check.expected, VerifyVerdict::Accept) << mutation_name(m);
+    }
+
+    // On a tree workload there is nothing to swap in or add, and the
+    // foreign BFS tree *is* the MST: the battery degrades gracefully.
+    auto tree = make_workload("tree", 32, 7);
+    auto tree_mst = mst_kruskal(tree);
+    auto swap = run_forest_mutation(tree, tree_mst.edges,
+                                    ForestMutation::SwapCycleEdge,
+                                    VerifyOptions{});
+    EXPECT_FALSE(swap.applicable);
+    auto foreign = run_forest_mutation(tree, tree_mst.edges,
+                                       ForestMutation::ForeignTreeClaim,
+                                       VerifyOptions{});
+    EXPECT_TRUE(foreign.applicable);
+    EXPECT_EQ(foreign.expected, VerifyVerdict::Accept);
+    EXPECT_TRUE(foreign.passed);
+}
+
 TEST(Scenario, RejectsUnknownAlgorithmAndEmptyDimensions)
 {
     ScenarioSpec spec;
@@ -98,6 +169,20 @@ TEST(Scenario, CellJsonContainsEveryField)
 
     cell.verify_ran = false;
     EXPECT_EQ(cell_json(cell).find("verified"), std::string::npos);
+
+    cell.model_verify_ran = true;
+    cell.model_verified = true;
+    cell.verify_stats.rounds = 17;
+    cell.verify_stats.messages = 170;
+    cell.verify_stats.words = 510;
+    cell.mutations_run = 5;
+    cell.mutations_passed = 5;
+    const std::string with_model = cell_json(cell);
+    for (const char* token :
+         {"\"model_verified\":true", "\"verify_rounds\":17",
+          "\"verify_messages\":170", "\"verify_words\":510",
+          "\"mutations_passed\":5", "\"mutations_run\":5"})
+        EXPECT_NE(with_model.find(token), std::string::npos) << token;
 }
 
 TEST(Scenario, SplitListParsesFlagValues)

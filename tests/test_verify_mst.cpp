@@ -1,0 +1,225 @@
+// In-model MST verification (core/verify_mst.h): the claimed forest of
+// each scenario is checked by the CONGEST protocol itself, and every
+// rejection must localize a correct witness edge — the dropped MST edge
+// for a disconnection, a cycle edge for a redundant claim, the heavy
+// claimed edge of a cycle-max violation for a non-minimal tree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dmst/core/mst_output.h"
+#include "dmst/core/verify_mst.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/graph/generators.h"
+#include "dmst/seq/mst.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+EdgeKey key_of(const WeightedGraph& g, EdgeId e)
+{
+    return edge_key(g.edge(e));
+}
+
+TEST(VerifyMst, AcceptsTheMstAcrossFamilies)
+{
+    for (const char* family : {"er", "grid", "star", "tree", "cycle", "cliques8"}) {
+        auto g = make_workload(family, 64, 5);
+        auto mst = mst_kruskal(g);
+        auto r = run_verify_mst(g, ports_from_edges(g, mst.edges));
+        EXPECT_TRUE(r.accepted) << family;
+        EXPECT_EQ(r.verdict, VerifyVerdict::Accept) << family;
+        EXPECT_EQ(r.witness, kInfiniteEdgeKey) << family;
+        EXPECT_EQ(r.component_size, g.vertex_count()) << family;
+        EXPECT_EQ(r.claimed_edges, g.vertex_count() - 1) << family;
+        EXPECT_EQ(r.nontree_edges, g.edge_count() - (g.vertex_count() - 1))
+            << family;
+        EXPECT_GT(r.stats.rounds, 0u) << family;
+    }
+}
+
+TEST(VerifyMst, AcceptanceIsRootInvariant)
+{
+    auto g = make_workload("er", 40, 9);
+    auto claimed = ports_from_edges(g, mst_kruskal(g).edges);
+    for (VertexId root : {VertexId{0}, VertexId{7}, VertexId{39}}) {
+        VerifyOptions opts;
+        opts.root = root;
+        auto r = run_verify_mst(g, claimed, opts);
+        EXPECT_TRUE(r.accepted) << "root " << root;
+    }
+}
+
+TEST(VerifyMst, AcceptsUnderWiderBandwidth)
+{
+    auto g = make_workload("er", 48, 3);
+    auto claimed = ports_from_edges(g, mst_kruskal(g).edges);
+    std::uint64_t rounds_b1 = 0;
+    for (int b : {1, 2, 4}) {
+        VerifyOptions opts;
+        opts.bandwidth = b;
+        auto r = run_verify_mst(g, claimed, opts);
+        EXPECT_TRUE(r.accepted) << "b=" << b;
+        if (b == 1)
+            rounds_b1 = r.stats.rounds;
+        else
+            EXPECT_LE(r.stats.rounds, rounds_b1) << "b=" << b;
+    }
+}
+
+TEST(VerifyMst, RejectsDroppedEdgeWithTheDroppedWitness)
+{
+    auto g = make_workload("er", 40, 11);
+    auto mst = mst_kruskal(g);
+    // Dropping any MST edge disconnects the claim, and by the cut
+    // property the lightest edge re-crossing the cut is the dropped edge
+    // itself: the witness is exact.
+    for (std::size_t i : {std::size_t{0}, mst.edges.size() / 2,
+                          mst.edges.size() - 1}) {
+        auto claimed_edges = mst.edges;
+        EdgeId dropped = claimed_edges[i];
+        claimed_edges.erase(claimed_edges.begin() + i);
+        auto r = run_verify_mst(g, ports_from_edges(g, claimed_edges));
+        EXPECT_EQ(r.verdict, VerifyVerdict::RejectDisconnected);
+        EXPECT_EQ(r.witness, key_of(g, dropped));
+    }
+}
+
+TEST(VerifyMst, RejectsHalfMarkedEdgeAsAsymmetric)
+{
+    auto g = make_workload("grid", 48, 2);
+    auto mst = mst_kruskal(g);
+    auto claimed = ports_from_edges(g, mst.edges);
+    EdgeId victim = mst.edges[mst.edges.size() / 3];
+    VertexId u = g.edge(victim).u;
+    std::size_t port = g.port_of(u, g.edge(victim).v);
+    auto& ports = claimed[u];
+    ports.erase(std::find(ports.begin(), ports.end(), port));
+    auto r = run_verify_mst(g, claimed);
+    EXPECT_EQ(r.verdict, VerifyVerdict::RejectAsymmetric);
+    EXPECT_EQ(r.witness, key_of(g, victim));
+}
+
+TEST(VerifyMst, RejectsExtraEdgeWithACycleWitness)
+{
+    auto g = make_workload("er", 40, 17);
+    auto mst = mst_kruskal(g);
+    std::set<EdgeId> in_mst(mst.edges.begin(), mst.edges.end());
+    EdgeId extra = kNoEdge;
+    for (EdgeId e = 0; e < g.edge_count(); ++e)
+        if (!in_mst.count(e)) {
+            extra = e;
+            break;
+        }
+    ASSERT_NE(extra, kNoEdge);
+    auto claimed_edges = mst.edges;
+    claimed_edges.push_back(extra);
+    auto r = run_verify_mst(g, ports_from_edges(g, claimed_edges));
+    EXPECT_EQ(r.verdict, VerifyVerdict::RejectCycle);
+    // The witness lies on the unique claimed cycle: extra's tree path + extra.
+    std::set<EdgeKey> cycle{key_of(g, extra)};
+    for (EdgeId e : tree_path_edges(g, mst.edges, g.edge(extra).u, g.edge(extra).v))
+        cycle.insert(key_of(g, e));
+    EXPECT_TRUE(cycle.count(r.witness));
+}
+
+TEST(VerifyMst, RejectsSwappedTreeWithTheHeavyEdgeWitness)
+{
+    auto g = make_workload("er", 40, 23);
+    auto mst = mst_kruskal(g);
+    std::set<EdgeId> in_mst(mst.edges.begin(), mst.edges.end());
+    // Swap a non-tree edge f for the heaviest tree edge on its cycle: the
+    // result is a spanning tree, strictly heavier than the MST, whose only
+    // claimed edge outside the MST is f — every cycle-max violation pins
+    // f as the heavy edge, so the witness is exact.
+    for (EdgeId f = 0; f < g.edge_count(); ++f) {
+        if (in_mst.count(f))
+            continue;
+        auto path = tree_path_edges(g, mst.edges, g.edge(f).u, g.edge(f).v);
+        EdgeId e = *std::max_element(path.begin(), path.end(),
+                                     [&](EdgeId a, EdgeId b) {
+                                         return key_of(g, a) < key_of(g, b);
+                                     });
+        auto claimed_edges = mst.edges;
+        claimed_edges.erase(
+            std::find(claimed_edges.begin(), claimed_edges.end(), e));
+        claimed_edges.push_back(f);
+        auto r = run_verify_mst(g, ports_from_edges(g, claimed_edges));
+        EXPECT_EQ(r.verdict, VerifyVerdict::RejectNotMinimal);
+        EXPECT_EQ(r.witness, key_of(g, f));
+        EXPECT_LT(r.offender, r.witness);
+        break;
+    }
+}
+
+TEST(VerifyMst, HandlesDegenerateGraphs)
+{
+    Rng rng(1);
+    // Single vertex, empty claim: trivially the MST.
+    auto g1 = WeightedGraph::from_edges(1, {});
+    auto r1 = run_verify_mst(g1, {{}});
+    EXPECT_TRUE(r1.accepted);
+
+    // Two vertices: claiming the only edge accepts, claiming nothing is a
+    // disconnection witnessed by that edge.
+    auto g2 = WeightedGraph::from_edges(2, {Edge{0, 1, 7}});
+    EXPECT_TRUE(run_verify_mst(g2, {{0}, {0}}).accepted);
+    auto r2 = run_verify_mst(g2, {{}, {}});
+    EXPECT_EQ(r2.verdict, VerifyVerdict::RejectDisconnected);
+    EXPECT_EQ(r2.witness, key_of(g2, 0));
+
+    // m = n-1: any spanning claim is the MST; no cycle-max queries run.
+    auto tree = gen_random_tree(33, rng);
+    auto mst = mst_kruskal(tree);
+    auto rt = run_verify_mst(tree, ports_from_edges(tree, mst.edges));
+    EXPECT_TRUE(rt.accepted);
+    EXPECT_EQ(rt.nontree_edges, 0u);
+}
+
+TEST(VerifyMst, RejectsBadInputs)
+{
+    auto g = make_workload("er", 16, 1);
+    std::vector<std::vector<std::size_t>> claimed(g.vertex_count());
+    claimed[0].push_back(g.degree(0));  // out of range
+    EXPECT_THROW(run_verify_mst(g, claimed), std::invalid_argument);
+    EXPECT_THROW(run_verify_mst(g, {}), std::invalid_argument);
+
+    VerifyOptions opts;
+    opts.root = static_cast<VertexId>(g.vertex_count());
+    EXPECT_THROW(run_verify_mst(g, ports_from_edges(g, mst_kruskal(g).edges),
+                                opts),
+                 std::invalid_argument);
+}
+
+TEST(VerifyMst, EnginesAgreeBitIdentically)
+{
+    auto g = make_workload("er", 56, 31);
+    auto mst = mst_kruskal(g);
+    auto accept_claim = ports_from_edges(g, mst.edges);
+    auto drop_claim = mst.edges;
+    drop_claim.pop_back();
+    auto reject_claim = ports_from_edges(g, drop_claim);
+
+    for (const auto& claimed : {accept_claim, reject_claim}) {
+        VerifyOptions serial;
+        auto base = run_verify_mst(g, claimed, serial);
+        for (int threads : {1, 2, 8}) {
+            VerifyOptions par;
+            par.engine = Engine::Parallel;
+            par.threads = threads;
+            auto r = run_verify_mst(g, claimed, par);
+            EXPECT_EQ(r.verdict, base.verdict) << threads;
+            EXPECT_EQ(r.witness, base.witness) << threads;
+            EXPECT_EQ(r.offender, base.offender) << threads;
+            EXPECT_EQ(r.stats.rounds, base.stats.rounds) << threads;
+            EXPECT_EQ(r.stats.messages, base.stats.messages) << threads;
+            EXPECT_EQ(r.stats.words, base.stats.words) << threads;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dmst
