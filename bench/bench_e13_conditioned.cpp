@@ -1,0 +1,160 @@
+// Experiment E13 — round/message inflation of the conditioned CONGEST
+// substrate versus the ideal one (congest/conditioner.h).
+//
+// For each (family, n, conditioner config) the bench runs Elkin's MST on
+// the ideal substrate and under the conditioner and reports the tick and
+// message inflation. It is also a CI-able regression check; it exits
+// non-zero if any of the model's guarantees is violated:
+//
+//   - the MST edge set is bit-identical to the ideal run in every cell
+//     (conditioning is output-invariant by construction);
+//   - pure latency conditioning obeys the exact inflation formula
+//     ticks = (R - 1) * stride + 1 with identical message/word counts
+//     (the synchronizer stretches rounds, nothing else);
+//   - every conditioned run ends on an activation tick
+//     ((ticks - 1) % stride == 0) and stays within the scaled round
+//     budget scaled_round_budget(R_logical, config);
+//   - hetero bandwidth caps never *reduce* logical rounds (capping links
+//     cannot speed a protocol up).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dmst/congest/conditioner.h"
+#include "dmst/core/elkin_mst.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/sim/engine.h"
+#include "dmst/util/cli.h"
+#include "dmst/util/table.h"
+
+using namespace dmst;
+
+namespace {
+
+struct CondCase {
+    const char* name;
+    ConditionerConfig config;
+};
+
+std::vector<CondCase> cond_cases(std::uint64_t seed, int bandwidth)
+{
+    std::vector<CondCase> cases;
+    auto add = [&](const char* name, int lat, bool hetero, bool adv) {
+        ConditionerConfig cc;
+        cc.max_latency = lat;
+        cc.hetero_bandwidth = hetero;
+        cc.adversarial_order = adv;
+        cc.seed = seed;
+        cases.push_back({name, cc});
+    };
+    add("lat1", 1, false, false);
+    add("lat3", 3, false, false);
+    if (bandwidth > 1)
+        add("hetero", 0, true, false);
+    add("adv", 0, false, true);
+    add("lat3+het+adv", 3, bandwidth > 1, true);
+    return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    Args args;
+    args.define("families", "er,grid,path", "workload families");
+    args.define("max_n", "1024", "largest size of the 4x-spaced sweep");
+    args.define("bandwidth", "2", "CONGEST bandwidth b");
+    args.define("seed", "13", "workload seed");
+    args.define("cond_seed", "7", "conditioner assignment seed");
+    args.define("csv", "false", "emit CSV instead of an aligned table");
+    define_engine_flags(args);
+    try {
+        args.parse(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n" << args.help();
+        return 1;
+    }
+
+    const auto [eng, threads] = engine_from_args(args);
+    const std::uint64_t seed = args.get_int("seed");
+    const std::uint64_t cond_seed = args.get_int("cond_seed");
+    const std::size_t max_n = static_cast<std::size_t>(args.get_int("max_n"));
+    const int bandwidth = static_cast<int>(args.get_int("bandwidth"));
+
+    std::cout << "E13: conditioned substrate inflation vs the ideal "
+                 "substrate (b=" << bandwidth << ")\n";
+    Table table({"family", "n", "config", "stride", "ticks", "ideal_rounds",
+                 "tick_ratio", "msgs", "msg_ratio"});
+    bool ok = true;
+    auto fail = [&](const std::string& why) {
+        std::cerr << "E13 VIOLATION: " << why << "\n";
+        ok = false;
+    };
+
+    for (const std::string& family : split_list(args.get("families"))) {
+        for (std::size_t n = 64; n <= max_n; n *= 4) {
+            auto g = make_workload(family, n, seed);
+
+            ElkinOptions ideal;
+            ideal.bandwidth = bandwidth;
+            ideal.engine = eng;
+            ideal.threads = threads;
+            auto base = run_elkin_mst(g, ideal);
+
+            for (const CondCase& cs : cond_cases(cond_seed, bandwidth)) {
+                ElkinOptions opts = ideal;
+                opts.conditioner = cs.config;
+                auto run = run_elkin_mst(g, opts);
+                const std::uint64_t stride = cs.config.stride();
+                const std::string where = family + "/" +
+                                          std::to_string(n) + "/" + cs.name;
+
+                if (run.mst_edges != base.mst_edges)
+                    fail(where + ": MST differs from the ideal run");
+                if ((run.stats.rounds - 1) % stride != 0)
+                    fail(where + ": run did not end on an activation tick");
+                const std::uint64_t logical =
+                    (run.stats.rounds - 1) / stride + 1;
+                if (run.stats.rounds >
+                    scaled_round_budget(logical, cs.config))
+                    fail(where + ": ticks exceed the scaled budget");
+                if (!cs.config.hetero_bandwidth &&
+                    !cs.config.adversarial_order) {
+                    if (run.stats.rounds !=
+                        (base.stats.rounds - 1) * stride + 1)
+                        fail(where + ": latency inflation formula violated");
+                    if (run.stats.messages != base.stats.messages ||
+                        run.stats.words != base.stats.words)
+                        fail(where + ": latency changed message counts");
+                }
+                if (cs.config.hetero_bandwidth && logical < base.stats.rounds)
+                    fail(where + ": capped links reduced logical rounds");
+
+                table.new_row()
+                    .add(family)
+                    .add(static_cast<std::uint64_t>(n))
+                    .add(cs.name)
+                    .add(stride)
+                    .add(run.stats.rounds)
+                    .add(base.stats.rounds)
+                    .add(static_cast<double>(run.stats.rounds) /
+                         static_cast<double>(base.stats.rounds))
+                    .add(run.stats.messages)
+                    .add(static_cast<double>(run.stats.messages) /
+                         static_cast<double>(base.stats.messages));
+            }
+        }
+    }
+
+    if (args.get_bool("csv"))
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+    if (!ok) {
+        std::cerr << "E13: conditioned-substrate guarantees VIOLATED\n";
+        return 2;
+    }
+    std::cout << "E13: all conditioned-substrate guarantees hold\n";
+    return 0;
+}

@@ -6,6 +6,13 @@
 //   scenario_runner --algo=elkin --families=er,grid --sizes=256,1024
 //       --engines=serial,parallel --threads=1,2,8 --json=-
 //
+// Network-conditioner axes (comma lists, congest/conditioner.h):
+//   --latency=0,3        per-link latency bound in rounds (0 = ideal)
+//   --hetero_b=0,1       per-link bandwidth caps hashed in [1, b]
+//   --adversarial_order=0,1   adversarial (seeded) inbox delivery order
+// Conditioned cells must produce the same MST (and verification verdicts)
+// as the ideal substrate; --verify enforces that per cell.
+//
 // Verification modes (--verify):
 //   oracle  cross-check the output against sequential Kruskal (default)
 //   model   additionally run the in-model verification protocol on the
@@ -36,6 +43,13 @@ int main(int argc, char** argv)
     args.define("threads", "0",
                 "comma list of parallel worker counts (0 = hardware)");
     args.define("seed", "1", "workload seed");
+    args.define("latency", "0",
+                "comma list of conditioner per-link latency bounds");
+    args.define("hetero_b", "0",
+                "comma list (0/1): hash per-link bandwidth caps in [1, b]");
+    args.define("adversarial_order", "0",
+                "comma list (0/1): adversarial inbox delivery order");
+    args.define("cond_seed", "7", "conditioner assignment seed");
     args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
     args.define("verify", "oracle", "oracle|model|none (bare --verify = model)");
     args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
@@ -80,6 +94,20 @@ int main(int argc, char** argv)
         for (std::int64_t t : split_int_list(args.get("threads")))
             spec.thread_counts.push_back(static_cast<int>(t));
         spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+        spec.latencies.clear();
+        for (std::int64_t l : split_int_list(args.get("latency"))) {
+            if (l < 0)
+                throw std::invalid_argument("--latency items must be >= 0");
+            spec.latencies.push_back(static_cast<int>(l));
+        }
+        spec.hetero_bs.clear();
+        for (std::int64_t h : split_int_list(args.get("hetero_b")))
+            spec.hetero_bs.push_back(h != 0);
+        spec.adversarial_orders.clear();
+        for (std::int64_t a : split_int_list(args.get("adversarial_order")))
+            spec.adversarial_orders.push_back(a != 0);
+        spec.conditioner_seed =
+            static_cast<std::uint64_t>(args.get_int("cond_seed"));
         spec.ghs_k = static_cast<std::uint64_t>(args.get_int("ghs_k"));
         const std::string verify = args.get("verify");
         // Legacy spellings from before the mode flag: true/false.

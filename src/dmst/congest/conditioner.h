@@ -1,0 +1,129 @@
+#ifndef DMST_CONGEST_CONDITIONER_H
+#define DMST_CONGEST_CONDITIONER_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dmst/congest/message.h"
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// Deterministic adversarial network conditioner: per-link latency, per-link
+// bandwidth caps, and an adversarial inbox permutation, all drawn from a
+// seed — never from wall-clock, thread timing, or arrival order — so a
+// conditioned run is exactly reproducible and bit-identical across the
+// serial and sharded engines under any thread count.
+//
+// Model. The conditioner couples the link assignment with a lock-step
+// synchronizer: every logical CONGEST round executes as `stride() = 1 +
+// max_latency` substrate ticks. A message sent in (the activation tick of)
+// logical round r on link l physically arrives at tick r_tick + 1 +
+// latency(l) — within the stride by construction — and is buffered until
+// the next activation, so every process still observes the synchronous
+// model: the inbox of logical round r+1 holds exactly the messages of
+// logical round r. That is what makes protocol outputs provably invariant
+// under conditioning (the acceptance bar of the invariance fuzz suite);
+// what changes is observable substrate behavior: RunStats::rounds counts
+// ticks (inflated by exactly the stride), the arrival trace spreads over
+// ticks per the per-link latencies, per-link bandwidth caps throttle the
+// pipelined protocols (more logical rounds), and the adversarial order
+// permutes each inbox.
+//
+// The stride is fixed from the configured latency bound, not the realized
+// per-link maximum: like any synchronizer schedule it must be agreed by
+// all vertices a priori, and it keeps the round-inflation formula exact —
+// a run of R logical rounds finishes in (R-1)*stride + 1 ticks.
+struct ConditionerConfig {
+    // Per-link extra latency is hashed uniformly from [0, max_latency]
+    // (in ticks); 0 disables latency conditioning entirely.
+    int max_latency = 0;
+    // Cap each link's bandwidth at a hashed value in [1, b] units,
+    // overriding the global NetConfig::bandwidth for that link (no-op at
+    // b = 1). Protocols consult Context::bandwidth(port).
+    bool hetero_bandwidth = false;
+    // Permute every delivered inbox span by a seeded hash of (receiver,
+    // logical round) — a delivery-order adversary: protocols may not rely
+    // on port-sorted arrival. Per-link FIFO is preserved (see
+    // LinkConditioner::permute_span).
+    bool adversarial_order = false;
+    std::uint64_t seed = 7;
+
+    bool enabled() const
+    {
+        return max_latency > 0 || hetero_bandwidth || adversarial_order;
+    }
+
+    // Substrate ticks per logical round.
+    int stride() const { return 1 + max_latency; }
+};
+
+// Round budgets (NetConfig::max_rounds and every driver's runaway guard)
+// are stated for the ideal lock-step substrate; under a conditioner each
+// logical round costs stride() ticks. `ideal * stride` covers the exact
+// tick count (R-1)*stride + 1 of an R-round run and is tight to within
+// stride - 1 ticks.
+std::uint64_t scaled_round_budget(std::uint64_t ideal_rounds,
+                                  const ConditionerConfig& config);
+
+// Reusable scratch for permute_span (one per serial engine, one per shard
+// in the parallel engine, alongside the sort scratch): both buffers grow
+// to a high-water mark, keeping the deliver phase allocation-free in
+// steady state even under an adversarial-order conditioner.
+struct PermuteScratch {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> groups;  // (off, len)
+    std::vector<Incoming> tmp;
+};
+
+// The seeded per-link assignment, precomputed per edge at construction.
+// Engine-independent: nothing here reads engine, shard, or thread state.
+class LinkConditioner {
+public:
+    LinkConditioner() = default;  // disabled; stride() == 1
+
+    LinkConditioner(const WeightedGraph& g, const ConditionerConfig& config,
+                    int global_bandwidth);
+
+    bool enabled() const { return config_.enabled(); }
+    const ConditionerConfig& config() const { return config_; }
+    int stride() const { return config_.stride(); }
+    bool adversarial_order() const { return config_.adversarial_order; }
+
+    // Extra latency of edge e, in [0, config.max_latency] ticks.
+    int latency(EdgeId e) const
+    {
+        return latency_.empty() ? 0 : latency_[e];
+    }
+
+    // Bandwidth cap of edge e in units, in [1, global b].
+    int bandwidth_cap(EdgeId e) const
+    {
+        return cap_.empty() ? global_bandwidth_ : cap_[e];
+    }
+
+    // Applies the adversarial delivery permutation to one inbox span: a
+    // seeded Fisher-Yates over the per-port groups, keyed by receiver and
+    // logical round. Links stay FIFO — the messages one edge carries in a
+    // round form one CONGEST packet — but the interleaving across links is
+    // adversarial. Must be called on the canonical port-sorted span, which
+    // both engines build bit-identically — so the permuted span is
+    // bit-identical too.
+    void permute_span(Incoming* first, std::size_t n, VertexId receiver,
+                      std::uint64_t logical_round,
+                      PermuteScratch& scratch) const;
+
+    // SplitMix64 finalizer, the hash behind every per-link draw. Exposed
+    // so tests can predict assignments from first principles.
+    static std::uint64_t mix(std::uint64_t x);
+
+private:
+    ConditionerConfig config_;
+    int global_bandwidth_ = 1;
+    std::vector<std::uint16_t> latency_;  // per edge; empty if max_latency == 0
+    std::vector<std::uint16_t> cap_;      // per edge; empty unless hetero
+};
+
+}  // namespace dmst
+
+#endif  // DMST_CONGEST_CONDITIONER_H

@@ -9,6 +9,10 @@ namespace dmst {
 Network::Network(const WeightedGraph& g, NetConfig config)
     : NetworkBase(g, config)
 {
+    // Presized so the send path pays one emptiness test for the arrival
+    // trace, never a bounds check.
+    if (config_.record_per_round)
+        arrive_hist_.assign(static_cast<std::size_t>(stride_), 0);
 }
 
 void Network::send_from(VertexId from, std::size_t port, Message&& msg)
@@ -20,6 +24,8 @@ void Network::send_from(VertexId from, std::size_t port, Message&& msg)
     std::size_t arrival_port = reverse_port(from, port);
     if (config_.record_per_edge)
         ++stats_.messages_per_edge[graph_.edge_id(from, port)];
+    if (!arrive_hist_.empty())
+        ++arrive_hist_[link_delay(from, port)];
     ++inbox_count_[target];  // consumed (and reset) by deliver_staged
     staged_.emplace(target, static_cast<std::uint32_t>(arrival_port),
                     std::move(msg));
@@ -37,14 +43,28 @@ bool Network::step()
 
     ++round_;
     round_messages_ = 0;
-    for (VertexId v = 0; v < graph_.vertex_count(); ++v)
-        reset_round_words(v);
-
-    for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
-        Context ctx = context_for(v);
-        processes_[v]->on_round(ctx);
+    if (activation_tick()) {
+        ++logical_round_;
+        for (VertexId v = 0; v < graph_.vertex_count(); ++v)
+            reset_round_words(v);
+        for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
+            Context ctx = context_for(v);
+            processes_[v]->on_round(ctx);
+        }
+        // The inbox was consumed this tick; the messages leave flight now
+        // even though the arena is only rebuilt at the next deliver tick.
+        DMST_ASSERT(live_ <= in_flight_);
+        in_flight_ -= live_;
+        live_ = 0;
+        if (config_.record_per_round)
+            fold_arrivals(arrive_hist_);
     }
-    deliver_staged();
+    // Between activations (stride > 1) the staged messages ride along
+    // unread; the inbox for the next activation is built on the tick just
+    // before it, once every send of the logical round has physically
+    // arrived.
+    if (deliver_tick())
+        deliver_staged();
 
     stats_.rounds = round_;
     if (config_.record_per_round)
@@ -54,12 +74,10 @@ bool Network::step()
 
 void Network::deliver_staged()
 {
-    // The arena still holds the messages consumed this round; rebuilding it
-    // from the staging buffer both drops them and delivers the new ones.
+    // The arena still holds messages already consumed (and struck from
+    // in_flight_) at the last activation; rebuilding it from the staging
+    // buffer drops them and delivers the new ones.
     const std::size_t n = graph_.vertex_count();
-    const std::uint64_t consumed = live_;
-    DMST_ASSERT(consumed <= in_flight_);
-    in_flight_ -= consumed;
 
     // Grow-only, with geometric headroom: per-round message volume often
     // ramps exponentially (e.g. a spreading wave), and each growth
@@ -90,6 +108,7 @@ void Network::deliver_staged()
     for (VertexId v = 0; v < n; ++v) {
         const InboxSpan& span = inbox_span_[v];
         sort_span_by_port(span.data, span.len, sort_scratch_);
+        maybe_permute_span(v, sort_scratch_);
     }
 }
 

@@ -16,12 +16,18 @@ std::size_t Context::n() const
 
 std::uint64_t Context::round() const
 {
-    return net_->round_;
+    return net_->logical_round_;
 }
 
 int Context::bandwidth() const
 {
     return net_->config_.bandwidth;
+}
+
+int Context::bandwidth(std::size_t port) const
+{
+    DMST_ASSERT_MSG(port < degree(), "bandwidth: port out of range");
+    return net_->link_bandwidth(vertex_, port);
 }
 
 std::size_t Context::degree() const
@@ -56,9 +62,11 @@ void Context::send(std::size_t port, Message msg)
 // ------------------------------------------------------------ NetworkBase
 
 NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
-    : graph_(g), config_(config)
+    : graph_(g), config_(config),
+      cond_(g, config.conditioner, config.bandwidth)
 {
     DMST_ASSERT(config_.bandwidth >= 1);
+    stride_ = cond_.stride();
     const std::size_t n = graph_.vertex_count();
     inbox_span_.resize(n);
     inbox_count_.assign(n, 0);
@@ -92,6 +100,27 @@ NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
             }
         }
     }
+
+    // Per-(vertex, port) views of the conditioner's per-edge assignment,
+    // so the send path never hashes or maps edge ids.
+    if (config_.conditioner.max_latency > 0) {
+        link_delay_.resize(n);
+        for (VertexId v = 0; v < n; ++v) {
+            link_delay_[v].resize(graph_.degree(v));
+            for (std::size_t p = 0; p < graph_.degree(v); ++p)
+                link_delay_[v][p] = static_cast<std::uint16_t>(
+                    cond_.latency(graph_.edge_id(v, p)));
+        }
+    }
+    if (config_.conditioner.hetero_bandwidth && config_.bandwidth > 1) {
+        link_cap_.resize(n);
+        for (VertexId v = 0; v < n; ++v) {
+            link_cap_[v].resize(graph_.degree(v));
+            for (std::size_t p = 0; p < graph_.degree(v); ++p)
+                link_cap_[v][p] = static_cast<std::uint16_t>(
+                    cond_.bandwidth_cap(graph_.edge_id(v, p)));
+        }
+    }
 }
 
 void NetworkBase::init(const Factory& factory)
@@ -114,11 +143,26 @@ void NetworkBase::charge_bandwidth(VertexId from, std::size_t port,
                                    std::size_t size)
 {
     const std::size_t budget =
-        kWordsPerUnit * static_cast<std::size_t>(config_.bandwidth);
+        kWordsPerUnit * static_cast<std::size_t>(link_bandwidth(from, port));
     std::size_t& used = words_this_round_[from][port];
     DMST_ASSERT_MSG(used + size <= budget,
                     "per-edge bandwidth budget exceeded (CONGEST violation)");
     used += size;
+}
+
+void NetworkBase::fold_arrivals(std::vector<std::uint64_t>& hist)
+{
+    // Sends of this activation tick (tick round_) on a link of latency d
+    // arrive at tick round_ + 1 + d, i.e. 0-based trace index round_ + d.
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+        if (hist[d] == 0)
+            continue;
+        const std::size_t idx = static_cast<std::size_t>(round_) + d;
+        if (stats_.arrivals_per_round.size() <= idx)
+            stats_.arrivals_per_round.resize(idx + 1, 0);
+        stats_.arrivals_per_round[idx] += hist[d];
+        hist[d] = 0;
+    }
 }
 
 void NetworkBase::reset_round_words(VertexId v)

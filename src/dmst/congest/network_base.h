@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "dmst/congest/conditioner.h"
 #include "dmst/congest/message.h"
 #include "dmst/graph/graph.h"
 
@@ -32,6 +33,13 @@ struct NetConfig {
     bool record_per_edge = false;           // keep a per-edge message histogram
     Engine engine = Engine::Serial;         // which engine make_network builds
     int threads = 0;  // parallel engine worker count; 0 = hardware concurrency
+    // Adversarial network conditioning (congest/conditioner.h): per-link
+    // latency and bandwidth caps plus an adversarial inbox permutation,
+    // executed as conditioner.stride() substrate ticks per logical round.
+    // Disabled by default — the ideal lock-step substrate. max_rounds is
+    // stated in ticks, so callers conditioning a run scale their ideal
+    // budget with scaled_round_budget().
+    ConditionerConfig conditioner;
 };
 
 // Counters for a completed (or in-progress) run.
@@ -40,6 +48,12 @@ struct RunStats {
     std::uint64_t messages = 0;  // number of Message sends
     std::uint64_t words = 0;     // total 64-bit words sent (tags included)
     std::vector<std::uint64_t> messages_per_round;  // only if record_per_round
+    // Physical arrivals per tick (index t-1 holds the messages arriving at
+    // tick t, i.e. sent at tick t - 1 - link latency); only if
+    // record_per_round. On the ideal substrate this is messages_per_round
+    // shifted by one tick; under a conditioner it exposes the per-link
+    // latency assignment.
+    std::vector<std::uint64_t> arrivals_per_round;
     // Messages per edge (both directions summed), indexed by EdgeId; only
     // if record_per_edge. Exposes the congestion profile of a protocol —
     // e.g. how much hotter the root-adjacent τ edges run than the rest.
@@ -72,8 +86,18 @@ class Context {
 public:
     VertexId id() const { return vertex_; }
     std::size_t n() const;
+    // The current logical (protocol-visible) round. Under a conditioner
+    // the substrate runs stride ticks per logical round and processes are
+    // only stepped on activation ticks, so round() advances by one per
+    // on_round() call either way — protocols schedule against it exactly
+    // as on the ideal substrate. RunStats::rounds counts ticks.
     std::uint64_t round() const;
     int bandwidth() const;
+    // Bandwidth of the link behind `port`, in units: the conditioner's
+    // per-link cap when hetero_bandwidth is on, else the global b.
+    // Protocols batching more than one unit per edge per round must pace
+    // against this, not bandwidth().
+    int bandwidth(std::size_t port) const;
 
     std::size_t degree() const;
     Weight weight(std::size_t port) const;
@@ -114,10 +138,20 @@ public:
 // protocols and tests rely on it for determinism:
 //
 //   - vertices are stepped in id order (or observably so),
-//   - a vertex's inbox holds last round's messages sorted by arrival port,
-//     ties broken by (sender id, send order),
+//   - a vertex's inbox holds last logical round's messages sorted by
+//     arrival port, ties broken by (sender id, send order) — then, only
+//     under an adversarial-order conditioner, permuted by the seeded
+//     engine-independent LinkConditioner::permute_span,
 //   - per-(edge, direction) bandwidth is charged identically,
 //   - RunStats counters are identical after every completed round.
+//
+// Under a NetConfig::conditioner the engine runs stride() substrate ticks
+// per logical round (see congest/conditioner.h): processes step only on
+// activation ticks, sends physically arrive spread over the stride per
+// the per-link latencies, and the inbox for the next activation is built
+// on the tick before it. All of that is implemented here and in the two
+// deliver phases identically, so both engines remain bit-identical under
+// any thread count.
 //
 // Storage model: inboxes live in one contiguous arena (inbox_slab_) with a
 // per-vertex (offset, length) span table, rebuilt every deliver phase from
@@ -151,6 +185,10 @@ public:
     const RunStats& stats() const { return stats_; }
     const WeightedGraph& graph() const { return graph_; }
     const NetConfig& config() const { return config_; }
+    const LinkConditioner& conditioner() const { return cond_; }
+
+    // Substrate ticks per logical round (1 on the ideal substrate).
+    int stride() const { return stride_; }
 
     // Port at which a message sent by v through its port `port` arrives.
     std::size_t reverse_port(VertexId v, std::size_t port) const;
@@ -240,6 +278,7 @@ protected:
     struct SortScratch {
         std::vector<std::uint32_t> count;
         std::vector<Incoming> tmp;
+        PermuteScratch permute;  // for the adversarial-order conditioner
     };
 
     NetworkBase(const WeightedGraph& g, NetConfig config);
@@ -252,10 +291,55 @@ protected:
     Context context_for(VertexId v) { return Context(*this, v); }
 
     // Charges `size` words against (from, port) for this round; throws
-    // InvariantViolation past the per-edge-per-direction budget.
+    // InvariantViolation past the per-edge-per-direction budget (the
+    // conditioner's per-link cap when hetero_bandwidth is on).
     void charge_bandwidth(VertexId from, std::size_t port, std::size_t size);
 
     void reset_round_words(VertexId v);
+
+    // ---- conditioner plumbing shared by both engines --------------------
+
+    // Whether processes are stepped this tick. Call after ++round_; the
+    // engine must bump logical_round_ exactly when this is true.
+    bool activation_tick() const { return (round_ - 1) % stride_ == 0; }
+    // Whether the inbox read at tick round_+1 (an activation tick) must be
+    // built at the end of this tick. With stride 1 this is every tick.
+    bool deliver_tick() const { return round_ % stride_ == 0; }
+    // Logical round of the inbox built at the end of this tick (the key of
+    // the adversarial permutation). Valid on deliver ticks, where the
+    // logical round counter holds round_ / stride_.
+    std::uint64_t read_logical_round() const { return logical_round_ + 1; }
+
+    // Extra latency in ticks of the link behind (from, port); 0 when
+    // latency conditioning is off.
+    int link_delay(VertexId from, std::size_t port) const
+    {
+        return link_delay_.empty() ? 0 : link_delay_[from][port];
+    }
+
+    // Per-link bandwidth in units, for Context::bandwidth(port).
+    int link_bandwidth(VertexId v, std::size_t port) const
+    {
+        return link_cap_.empty() ? config_.bandwidth : link_cap_[v][port];
+    }
+
+    // Folds one activation tick's per-delay arrival histogram (hist[d] =
+    // sends this tick on links of latency d) into the tick-indexed
+    // arrivals trace, zeroing hist. Coordinator-only.
+    void fold_arrivals(std::vector<std::uint64_t>& hist);
+
+    // Applies the adversarial permutation to vertex v's freshly sorted
+    // span, when configured, through the caller's reusable scratch (the
+    // same per-engine/per-shard scratch the port sort uses — never shared
+    // across concurrent phases). Shards touch disjoint vertices.
+    void maybe_permute_span(VertexId v, SortScratch& scratch)
+    {
+        if (cond_.adversarial_order()) {
+            const InboxSpan& span = inbox_span_[v];
+            cond_.permute_span(span.data, span.len, v, read_logical_round(),
+                               scratch.permute);
+        }
+    }
 
     // Stable-sorts span [first, first+n) by arrival port, preserving the
     // staged (sender id, send order) within equal ports. Allocation-free in
@@ -290,6 +374,18 @@ protected:
     // parallel engine shares this accounting without synchronization.
     std::vector<std::vector<std::size_t>> words_this_round_;
     std::vector<std::vector<std::size_t>> reverse_port_;
+
+    // The conditioner and its per-(vertex, port) precomputed views (built
+    // once; empty on the corresponding disabled axis so the hot path pays
+    // one emptiness test, no hash).
+    LinkConditioner cond_;
+    int stride_ = 1;
+    // Count of activation ticks so far == the protocol-visible round of
+    // Context::round(); maintained by the engines instead of divided out
+    // of round_ (round() is on the per-vertex-per-round hot path).
+    std::uint64_t logical_round_ = 0;
+    std::vector<std::vector<std::uint16_t>> link_delay_;
+    std::vector<std::vector<std::uint16_t>> link_cap_;
     std::uint64_t round_ = 0;
     std::uint64_t in_flight_ = 0;
     RunStats stats_;

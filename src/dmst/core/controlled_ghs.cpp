@@ -661,6 +661,10 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     config.bandwidth = opts.bandwidth;
     config.engine = opts.engine;
     config.threads = opts.threads;
+    config.conditioner = opts.conditioner;
+    config.max_rounds = scaled_round_budget(
+        opts.max_rounds ? opts.max_rounds : config.max_rounds,
+        opts.conditioner);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();

@@ -244,6 +244,12 @@ struct GhsOptions {
     int bandwidth = 1;
     Engine engine = Engine::Serial;
     int threads = 0;  // parallel engine workers; 0 = hardware concurrency
+    // Adversarial network conditioning; output-invariant (see
+    // congest/conditioner.h).
+    ConditionerConfig conditioner;
+    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
+    // scaled by the conditioner stride into ticks.
+    std::uint64_t max_rounds = 0;
 };
 
 MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opts);

@@ -66,56 +66,108 @@ void ElkinProcess::on_round(Context& ctx)
     if (upcast_)
         upcast_->on_round(ctx);
 
-    // Control traffic.
-    for (const Incoming& in : ctx.inbox()) {
-        const std::uint32_t t = in.msg.tag;
-        if (t == tag(kStartGhs)) {
-            auto m = decode<StartGhsMsg>(in.msg);
-            start_ghs_from_wave(ctx, m.k, m.start_round);
-        } else if (t == tag(kPhaseStart)) {
-            begin_boruvka_phase(ctx, decode<PhaseOnlyMsg>(in.msg).phase);
-        } else if (t == tag(kChat)) {
-            auto m = decode<FidMsg>(in.msg);
-            neighbor_coarse_.at(in.port) = m.fid;
-            neighbor_vid_.at(in.port) = m.vid;
-            if (static_cast<std::int64_t>(m.phase) == phase_) {
-                ++chats_received_;
-            } else {
-                DMST_ASSERT_MSG(static_cast<std::int64_t>(m.phase) == phase_ + 1,
-                                "CHAT from an unexpected phase");
-                ++chats_next_;
+    // Control traffic, processed in canonical phase order regardless of
+    // delivery order (the conditioner's delivery adversary may permute the
+    // inbox arbitrarily): first the traffic of phases up to the current
+    // one, then the parent's PHASE_START — at most one per round — and
+    // only then the traffic of the phase it starts. Both interleavings
+    // occur naturally in one inbox: a fragment child one τ-level up can
+    // report phase j's MWOE in the very round our own PHASE_START(j)
+    // arrives, while a neighbor's CHAT for the next phase can land beside
+    // it (τ is a BFS tree, so graph neighbors are at most one wave apart).
+    const std::int64_t pre_bump_phase = phase_;
+    std::optional<std::uint64_t> phase_start;
+    std::size_t deferred = 0;  // next-phase messages found by the first pass
+    // Returns true if the FINISH wave arrived and this process is done.
+    // A message of a phase later than pre_bump_phase is skipped by the
+    // first pass (counted into `deferred`) and handled by the second;
+    // phaseless tags belong to the first pass.
+    auto control_pass = [&](bool post_bump) -> bool {
+        // True if a message of phase `ph` belongs to the other pass; the
+        // first pass counts the messages it leaves for the second.
+        auto other_pass = [&](std::uint64_t ph) {
+            if ((static_cast<std::int64_t>(ph) > pre_bump_phase) != post_bump) {
+                deferred += !post_bump;
+                return true;
             }
-        } else if (t == tag(kFragReport)) {
-            auto m = decode<FragReportMsg>(in.msg);
-            DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
-            DMST_ASSERT(frag_reports_pending_ > 0);
-            --frag_reports_pending_;
-            if (m.key < frag_best_) {
-                frag_best_ = m.key;
-                frag_best_other_ = m.other_coarse;
+            return false;
+        };
+        for (const Incoming& in : ctx.inbox()) {
+            const std::uint32_t t = in.msg.tag;
+            if (t == tag(kPhaseStart)) {
+                if (!post_bump) {
+                    DMST_ASSERT_MSG(!phase_start,
+                                    "two PHASE_START waves in one round");
+                    phase_start = decode<PhaseOnlyMsg>(in.msg).phase;
+                }
+            } else if (t == tag(kStartGhs)) {
+                if (post_bump)
+                    continue;
+                auto m = decode<StartGhsMsg>(in.msg);
+                start_ghs_from_wave(ctx, m.k, m.start_round);
+            } else if (t == tag(kChat)) {
+                auto m = decode<FidMsg>(in.msg);
+                if (other_pass(m.phase))
+                    continue;
+                neighbor_coarse_.at(in.port) = m.fid;
+                neighbor_vid_.at(in.port) = m.vid;
+                if (static_cast<std::int64_t>(m.phase) == phase_) {
+                    ++chats_received_;
+                } else {
+                    DMST_ASSERT_MSG(
+                        static_cast<std::int64_t>(m.phase) == phase_ + 1,
+                        "CHAT from an unexpected phase");
+                    ++chats_next_;
+                }
+            } else if (t == tag(kFragReport)) {
+                auto m = decode<FragReportMsg>(in.msg);
+                if (other_pass(m.phase))
+                    continue;
+                DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
+                DMST_ASSERT(frag_reports_pending_ > 0);
+                --frag_reports_pending_;
+                if (m.key < frag_best_) {
+                    frag_best_ = m.key;
+                    frag_best_other_ = m.other_coarse;
+                }
+            } else if (t == tag(kNewCoarse)) {
+                auto m = decode<NewCoarseMsg>(in.msg);
+                if (other_pass(m.phase))
+                    continue;
+                DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
+                handle_new_coarse(ctx, m.coarse, m.edge);
+            } else if (t == tag(kAck)) {
+                auto m = decode<PhaseOnlyMsg>(in.msg);
+                if (other_pass(m.phase))
+                    continue;
+                DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
+                DMST_ASSERT(acks_pending_ > 0);
+                --acks_pending_;
+            } else if (t == tag(kFlood)) {
+                // Ablation E10b: every record floods the whole tree.
+                auto m = decode<FloodMsg>(in.msg);
+                if (other_pass(m.rec[1]))
+                    continue;
+                if (m.rec[0] == labeler_.own_index()) {
+                    DMST_ASSERT(static_cast<std::int64_t>(m.rec[1]) == phase_);
+                    handle_new_coarse(ctx, m.rec[2], m.rec[3]);
+                }
+                flood_enqueue(m.rec);
+            } else if (t == tag(kFinish)) {
+                if (post_bump)
+                    continue;
+                finish(ctx);
+                return true;
             }
-        } else if (t == tag(kNewCoarse)) {
-            auto m = decode<NewCoarseMsg>(in.msg);
-            DMST_ASSERT(static_cast<std::int64_t>(m.phase) == phase_);
-            handle_new_coarse(ctx, m.coarse, m.edge);
-        } else if (t == tag(kAck)) {
-            DMST_ASSERT(static_cast<std::int64_t>(
-                            decode<PhaseOnlyMsg>(in.msg).phase) == phase_);
-            DMST_ASSERT(acks_pending_ > 0);
-            --acks_pending_;
-        } else if (t == tag(kFlood)) {
-            // Ablation E10b: every record floods the whole tree.
-            auto m = decode<FloodMsg>(in.msg);
-            if (m.rec[0] == labeler_.own_index()) {
-                DMST_ASSERT(static_cast<std::int64_t>(m.rec[1]) == phase_);
-                handle_new_coarse(ctx, m.rec[2], m.rec[3]);
-            }
-            flood_enqueue(m.rec);
-        } else if (t == tag(kFinish)) {
-            finish(ctx);
-            return;
         }
-    }
+        return false;
+    };
+    if (control_pass(false))
+        return;
+    if (phase_start)
+        begin_boruvka_phase(ctx, *phase_start);
+    if (deferred > 0 && control_pass(true))
+        return;
 
     // Stage transitions.
     if (is_root_vertex() && bfs_.finished() && !ghs_wave_sent_) {
@@ -308,8 +360,9 @@ void ElkinProcess::pump_flood(Context& ctx)
 {
     const auto& children = bfs_.children_ports();
     for (std::size_t i = 0; i < flood_queues_.size(); ++i) {
+        const int budget = ctx.bandwidth(children[i]);
         int sent = 0;
-        while (sent < ctx.bandwidth() && !flood_queues_[i].empty()) {
+        while (sent < budget && !flood_queues_[i].empty()) {
             const auto& r = flood_queues_[i].front();
             ctx.send(children[i], encode(tag(kFlood), FloodMsg{r}));
             flood_queues_[i].pop_front();
@@ -443,6 +496,10 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     config.record_per_edge = opts.record_per_edge;
     config.engine = opts.engine;
     config.threads = opts.threads;
+    config.conditioner = opts.conditioner;
+    config.max_rounds = scaled_round_budget(
+        opts.max_rounds ? opts.max_rounds : config.max_rounds,
+        opts.conditioner);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
@@ -467,9 +524,12 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     result.bfs_rounds = root.bfs_rounds();
     result.ghs_rounds = root.ghs_rounds();
 
-    // Phase split at the end of the Controlled-GHS schedule.
+    // Phase split at the end of the Controlled-GHS schedule. The boundary
+    // is computed in logical rounds; the per-round trace and stats.rounds
+    // are tick-indexed, stride ticks per logical round.
+    const std::uint64_t stride = opts.conditioner.stride();
     std::uint64_t ghs_end =
-        root.bfs_rounds() + root.bfs_ecc() + 2 + root.ghs_rounds();
+        (root.bfs_rounds() + root.bfs_ecc() + 2 + root.ghs_rounds()) * stride;
     ghs_end = std::min<std::uint64_t>(ghs_end, stats.rounds);
     result.phase2_rounds = stats.rounds - ghs_end;
     for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)

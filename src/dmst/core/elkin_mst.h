@@ -62,6 +62,12 @@ struct ElkinOptions {
     // choice affects wall-clock only; results are bit-identical.
     Engine engine = Engine::Serial;
     int threads = 0;
+    // Adversarial network conditioning (congest/conditioner.h). The MST
+    // output is invariant; rounds inflate by the conditioner stride.
+    ConditionerConfig conditioner;
+    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
+    // the driver scales it by the conditioner stride into ticks.
+    std::uint64_t max_rounds = 0;
 };
 
 struct DistributedMstResult {

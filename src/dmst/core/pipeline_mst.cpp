@@ -61,8 +61,9 @@ void PipelineMstProcess::pump_broadcast(Context& ctx)
     const auto& children = bfs_.children_ports();
     bool drained = true;
     for (std::size_t i = 0; i < bcast_queues_.size(); ++i) {
+        const int budget = ctx.bandwidth(children[i]);
         int sent = 0;
-        while (sent < ctx.bandwidth() && !bcast_queues_[i].empty()) {
+        while (sent < budget && !bcast_queues_[i].empty()) {
             std::uint64_t word = bcast_queues_[i].front();
             bcast_queues_[i].pop_front();
             if (word == kFinishWord)
@@ -190,6 +191,10 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     config.record_per_round = true;  // enables the phase-1/phase-2 split
     config.engine = opts.engine;
     config.threads = opts.threads;
+    config.conditioner = opts.conditioner;
+    config.max_rounds = scaled_round_budget(
+        opts.max_rounds ? opts.max_rounds : config.max_rounds,
+        opts.conditioner);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
@@ -211,8 +216,10 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     const auto& root = static_cast<const PipelineMstProcess&>(net.process(opts.root));
     result.k_used = root.k_used();
     result.pipeline_edges = root.pipeline_edges();
-    std::uint64_t ghs_end = std::min<std::uint64_t>(root.ghs_end_round(),
-                                                    stats.rounds);
+    // ghs_end_round() is a logical round; the trace and stats.rounds are
+    // tick-indexed, stride ticks per logical round.
+    std::uint64_t ghs_end = std::min<std::uint64_t>(
+        root.ghs_end_round() * opts.conditioner.stride(), stats.rounds);
     result.phase2_rounds = stats.rounds - ghs_end;
     for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)
         result.phase2_messages += stats.messages_per_round[r];

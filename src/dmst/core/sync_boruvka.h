@@ -108,6 +108,12 @@ struct SyncBoruvkaOptions {
     int max_phases = 0;
     Engine engine = Engine::Serial;
     int threads = 0;  // parallel engine workers; 0 = hardware concurrency
+    // Adversarial network conditioning; output-invariant (see
+    // congest/conditioner.h).
+    ConditionerConfig conditioner;
+    // Runaway guard in ideal-substrate rounds, summed across all phases
+    // (0 = the NetConfig default); scaled by the conditioner stride.
+    std::uint64_t max_rounds = 0;
 };
 
 SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,

@@ -401,6 +401,10 @@ VerifyMstResult run_verify_mst(
     config.bandwidth = opts.bandwidth;
     config.engine = opts.engine;
     config.threads = opts.threads;
+    config.conditioner = opts.conditioner;
+    config.max_rounds = scaled_round_budget(
+        opts.max_rounds ? opts.max_rounds : config.max_rounds,
+        opts.conditioner);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     net.init([&](VertexId v) {

@@ -76,6 +76,12 @@ struct VerifyOptions {
     VertexId root = 0;   // designated verification root (any vertex works)
     Engine engine = Engine::Serial;
     int threads = 0;     // parallel engine workers; 0 = hardware concurrency
+    // Adversarial network conditioning; the verdict and witness are
+    // invariant (see congest/conditioner.h).
+    ConditionerConfig conditioner;
+    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
+    // scaled by the conditioner stride into ticks.
+    std::uint64_t max_rounds = 0;
 };
 
 struct VerifyMstResult {

@@ -51,8 +51,10 @@ void IntervalDowncast::on_round(Context& ctx)
     if (!attached_)
         return;
 
-    const int budget = ctx.bandwidth();
     for (std::size_t i = 0; i < queues_.size(); ++i) {
+        // Per-link record budget: the conditioner may cap a child edge
+        // below the global b.
+        const int budget = ctx.bandwidth(children_ports_[i]);
         int sent = 0;
         while (sent < budget && !queues_[i].empty()) {
             const DownRecord& r = queues_[i].front();

@@ -129,8 +129,10 @@ void SortedMergeUpcast::on_round(Context& ctx)
     if (!attached_)
         return;
 
-    // Emit up to `bandwidth` records, globally smallest first.
-    const int budget = ctx.bandwidth();
+    // Emit up to `bandwidth` records, globally smallest first — paced by
+    // the parent link's own budget, which a conditioner may cap below b.
+    const int budget = parent_port_ != kNoPort ? ctx.bandwidth(parent_port_)
+                                               : ctx.bandwidth();
     int sent = 0;
     while (sent < budget && !buffer_.empty()) {
         auto it = buffer_.begin();

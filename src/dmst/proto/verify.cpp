@@ -211,8 +211,11 @@ void PathMaxTokens::on_round(Context& ctx)
 
     // Climb one hop, charging the traversed claimed edge into the running
     // max at send time (the receiver absorbs verbatim).
+    if (queue_.empty())
+        return;
+    const int budget = ctx.bandwidth(parent_port_);
     int sent = 0;
-    while (sent < ctx.bandwidth() && !queue_.empty()) {
+    while (sent < budget && !queue_.empty()) {
         const Half& h = queue_.front();
         ctx.send(parent_port_,
                  encode(tag_, PathTokenMsg{h.pair, h.key,

@@ -50,4 +50,27 @@ EngineSelection engine_from_args(const Args& args)
     return sel;
 }
 
+void define_conditioner_flags(Args& args)
+{
+    args.define("latency", "0",
+                "conditioner: per-link latency bound in rounds (0 = ideal)");
+    args.define("hetero_b", "false",
+                "conditioner: hash per-link bandwidth caps in [1, b]");
+    args.define("adversarial_order", "false",
+                "conditioner: adversarial (seeded) inbox delivery order");
+    args.define("cond_seed", "7", "conditioner assignment seed");
+}
+
+ConditionerConfig conditioner_from_args(const Args& args)
+{
+    ConditionerConfig cc;
+    cc.max_latency = static_cast<int>(args.get_int("latency"));
+    cc.hetero_bandwidth = args.get_bool("hetero_b");
+    cc.adversarial_order = args.get_bool("adversarial_order");
+    cc.seed = static_cast<std::uint64_t>(args.get_int("cond_seed"));
+    if (cc.max_latency < 0)
+        throw std::invalid_argument("--latency must be >= 0");
+    return cc;
+}
+
 }  // namespace dmst

@@ -31,6 +31,13 @@ struct EngineSelection {
 void define_engine_flags(Args& args);
 EngineSelection engine_from_args(const Args& args);
 
+// The shared --latency/--hetero_b/--adversarial_order/--cond_seed CLI
+// surface of the bench binaries (single values; the scenario runner sweeps
+// its own comma-list axes). Keeps every bench's conditioner selection
+// identical.
+void define_conditioner_flags(Args& args);
+ConditionerConfig conditioner_from_args(const Args& args);
+
 }  // namespace dmst
 
 #endif  // DMST_SIM_ENGINE_H

@@ -27,6 +27,8 @@ ParallelNetwork::ParallelNetwork(const WeightedGraph& g, NetConfig config,
     shard_states_.resize(static_cast<std::size_t>(shards_));
     for (auto& st : shard_states_) {
         st.out.resize(static_cast<std::size_t>(shards_));
+        if (config_.record_per_round)
+            st.arrive_hist.assign(static_cast<std::size_t>(stride_), 0);
         if (config_.record_per_edge)
             st.edge_hist.assign(graph_.edge_count(), 0);
     }
@@ -64,6 +66,8 @@ void ParallelNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
 
     ShardState& st = shard_states_[static_cast<std::size_t>(shard_of_[from])];
     VertexId target = graph_.neighbor(from, port);
+    if (config_.record_per_round)
+        ++st.arrive_hist[link_delay(from, port)];
     if (config_.record_per_edge) {
         EdgeId e = graph_.edge_id(from, port);
         if (st.edge_hist[e]++ == 0)
@@ -139,6 +143,7 @@ void ParallelNetwork::deliver_shard(int s)
         for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
             const InboxSpan& span = inbox_span_[v];
             sort_span_by_port(span.data, span.len, st.sort_scratch);
+            maybe_permute_span(v, st.sort_scratch);
         }
     } catch (...) {
         st.error = std::current_exception();
@@ -165,31 +170,44 @@ bool ParallelNetwork::step()
         return false;
 
     ++round_;
-    run_phase([this](int s) { step_shard(s); });
-    rethrow_shard_error();
-
-    // Last round's arena contents are exactly the messages consumed this
-    // round; the deliver phase overwrites them shard-locally.
-    std::uint64_t consumed = 0;
-    for (const auto& st : shard_states_)
-        consumed += st.live;
-    DMST_ASSERT(consumed <= in_flight_);
-    in_flight_ -= consumed;
-
-    run_phase([this](int s) { deliver_shard(s); });
-    rethrow_shard_error();
-    if (config_.record_per_edge)
-        fold_edge_histograms();
-
     std::uint64_t sent = 0;
-    for (auto& st : shard_states_) {
-        sent += st.messages;
-        stats_.messages += st.messages;
-        stats_.words += st.words;
-        st.messages = 0;
-        st.words = 0;
+    if (activation_tick()) {
+        ++logical_round_;
+        run_phase([this](int s) { step_shard(s); });
+        rethrow_shard_error();
+
+        // The arena contents delivered at the last deliver tick are
+        // exactly the messages consumed this tick; the next deliver phase
+        // overwrites them shard-locally.
+        std::uint64_t consumed = 0;
+        for (auto& st : shard_states_) {
+            consumed += st.live;
+            st.live = 0;
+        }
+        DMST_ASSERT(consumed <= in_flight_);
+        in_flight_ -= consumed;
+
+        // Merge the shard counters on the coordinator, between phases.
+        for (auto& st : shard_states_) {
+            sent += st.messages;
+            stats_.messages += st.messages;
+            stats_.words += st.words;
+            st.messages = 0;
+            st.words = 0;
+            if (config_.record_per_round)
+                fold_arrivals(st.arrive_hist);
+        }
+        in_flight_ += sent;
+        if (config_.record_per_edge)
+            fold_edge_histograms();
     }
-    in_flight_ += sent;
+    // Between activations (stride > 1) the per-shard outboxes ride along
+    // unread; the inbox for the next activation is built on the tick just
+    // before it.
+    if (deliver_tick()) {
+        run_phase([this](int s) { deliver_shard(s); });
+        rethrow_shard_error();
+    }
 
     stats_.rounds = round_;
     if (config_.record_per_round)

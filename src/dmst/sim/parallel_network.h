@@ -63,6 +63,7 @@ private:
         std::size_t live = 0;           // slots delivered into this round
         std::uint64_t messages = 0;
         std::uint64_t words = 0;
+        std::vector<std::uint64_t> arrive_hist;  // by delay; only if record_per_round
         std::vector<std::uint64_t> edge_hist;  // only if record_per_edge
         std::vector<EdgeId> touched_edges;     // edges with edge_hist != 0
         SortScratch sort_scratch;

@@ -29,7 +29,7 @@ struct AlgoRun {
 
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
-                      std::uint64_t ghs_k)
+                      std::uint64_t ghs_k, const ConditionerConfig& cc)
 {
     AlgoRun out;
     if (algorithm == "elkin") {
@@ -37,6 +37,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.bandwidth = bandwidth;
         opts.engine = engine;
         opts.threads = threads;
+        opts.conditioner = cc;
         auto r = run_elkin_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -45,6 +46,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.bandwidth = bandwidth;
         opts.engine = engine;
         opts.threads = threads;
+        opts.conditioner = cc;
         auto r = run_pipeline_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -53,6 +55,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.bandwidth = bandwidth;
         opts.engine = engine;
         opts.threads = threads;
+        opts.conditioner = cc;
         auto r = run_sync_boruvka(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -62,6 +65,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.bandwidth = bandwidth;
         opts.engine = engine;
         opts.threads = threads;
+        opts.conditioner = cc;
         auto r = run_controlled_ghs(g, opts);
         // The forest is partial; gather edges straight from the port sets
         // (collect_mst_edges would reject a non-spanning forest).
@@ -258,7 +262,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
 {
     if (spec.families.empty() || spec.sizes.empty() ||
         spec.bandwidths.empty() || spec.engines.empty() ||
-        spec.thread_counts.empty())
+        spec.thread_counts.empty() || spec.latencies.empty() ||
+        spec.hetero_bs.empty() || spec.adversarial_orders.empty())
         throw std::invalid_argument("run_scenarios: empty sweep dimension");
 
     std::vector<ScenarioCell> cells;
@@ -266,13 +271,21 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
         for (std::size_t n : spec.sizes) {
             WeightedGraph g = make_workload(family, n, spec.seed);
             // The reference MST is per (family, n); reuse it across the
-            // bandwidth/engine/thread dimensions of the grid.
+            // bandwidth/conditioner/engine/thread dimensions of the grid.
             MstResult reference;
             if (spec.verify)
                 reference = mst_kruskal(g);
             std::set<EdgeId> reference_set(reference.edges.begin(),
                                            reference.edges.end());
             for (int bandwidth : spec.bandwidths) {
+            for (int latency : spec.latencies) {
+            for (int hetero : spec.hetero_bs) {
+            for (int adversarial : spec.adversarial_orders) {
+                ConditionerConfig cc;
+                cc.max_latency = latency;
+                cc.hetero_bandwidth = hetero != 0;
+                cc.adversarial_order = adversarial != 0;
+                cc.seed = spec.conditioner_seed;
                 for (Engine engine : spec.engines) {
                     const std::vector<int> serial_only = {1};
                     const auto& threads_axis = engine == Engine::Serial
@@ -285,6 +298,9 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         cell.n = g.vertex_count();
                         cell.m = g.edge_count();
                         cell.bandwidth = bandwidth;
+                        cell.latency = latency;
+                        cell.hetero_b = cc.hetero_bandwidth;
+                        cell.adversarial_order = cc.adversarial_order;
                         cell.engine = engine;
                         cell.threads = engine == Engine::Serial
                                            ? 1
@@ -293,7 +309,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         auto t0 = std::chrono::steady_clock::now();
                         AlgoRun run = run_algorithm(spec.algorithm, g,
                                                     bandwidth, engine,
-                                                    threads, spec.ghs_k);
+                                                    threads, spec.ghs_k, cc);
                         auto t1 = std::chrono::steady_clock::now();
                         cell.wall_ms =
                             std::chrono::duration<double, std::milli>(t1 - t0)
@@ -321,12 +337,14 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         if (spec.model_verify && spec.algorithm != "ghs") {
                             // Self-check inside the model: the constructed
                             // forest must be accepted, every mutation of it
-                            // rejected with a correct witness.
+                            // rejected with a correct witness — under the
+                            // cell's own conditioner.
                             cell.model_verify_ran = true;
                             VerifyOptions vo;
                             vo.bandwidth = bandwidth;
                             vo.engine = engine;
                             vo.threads = threads;
+                            vo.conditioner = cc;
                             auto claimed = ports_from_edges(g, run.edges);
                             auto vr = run_verify_mst(g, claimed, vo);
                             cell.model_verified = vr.accepted;
@@ -348,6 +366,9 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                     }
                 }
             }
+            }
+            }
+            }
         }
     }
     return cells;
@@ -360,6 +381,10 @@ std::string cell_json(const ScenarioCell& cell)
         << ",\"family\":\"" << cell.family << "\""
         << ",\"n\":" << cell.n << ",\"m\":" << cell.m
         << ",\"bandwidth\":" << cell.bandwidth
+        << ",\"latency\":" << cell.latency
+        << ",\"hetero_b\":" << (cell.hetero_b ? "true" : "false")
+        << ",\"adversarial_order\":"
+        << (cell.adversarial_order ? "true" : "false")
         << ",\"engine\":\"" << engine_name(cell.engine) << "\""
         << ",\"threads\":" << cell.threads
         << ",\"rounds\":" << cell.stats.rounds

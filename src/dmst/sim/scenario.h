@@ -28,6 +28,13 @@ struct ScenarioSpec {
     // Worker counts swept for the parallel engine; the serial engine runs
     // each cell once (threads reported as 1) regardless of this list.
     std::vector<int> thread_counts = {0};
+    // Network-conditioner axes (congest/conditioner.h): per-link latency
+    // bound, per-link bandwidth caps (0/1), adversarial delivery order
+    // (0/1). The default grid is the ideal substrate.
+    std::vector<int> latencies = {0};
+    std::vector<int> hetero_bs = {0};
+    std::vector<int> adversarial_orders = {0};
+    std::uint64_t conditioner_seed = 7;
     std::uint64_t seed = 1;
     // Cross-check the distributed output against sequential Kruskal. For
     // ghs (a partial forest, not a full MST) the check is containment of
@@ -50,6 +57,11 @@ struct ScenarioCell {
     std::size_t n = 0;
     std::size_t m = 0;
     int bandwidth = 1;
+    // The cell's conditioner point on the (latency, hetero_b,
+    // adversarial_order) axes; all-zero on the ideal substrate.
+    int latency = 0;
+    bool hetero_b = false;
+    bool adversarial_order = false;
     Engine engine = Engine::Serial;
     int threads = 1;
     RunStats stats;
@@ -120,7 +132,8 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 
 // Runs the full grid; throws std::invalid_argument on an unknown
 // algorithm, family, or empty dimension. Cells are produced in
-// (family, n, bandwidth, engine, threads) lexicographic grid order.
+// (family, n, bandwidth, latency, hetero_b, adversarial_order, engine,
+// threads) lexicographic grid order.
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell = {});
 

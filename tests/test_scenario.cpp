@@ -185,6 +185,49 @@ TEST(Scenario, CellJsonContainsEveryField)
         EXPECT_NE(with_model.find(token), std::string::npos) << token;
 }
 
+TEST(Scenario, ConditionerAxesSweepInvariantCells)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "elkin";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.bandwidths = {2};
+    spec.latencies = {0, 2};
+    spec.hetero_bs = {0, 1};
+    spec.adversarial_orders = {0, 1};
+    spec.engines = {Engine::Serial, Engine::Parallel};
+    spec.thread_counts = {2};
+    spec.model_verify = true;
+
+    auto cells = run_scenarios(spec);
+    // 2 latency x 2 hetero x 2 adversarial x (serial + parallel).
+    ASSERT_EQ(cells.size(), 2u * 2 * 2 * 2);
+    const std::uint64_t ideal_weight = cells[0].mst_weight;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto& cell = cells[i];
+        // Conditioning never changes the MST or the self-check outcome.
+        EXPECT_TRUE(cell.verified) << i;
+        EXPECT_TRUE(cell.model_verified) << i;
+        EXPECT_EQ(cell.mutations_passed, cell.mutations_run) << i;
+        EXPECT_EQ(cell.mst_weight, ideal_weight) << i;
+        // Engine pairs within one conditioner point are bit-identical.
+        if (i % 2 == 1) {
+            EXPECT_EQ(cell.stats.rounds, cells[i - 1].stats.rounds) << i;
+            EXPECT_EQ(cell.stats.messages, cells[i - 1].stats.messages) << i;
+        }
+        // Latency inflates ticks by exactly the stride on pure-latency
+        // cells.
+        if (cell.latency == 2 && !cell.hetero_b && !cell.adversarial_order)
+            EXPECT_EQ(cell.stats.rounds,
+                      (cells[0].stats.rounds - 1) * 3 + 1);
+    }
+
+    const std::string json = cell_json(cells.back());
+    for (const char* token :
+         {"\"latency\":2", "\"hetero_b\":true", "\"adversarial_order\":true"})
+        EXPECT_NE(json.find(token), std::string::npos) << token;
+}
+
 TEST(Scenario, SplitListParsesFlagValues)
 {
     EXPECT_EQ(split_list("er,grid,path"),

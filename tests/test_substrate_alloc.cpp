@@ -117,6 +117,22 @@ TEST(SubstrateAlloc, HighDegreeHubStaysAllocationFree)
     EXPECT_EQ(measure_steady_state_allocs(net, 3, 8), 0u);
 }
 
+TEST(SubstrateAlloc, ConditionedSteadyStateIsAllocationFree)
+{
+    // The conditioner's tick machinery and adversarial permutation run
+    // through reusable scratch (PermuteScratch) and the same arena
+    // datapath: once warm, a conditioned steady state allocates nothing
+    // either.
+    Rng rng(34);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.conditioner.max_latency = 1;  // stride 2: the tick path too
+    config.conditioner.adversarial_order = true;
+    Network net(g, config);
+    // 8 warmup ticks = 4 logical rounds reach every high-water mark.
+    EXPECT_EQ(measure_steady_state_allocs(net, 8, 8), 0u);
+}
+
 TEST(SubstrateAlloc, CountingOperatorNewIsLive)
 {
     // Sanity-check the harness itself: an actual allocation is counted.
