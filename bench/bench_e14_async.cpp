@@ -1,0 +1,156 @@
+// Experiment E14 — α-synchronizer overhead of the event-driven engine
+// versus the lock-step substrate (sim/async_network.h).
+//
+// For each (family, n, max_delay, event_seed) the bench runs Elkin's MST
+// on the serial lock-step engine and on the async engine and reports the
+// synchronizer cost: control messages (ACK + SAFE) per payload message,
+// delivery events per pulse, and virtual time per lock-step round. It is
+// also a CI-able regression check; it exits non-zero if any of the
+// engine's guarantees is violated:
+//
+//   - the MST edge set and the payload message/word counters are
+//     bit-identical to the serial run in every cell, for every
+//     (max_delay, event_seed) point (synchronizer exactness);
+//   - executed pulse levels cover the serial round count and exceed it
+//     only by the bounded endgame skew;
+//   - virtual time dominates the pulse count (every level costs at least
+//     one unit) and every control message is exactly one word;
+//   - repeating a cell with the same event seed reproduces bit-identical
+//     RunStats (events, virtual time, sync traffic) — determinism;
+//   - the phase-kicked Borůvka driver (multi-epoch resume) stays
+//     output-identical too.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/sim/engine.h"
+#include "dmst/util/cli.h"
+#include "dmst/util/table.h"
+
+using namespace dmst;
+
+int main(int argc, char** argv)
+{
+    Args args;
+    args.define("families", "er,grid,path", "workload families");
+    args.define("max_n", "256", "largest size of the 4x-spaced sweep");
+    args.define("seed", "13", "workload seed");
+    args.define("max_delays", "1,4", "async per-message delay bounds");
+    args.define("event_seeds", "1,2", "async delay-stream seeds");
+    args.define("csv", "false", "emit CSV instead of an aligned table");
+    try {
+        args.parse(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n" << args.help();
+        return 1;
+    }
+
+    const std::uint64_t seed = args.get_int("seed");
+    const std::size_t max_n = static_cast<std::size_t>(args.get_int("max_n"));
+    for (std::int64_t d : split_int_list(args.get("max_delays"))) {
+        if (d < 1) {
+            std::cerr << "--max_delays items must be >= 1\n";
+            return 1;
+        }
+    }
+
+    std::cout << "E14: α-synchronizer overhead of --engine=async vs the "
+                 "lock-step substrate\n";
+    Table table({"family", "n", "max_delay", "event_seed", "rounds", "pulses",
+                 "events", "virtual_time", "sync_msgs", "sync_per_payload",
+                 "vt_per_round"});
+    bool ok = true;
+    auto fail = [&](const std::string& why) {
+        std::cerr << "E14 VIOLATION: " << why << "\n";
+        ok = false;
+    };
+
+    for (const std::string& family : split_list(args.get("families"))) {
+        for (std::size_t n = 64; n <= max_n; n *= 4) {
+            auto g = make_workload(family, n, seed);
+
+            ElkinOptions ideal;
+            auto base = run_elkin_mst(g, ideal);
+
+            for (std::int64_t max_delay : split_int_list(args.get("max_delays"))) {
+            for (std::int64_t event_seed : split_int_list(args.get("event_seeds"))) {
+                ElkinOptions opts;
+                opts.engine = Engine::Async;
+                opts.async.max_delay = static_cast<int>(max_delay);
+                opts.async.event_seed = static_cast<std::uint64_t>(event_seed);
+                auto run = run_elkin_mst(g, opts);
+                const std::string where =
+                    family + "/" + std::to_string(n) + "/d" +
+                    std::to_string(max_delay) + "/s" +
+                    std::to_string(event_seed);
+
+                if (run.mst_edges != base.mst_edges)
+                    fail(where + ": MST differs from the serial run");
+                if (run.stats.messages != base.stats.messages ||
+                    run.stats.words != base.stats.words)
+                    fail(where + ": payload counters differ from serial");
+                if (run.stats.rounds < base.stats.rounds)
+                    fail(where + ": pulse levels fall short of serial rounds");
+                if (run.stats.rounds > 2 * base.stats.rounds + 16)
+                    fail(where + ": endgame pulse skew out of bounds");
+                if (run.stats.virtual_time < run.stats.rounds)
+                    fail(where + ": virtual time below the pulse count");
+                if (run.stats.sync_words != run.stats.sync_messages)
+                    fail(where + ": control messages are not one-word");
+                if (run.stats.sync_messages <= run.stats.messages)
+                    fail(where + ": missing SAFE traffic (acks alone?)");
+
+                // Determinism: the same seed replays bit-identical stats.
+                auto replay = run_elkin_mst(g, opts);
+                if (replay.stats.events != run.stats.events ||
+                    replay.stats.virtual_time != run.stats.virtual_time ||
+                    replay.stats.sync_messages != run.stats.sync_messages ||
+                    replay.stats.rounds != run.stats.rounds)
+                    fail(where + ": replay with the same seed diverged");
+
+                table.new_row()
+                    .add(family)
+                    .add(static_cast<std::uint64_t>(n))
+                    .add(static_cast<std::uint64_t>(max_delay))
+                    .add(static_cast<std::uint64_t>(event_seed))
+                    .add(base.stats.rounds)
+                    .add(run.stats.rounds)
+                    .add(run.stats.events)
+                    .add(run.stats.virtual_time)
+                    .add(run.stats.sync_messages)
+                    .add(static_cast<double>(run.stats.sync_messages) /
+                         static_cast<double>(run.stats.messages))
+                    .add(static_cast<double>(run.stats.virtual_time) /
+                         static_cast<double>(base.stats.rounds));
+            }
+            }
+
+            // Multi-epoch resume: the phase-kicked Borůvka driver re-kicks
+            // processes after quiescence; every epoch must re-align.
+            SyncBoruvkaOptions bs;
+            auto rb = run_sync_boruvka(g, bs);
+            SyncBoruvkaOptions ba;
+            ba.engine = Engine::Async;
+            auto rba = run_sync_boruvka(g, ba);
+            if (rba.mst_edges != rb.mst_edges || rba.phases != rb.phases ||
+                rba.stats.messages != rb.stats.messages)
+                fail(family + "/" + std::to_string(n) +
+                     ": multi-epoch Borůvka diverged from serial");
+        }
+    }
+
+    if (args.get_bool("csv"))
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+    if (!ok) {
+        std::cerr << "E14: async-engine guarantees VIOLATED\n";
+        return 2;
+    }
+    std::cout << "E14: all async-engine guarantees hold\n";
+    return 0;
+}

@@ -109,6 +109,10 @@ void BM_EngineRoundThroughput(benchmark::State& state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(g.vertex_count()) *
                             static_cast<std::int64_t>(rounds));
+    // Deterministic tick count of the simulated run: gated exactly by
+    // scripts/bench_gate.py (a change means the substrate's schedule
+    // changed, not that the runner was noisy).
+    state.counters["rounds"] = static_cast<double>(rounds);
 }
 BENCHMARK(BM_EngineRoundThroughput)
     ->Args({50'000, 0})
@@ -123,10 +127,14 @@ BENCHMARK(BM_EngineRoundThroughput)
 void BM_ElkinEndToEnd(benchmark::State& state)
 {
     auto g = er_graph(static_cast<std::size_t>(state.range(0)));
+    std::uint64_t rounds = 0;
     for (auto _ : state) {
         auto r = run_elkin_mst(g, ElkinOptions{});
+        rounds = r.stats.rounds;
         benchmark::DoNotOptimize(r.stats.rounds);
     }
+    // Deterministic protocol tick count; gated exactly (see above).
+    state.counters["rounds"] = static_cast<double>(rounds);
 }
 BENCHMARK(BM_ElkinEndToEnd)->Range(128, 512);
 

@@ -13,6 +13,14 @@
 // Conditioned cells must produce the same MST (and verification verdicts)
 // as the ideal substrate; --verify enforces that per cell.
 //
+// Event-driven engine axes (comma lists, sim/async_network.h), swept by
+// async-engine cells only; lock-step cells run at the first point:
+//   --max_delay=1,4      per-message delay bound in virtual-time units
+//   --event_seed=1,2,3   delay-stream seeds
+// Async cells skip conditioned grid points (the conditioner is a
+// lock-step device) and must produce the same MST and verdicts as the
+// serial engine; --verify enforces that per cell.
+//
 // Verification modes (--verify):
 //   oracle  cross-check the output against sequential Kruskal (default)
 //   model   additionally run the in-model verification protocol on the
@@ -39,7 +47,7 @@ int main(int argc, char** argv)
     args.define("families", "er", "comma list of workload families");
     args.define("sizes", "256", "comma list of graph sizes");
     args.define("bandwidths", "1", "comma list of CONGEST bandwidths");
-    args.define("engines", "serial", "comma list: serial,parallel");
+    args.define("engines", "serial", "comma list: serial,parallel,async");
     args.define("threads", "0",
                 "comma list of parallel worker counts (0 = hardware)");
     args.define("seed", "1", "workload seed");
@@ -50,6 +58,9 @@ int main(int argc, char** argv)
     args.define("adversarial_order", "0",
                 "comma list (0/1): adversarial inbox delivery order");
     args.define("cond_seed", "7", "conditioner assignment seed");
+    args.define("max_delay", "4",
+                "comma list of async per-message delay bounds (>= 1)");
+    args.define("event_seed", "1", "comma list of async delay-stream seeds");
     args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
     args.define("verify", "oracle", "oracle|model|none (bare --verify = model)");
     args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
@@ -108,6 +119,15 @@ int main(int argc, char** argv)
             spec.adversarial_orders.push_back(a != 0);
         spec.conditioner_seed =
             static_cast<std::uint64_t>(args.get_int("cond_seed"));
+        spec.max_delays.clear();
+        for (std::int64_t d : split_int_list(args.get("max_delay"))) {
+            if (d < 1)
+                throw std::invalid_argument("--max_delay items must be >= 1");
+            spec.max_delays.push_back(static_cast<int>(d));
+        }
+        spec.event_seeds.clear();
+        for (std::int64_t s : split_int_list(args.get("event_seed")))
+            spec.event_seeds.push_back(static_cast<std::uint64_t>(s));
         spec.ghs_k = static_cast<std::uint64_t>(args.get_int("ghs_k"));
         const std::string verify = args.get("verify");
         // Legacy spellings from before the mode flag: true/false.
@@ -145,8 +165,10 @@ int main(int argc, char** argv)
     }
 
     bool all_verified = true;
+    std::size_t cells = 0;
     try {
         run_scenarios(spec, [&](const ScenarioCell& cell) {
+            ++cells;
             *out << cell_json(cell) << "\n";
             if (cell.verify_ran && !cell.verified) {
                 all_verified = false;
@@ -163,6 +185,14 @@ int main(int argc, char** argv)
         });
     } catch (const std::exception& e) {
         std::cerr << "scenario sweep failed: " << e.what() << "\n";
+        return 1;
+    }
+    if (cells == 0) {
+        // Every grid point was skipped as engine-inapplicable (e.g.
+        // --engines=async with only conditioned points): almost
+        // certainly a flag mistake, not an empty-but-fine sweep.
+        std::cerr << "scenario sweep produced no cells: every grid point "
+                     "was skipped as inapplicable to its engine\n";
         return 1;
     }
     return all_verified ? 0 : 2;

@@ -1,33 +1,40 @@
 #!/usr/bin/env python3
 """CI bench regression gate: compare a fresh `bench_substrate --smoke`
 JSON against the committed baseline (BENCH_substrate.json) and fail on a
-regression beyond the tolerance.
+regression beyond each metric's tolerance.
 
-Gated metrics (the ISSUE-3 contract):
-  - BM_EngineRoundThroughput/50000/0 and /50000/2: items_per_second,
-    higher is better (simulator round throughput, serial and 2-worker).
-  - BM_ElkinEndToEnd/128: real_time, lower is better (Elkin end-to-end
-    wall clock).
-Other benchmarks in the files are reported but not gated.
+Gated metrics come from the baseline file's top-level "dmst_gate" list
+(injected by scripts/refresh_bench_baseline.py when the baseline is
+refreshed), so tolerances are per metric:
+
+  "dmst_gate": [
+    {"name": "BM_EngineRoundThroughput/50000/0", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    {"name": "BM_ElkinEndToEnd/128", "field": "rounds",
+     "direction": "exact"}
+  ]
+
+direction: "higher" (higher is better), "lower" (lower is better), or
+"exact" (deterministic counters such as simulated tick counts — any
+change fails, because it means the substrate's schedule changed, not that
+the runner was noisy). "tolerance" (a fraction) overrides --tolerance for
+that metric; "exact" ignores both.
+
+A baseline without "dmst_gate" is a hard error: it means the baseline
+was refreshed by copying raw `bench_substrate --smoke` output (which
+would silently shrink the gate) instead of going through
+scripts/refresh_bench_baseline.py.
 
 Usage: bench_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
-Exit status: 0 ok, 1 regression, 2 missing metric/bad input.
+Exit status: 0 ok, 1 regression, 2 missing metric/gate/bad input.
 """
 
 import argparse
 import json
 import sys
 
-GATED_HIGHER_IS_BETTER = [
-    ("BM_EngineRoundThroughput/50000/0", "items_per_second"),
-    ("BM_EngineRoundThroughput/50000/2", "items_per_second"),
-]
-GATED_LOWER_IS_BETTER = [
-    ("BM_ElkinEndToEnd/128", "real_time"),
-]
 
-
-def load_metrics(path):
+def load(path):
     with open(path) as f:
         data = json.load(f)
     metrics = {}
@@ -35,7 +42,7 @@ def load_metrics(path):
         if bench.get("run_type") == "aggregate":
             continue
         metrics[bench["name"]] = bench
-    return metrics
+    return data, metrics
 
 
 def main():
@@ -43,55 +50,81 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
+                        help="default fractional tolerance for gate entries "
+                             "without their own (default 0.25)")
     args = parser.parse_args()
 
     try:
-        baseline = load_metrics(args.baseline)
-        current = load_metrics(args.current)
+        baseline_data, baseline = load(args.baseline)
+        _, current = load(args.current)
     except (OSError, ValueError) as e:
         print(f"bench_gate: cannot read input: {e}", file=sys.stderr)
         return 2
 
+    gate = baseline_data.get("dmst_gate")
+    if not isinstance(gate, list) or not gate:
+        print("bench_gate: baseline has no dmst_gate block — refresh the "
+              "baseline with scripts/refresh_bench_baseline.py, never by "
+              "copying raw bench output", file=sys.stderr)
+        return 2
+
     failures = []
     rows = []
+    ok = True
 
-    def check(name, field, higher_is_better):
+    for entry in gate:
+        name = entry.get("name")
+        field = entry.get("field")
+        direction = entry.get("direction")
+        if direction not in ("higher", "lower", "exact"):
+            print(f"bench_gate: bad direction for {name}: {direction}",
+                  file=sys.stderr)
+            ok = False
+            continue
         if name not in baseline or name not in current:
             print(f"bench_gate: metric {name} missing "
                   f"(baseline: {name in baseline}, current: {name in current})",
                   file=sys.stderr)
-            return False
+            ok = False
+            continue
+        if field not in baseline[name] or field not in current[name]:
+            print(f"bench_gate: field {field} missing for {name}",
+                  file=sys.stderr)
+            ok = False
+            continue
         old = float(baseline[name][field])
         new = float(current[name][field])
-        if old <= 0:
-            print(f"bench_gate: non-positive baseline for {name}",
-                  file=sys.stderr)
-            return False
-        change = (new - old) / old
-        if higher_is_better:
-            regressed = new < old * (1.0 - args.tolerance)
+        if direction == "exact":
+            regressed = new != old
+            tol_text = "exact"
         else:
-            regressed = new > old * (1.0 + args.tolerance)
+            if old <= 0:
+                print(f"bench_gate: non-positive baseline for {name}",
+                      file=sys.stderr)
+                ok = False
+                continue
+            tolerance = float(entry.get("tolerance", args.tolerance))
+            tol_text = f"{tolerance:.0%}"
+            if direction == "higher":
+                regressed = new < old * (1.0 - tolerance)
+            else:
+                regressed = new > old * (1.0 + tolerance)
+        change = "n/a" if old == 0 else f"{(new - old) / old:+.1%}"
         verdict = "REGRESSED" if regressed else "ok"
-        rows.append((name, field, old, new, f"{change:+.1%}", verdict))
+        rows.append((name, entry["field"], old, new, change, tol_text,
+                     verdict))
         if regressed:
             failures.append(name)
-        return True
 
-    ok = True
-    for name, field in GATED_HIGHER_IS_BETTER:
-        ok &= check(name, field, higher_is_better=True)
-    for name, field in GATED_LOWER_IS_BETTER:
-        ok &= check(name, field, higher_is_better=False)
     if not ok:
         return 2
 
     width = max(len(r[0]) for r in rows)
-    print(f"bench regression gate (tolerance {args.tolerance:.0%}):")
-    for name, field, old, new, change, verdict in rows:
+    print("bench regression gate (per-metric tolerances):")
+    for name, field, old, new, change, tol, verdict in rows:
         print(f"  {name:<{width}}  {field:<16} "
-              f"{old:>14.4g} -> {new:>14.4g}  {change:>7}  {verdict}")
+              f"{old:>14.4g} -> {new:>14.4g}  {change:>7}  tol={tol:<5}  "
+              f"{verdict}")
 
     if failures:
         print(f"bench_gate: regression in {', '.join(failures)}",

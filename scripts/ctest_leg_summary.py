@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Render one CI test leg's timing as a GitHub job-summary markdown table.
+
+Reads the JUnit XML that `ctest --output-junit` wrote and prints a
+per-test table (name, status, seconds) plus the leg total, so the shard
+balance across the label legs (unit | fuzz | heavy | scenario) is visible
+at a glance in the Actions summary.
+
+Usage: ctest_leg_summary.py JUNIT.xml LEG_NAME
+"""
+
+import sys
+import xml.etree.ElementTree as ET
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, leg = argv[1], argv[2]
+    try:
+        root = ET.parse(path).getroot()
+    except (OSError, ET.ParseError) as e:
+        print(f"ctest_leg_summary: cannot parse {path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    total = 0.0
+    for case in root.iter("testcase"):
+        name = case.get("name", "?")
+        seconds = float(case.get("time", 0.0))
+        status = case.get("status", "run")
+        if case.find("failure") is not None or status == "fail":
+            status = "FAIL"
+        elif case.find("skipped") is not None:
+            status = "skip"
+        else:
+            status = "ok"
+        rows.append((seconds, name, status))
+        total += seconds
+    rows.sort(reverse=True)
+
+    print(f"### `{leg}` leg timing — {len(rows)} tests, {total:.1f}s total")
+    print("| test | status | seconds |")
+    print("| --- | --- | ---: |")
+    for seconds, name, status in rows:
+        print(f"| {name} | {status} | {seconds:.2f} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

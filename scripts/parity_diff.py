@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Cross-engine parity diff over scenario_runner JSONL output.
+
+Groups rows by scenario point (algorithm, family, n, bandwidth, and the
+conditioner axes) and enforces the engines' equivalence contracts:
+
+  - lock-step engines (serial, parallel at every thread count) must be
+    bit-identical per point: rounds, messages, words, mst_weight, the
+    oracle verdict, and the in-model verification block;
+  - async-engine rows (every max_delay x event_seed point) must match the
+    point's serial row on mst_weight, verdicts, and the payload counters
+    (messages/words, verify_messages/verify_words). rounds are excluded:
+    async pulse levels may exceed the serial count by the documented
+    endgame skew, and the synchronizer metrics (events, virtual_time,
+    sync_*) are async-only.
+
+Reads one or more JSONL files (e.g. one per algorithm from the nightly
+grid). Exit status: 0 parity holds, 1 mismatch, 2 bad input.
+
+Usage: parity_diff.py runs1.jsonl [runs2.jsonl ...]
+"""
+
+import json
+import sys
+
+GROUP_KEYS = ("algorithm", "family", "n", "bandwidth",
+              "latency", "hetero_b", "adversarial_order")
+LOCKSTEP_COMPARE = ("rounds", "messages", "words", "mst_weight", "verified",
+                    "model_verified", "mutations_passed", "mutations_run",
+                    "verify_rounds", "verify_messages", "verify_words")
+ASYNC_COMPARE = ("messages", "words", "mst_weight", "verified",
+                 "model_verified", "mutations_passed", "mutations_run",
+                 "verify_messages", "verify_words")
+
+
+def describe(row):
+    where = "/".join(str(row.get(k)) for k in GROUP_KEYS)
+    extra = f" engine={row.get('engine')} threads={row.get('threads')}"
+    if row.get("engine") == "async":
+        extra += (f" max_delay={row.get('max_delay')}"
+                  f" event_seed={row.get('event_seed')}")
+    return where + extra
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    groups = {}
+    rows = 0
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                for line_no, line in enumerate(f, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except ValueError as e:
+                        print(f"parity_diff: {path}:{line_no}: {e}",
+                              file=sys.stderr)
+                        return 2
+                    key = tuple(row.get(k) for k in GROUP_KEYS)
+                    groups.setdefault(key, []).append(row)
+                    rows += 1
+        except OSError as e:
+            print(f"parity_diff: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+
+    mismatches = []
+    lockstep_pairs = 0
+    async_rows = 0
+
+    def check(reference, row, fields, kind):
+        nonlocal mismatches
+        for field in fields:
+            if reference.get(field) != row.get(field):
+                mismatches.append(
+                    f"{kind} {field}: {reference.get(field)} != "
+                    f"{row.get(field)}\n    ref: {describe(reference)}\n"
+                    f"    row: {describe(row)}")
+
+    for key in sorted(groups, key=str):
+        group = groups[key]
+        lockstep = [r for r in group if r.get("engine") in ("serial",
+                                                            "parallel")]
+        asyncs = [r for r in group if r.get("engine") == "async"]
+        serial = next((r for r in group if r.get("engine") == "serial"),
+                      None)
+
+        reference = serial or (lockstep[0] if lockstep else None)
+        for row in lockstep:
+            if row is reference:
+                continue
+            lockstep_pairs += 1
+            check(reference, row, LOCKSTEP_COMPARE, "lockstep")
+
+        if asyncs and serial is None:
+            mismatches.append(
+                f"async rows without a serial reference at {key}")
+            continue
+        for row in asyncs:
+            async_rows += 1
+            check(serial, row, ASYNC_COMPARE, "async")
+
+    print(f"parity_diff: {rows} rows, {len(groups)} scenario points, "
+          f"{lockstep_pairs} lock-step comparisons, {async_rows} async "
+          f"comparisons")
+    if mismatches:
+        for m in mismatches:
+            print(f"PARITY MISMATCH: {m}", file=sys.stderr)
+        print(f"parity_diff: {len(mismatches)} mismatches", file=sys.stderr)
+        return 1
+    print("parity_diff: engine parity holds across all backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Refresh the committed bench baseline: take a fresh
+`bench_substrate --smoke` output and write it back with the per-metric
+"dmst_gate" spec (see scripts/bench_gate.py) injected, so a baseline
+refresh never silently drops the gate configuration.
+
+Wall-time metrics keep a loose 25% tolerance (CI runners are noisy and
+the baseline machine differs); the deterministic simulated tick counts
+gate exactly.
+
+Usage: refresh_bench_baseline.py FRESH.json COMMITTED.json
+"""
+
+import json
+import sys
+
+GATE = [
+    {"name": "BM_EngineRoundThroughput/50000/0", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    {"name": "BM_EngineRoundThroughput/50000/2", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    {"name": "BM_EngineRoundThroughput/50000/0", "field": "rounds",
+     "direction": "exact"},
+    {"name": "BM_EngineRoundThroughput/50000/2", "field": "rounds",
+     "direction": "exact"},
+    {"name": "BM_ElkinEndToEnd/128", "field": "real_time",
+     "direction": "lower", "tolerance": 0.25},
+    {"name": "BM_ElkinEndToEnd/128", "field": "rounds",
+     "direction": "exact"},
+]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+    names = {b["name"] for b in data.get("benchmarks", [])}
+    for entry in GATE:
+        if entry["name"] not in names:
+            print(f"refresh: gated metric {entry['name']} missing from "
+                  f"{sys.argv[1]}", file=sys.stderr)
+            return 2
+    data["dmst_gate"] = GATE
+    with open(sys.argv[2], "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"refresh: wrote {sys.argv[2]} with {len(GATE)} gated metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

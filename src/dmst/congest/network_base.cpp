@@ -19,6 +19,11 @@ std::uint64_t Context::round() const
     return net_->logical_round_;
 }
 
+std::uint64_t Context::virtual_time() const
+{
+    return net_->virtual_now();
+}
+
 int Context::bandwidth() const
 {
     return net_->config_.bandwidth;

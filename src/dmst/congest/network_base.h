@@ -19,11 +19,31 @@ class NetworkBase;
 // but not its neighbors' ids. KT1 additionally exposes neighbor ids.
 enum class Knowledge { KT0, KT1 };
 
-// Which simulation engine executes the rounds. Both implement NetworkBase
-// and are observably identical: same RunStats, same delivery order, same
-// process state evolution. Serial steps vertices on one thread; Parallel
-// shards vertices over a worker pool (src/dmst/sim/).
-enum class Engine { Serial, Parallel };
+// Which simulation engine executes the rounds. Serial and Parallel are
+// lock-step round engines and observably identical: same RunStats, same
+// delivery order, same process state evolution. Serial steps vertices on
+// one thread; Parallel shards vertices over a worker pool (src/dmst/sim/).
+// Async is the event-driven engine (sim/async_network.h): every message
+// travels with an independent seeded delay and vertices are activated
+// per-event with no global barrier; an acknowledgment-based α-synchronizer
+// (sim/synchronizer.h) re-creates the synchronous round abstraction on
+// top, so protocol outputs (MST edges, verification verdicts, per-level
+// message counts) are bit-identical to the serial engine.
+enum class Engine { Serial, Parallel, Async };
+
+// Parameters of the event-driven engine (Engine::Async); ignored by the
+// lock-step engines. Both feed the seeded delay draw only — protocol
+// outputs are invariant across every (max_delay, event_seed) point, which
+// the async invariance fuzz and the nightly parity job enforce.
+struct AsyncConfig {
+    // Every message (payload, ACK, SAFE) is delivered after an independent
+    // integer delay hashed uniformly from [1, max_delay] virtual-time
+    // units. 1 = uniform unit delays (ordering still event-driven).
+    int max_delay = 4;
+    // Seed of the per-message delay stream. Distinct seeds yield distinct
+    // interleavings and virtual times but identical protocol outputs.
+    std::uint64_t event_seed = 1;
+};
 
 struct NetConfig {
     int bandwidth = 1;  // the b of CONGEST(b log n); >= 1
@@ -38,8 +58,12 @@ struct NetConfig {
     // executed as conditioner.stride() substrate ticks per logical round.
     // Disabled by default — the ideal lock-step substrate. max_rounds is
     // stated in ticks, so callers conditioning a run scale their ideal
-    // budget with scaled_round_budget().
+    // budget with scaled_round_budget(). The conditioner is a lock-step
+    // synchronizer device and does not compose with Engine::Async;
+    // make_network rejects that combination.
     ConditionerConfig conditioner;
+    // Event-driven engine parameters; ignored by Serial and Parallel.
+    AsyncConfig async;
 };
 
 // Counters for a completed (or in-progress) run.
@@ -58,6 +82,21 @@ struct RunStats {
     // if record_per_edge. Exposes the congestion profile of a protocol —
     // e.g. how much hotter the root-adjacent τ edges run than the rest.
     std::vector<std::uint64_t> messages_per_edge;
+
+    // ---- event-driven engine metrics (Engine::Async; zero elsewhere) ----
+    // Delivery events processed (payload arrivals plus synchronizer ACK
+    // and SAFE arrivals).
+    std::uint64_t events = 0;
+    // Virtual clock at quiescence: the largest delivery timestamp
+    // processed. Unit delays (max_delay = 1) make this comparable to a
+    // lock-step round count.
+    std::uint64_t virtual_time = 0;
+    // α-synchronizer control traffic (ACK + SAFE), kept separate from
+    // `messages`/`words` so the payload counters stay bit-identical to the
+    // lock-step engines and the synchronizer overhead is measurable
+    // (bench_e14_async).
+    std::uint64_t sync_messages = 0;
+    std::uint64_t sync_words = 0;
 };
 
 // Read-only view of one vertex's inbox: a contiguous span of the engine's
@@ -98,6 +137,10 @@ public:
     // Protocols batching more than one unit per edge per round must pace
     // against this, not bandwidth().
     int bandwidth(std::size_t port) const;
+
+    // Virtual time of the event-driven engine's clock at this activation;
+    // always 0 on the lock-step engines, whose notion of time is round().
+    std::uint64_t virtual_time() const;
 
     std::size_t degree() const;
     Weight weight(std::size_t port) const;
@@ -189,6 +232,10 @@ public:
 
     // Substrate ticks per logical round (1 on the ideal substrate).
     int stride() const { return stride_; }
+
+    // Event-engine clock behind Context::virtual_time(); the lock-step
+    // engines have no virtual clock and report 0.
+    virtual std::uint64_t virtual_now() const { return 0; }
 
     // Port at which a message sent by v through its port `port` arrives.
     std::size_t reverse_port(VertexId v, std::size_t port) const;

@@ -662,6 +662,7 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     config.engine = opts.engine;
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
+    config.async = opts.async;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

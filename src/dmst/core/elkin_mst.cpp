@@ -497,6 +497,7 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     config.engine = opts.engine;
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
+    config.async = opts.async;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

@@ -65,6 +65,9 @@ struct ElkinOptions {
     // Adversarial network conditioning (congest/conditioner.h). The MST
     // output is invariant; rounds inflate by the conditioner stride.
     ConditionerConfig conditioner;
+    // Event-driven engine delay model (Engine::Async only); the MST
+    // output is invariant across every (max_delay, event_seed) point.
+    AsyncConfig async;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // the driver scales it by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

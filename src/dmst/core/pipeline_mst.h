@@ -41,6 +41,9 @@ struct PipelineMstOptions {
     // Adversarial network conditioning; output-invariant (see
     // congest/conditioner.h).
     ConditionerConfig conditioner;
+    // Event-driven engine delay model (Engine::Async only);
+    // output-invariant (see sim/async_network.h).
+    AsyncConfig async;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

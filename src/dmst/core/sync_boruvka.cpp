@@ -250,6 +250,7 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     config.engine = opts.engine;
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
+    config.async = opts.async;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

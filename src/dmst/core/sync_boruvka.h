@@ -111,6 +111,9 @@ struct SyncBoruvkaOptions {
     // Adversarial network conditioning; output-invariant (see
     // congest/conditioner.h).
     ConditionerConfig conditioner;
+    // Event-driven engine delay model (Engine::Async only);
+    // output-invariant (see sim/async_network.h).
+    AsyncConfig async;
     // Runaway guard in ideal-substrate rounds, summed across all phases
     // (0 = the NetConfig default); scaled by the conditioner stride.
     std::uint64_t max_rounds = 0;

@@ -79,6 +79,9 @@ struct VerifyOptions {
     // Adversarial network conditioning; the verdict and witness are
     // invariant (see congest/conditioner.h).
     ConditionerConfig conditioner;
+    // Event-driven engine delay model (Engine::Async only); the verdict
+    // and witness are invariant (see sim/async_network.h).
+    AsyncConfig async;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

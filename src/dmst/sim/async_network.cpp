@@ -1,0 +1,287 @@
+#include "dmst/sim/async_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dmst/congest/conditioner.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+namespace {
+
+// Domain-separation constant of the per-message delay stream.
+constexpr std::uint64_t kDelayStream = 0x64656c617921000bULL;
+
+}  // namespace
+
+bool AsyncNetwork::event_after(const Event& a, const Event& b)
+{
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+}
+
+AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config)
+    : NetworkBase(g, config), sync_(g)
+{
+    DMST_ASSERT_MSG(!config_.conditioner.enabled(),
+                    "the lock-step conditioner does not compose with the "
+                    "async engine (its delay model subsumes the latency axis)");
+    if (config_.async.max_delay < 1)
+        throw std::invalid_argument("async max_delay must be >= 1");
+    const std::size_t n = graph_.vertex_count();
+    inbox_store_.resize(n);
+    done_cache_.assign(n, false);
+    send_seq_.resize(n);
+    for (VertexId v = 0; v < n; ++v)
+        send_seq_[v].assign(graph_.degree(v), 0);
+}
+
+void AsyncNetwork::push_event(Event&& ev)
+{
+    ev.seq = event_seq_++;
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), event_after);
+}
+
+AsyncNetwork::Event AsyncNetwork::pop_event()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), event_after);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+}
+
+int AsyncNetwork::delay_draw()
+{
+    const std::uint64_t draw = LinkConditioner::mix(
+        config_.async.event_seed ^ LinkConditioner::mix(kDelayStream ^ delay_ctr_++));
+    return 1 + static_cast<int>(
+                   draw % static_cast<std::uint64_t>(config_.async.max_delay));
+}
+
+void AsyncNetwork::refresh_done(VertexId v)
+{
+    const bool now_done = processes_[v]->done();
+    if (now_done != done_cache_[v]) {
+        done_cache_[v] = now_done;
+        if (now_done)
+            --not_done_;
+        else
+            ++not_done_;
+    }
+}
+
+void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
+{
+    const std::size_t size = msg.size_words();
+    charge_bandwidth(from, port, size);
+
+    Event ev;
+    ev.time = now_ + static_cast<std::uint64_t>(delay_draw());
+    ev.kind = EventKind::Payload;
+    ev.target = graph_.neighbor(from, port);
+    ev.port = static_cast<std::uint32_t>(reverse_port(from, port));
+    ev.sender = from;
+    ev.level = sync_.pulse(from);
+    ev.link_seq = send_seq_[from][port]++;
+    ev.msg = std::move(msg);
+
+    if (config_.record_per_edge)
+        ++stats_.messages_per_edge[graph_.edge_id(from, port)];
+    sync_.note_send(from);
+    ++in_flight_;  // unconsumed until the receiver's matching pulse
+    ++pulse_sends_;
+    stats_.messages += 1;
+    stats_.words += size;
+    push_event(std::move(ev));
+}
+
+void AsyncNetwork::announce_safe(VertexId v)
+{
+    const std::uint64_t level = sync_.pulse(v);
+    for (std::size_t p = 0; p < graph_.degree(v); ++p) {
+        Event ev;
+        ev.time = now_ + static_cast<std::uint64_t>(delay_draw());
+        ev.kind = EventKind::Safe;
+        ev.target = graph_.neighbor(v, p);
+        ev.level = level;
+        push_event(std::move(ev));
+    }
+    stats_.sync_messages += graph_.degree(v);
+    stats_.sync_words += graph_.degree(v);
+}
+
+void AsyncNetwork::execute_pulse(VertexId v)
+{
+    const std::uint64_t level = sync_.pulse(v) + 1;
+    reset_round_words(v);
+    std::fill(send_seq_[v].begin(), send_seq_[v].end(), 0);
+
+    // Canonical inbox: the consumed tag's payloads in (port, link order).
+    sync_.begin_pulse(v, pulse_scratch_);
+    std::vector<Incoming>& store = inbox_store_[v];
+    if (store.size() < pulse_scratch_.size())
+        store.resize(pulse_scratch_.size());
+    for (std::size_t i = 0; i < pulse_scratch_.size(); ++i) {
+        store[i].port = pulse_scratch_[i].port;
+        store[i].msg = std::move(pulse_scratch_[i].msg);
+    }
+    inbox_span_[v] = InboxSpan{store.data(), pulse_scratch_.size()};
+    DMST_ASSERT(in_flight_ >= pulse_scratch_.size());
+    in_flight_ -= pulse_scratch_.size();
+
+    logical_round_ = level;  // Context::round() during this activation
+    pulse_sends_ = 0;
+    Context ctx = context_for(v);
+    processes_[v]->on_round(ctx);
+    refresh_done(v);
+
+    max_level_ = std::max(max_level_, level);
+    if (config_.record_per_round) {
+        if (stats_.messages_per_round.size() < level)
+            stats_.messages_per_round.resize(level, 0);
+        stats_.messages_per_round[level - 1] += pulse_sends_;
+    }
+
+    // Level accounting: completed_levels_ advances once every vertex has
+    // executed the level (pulses are consecutive per vertex, so the
+    // lowest incomplete slot gates all later ones).
+    const std::size_t off =
+        static_cast<std::size_t>(level - sync_.base_level() - 1);
+    if (level_count_.size() <= off)
+        level_count_.resize(off + 1, 0);
+    if (++level_count_[off] == graph_.vertex_count()) {
+        std::size_t done_off = completed_levels_ - sync_.base_level();
+        while (done_off < level_count_.size() &&
+               level_count_[done_off] == graph_.vertex_count()) {
+            ++completed_levels_;
+            ++done_off;
+        }
+    }
+
+    if (sync_.note_pulse_sends_done(v))
+        announce_safe(v);
+}
+
+void AsyncNetwork::try_advance(VertexId v)
+{
+    for (;;) {
+        if (!sync_.ready(v))
+            return;
+        if (looks_quiescent()) {
+            // The network may be done; freezing here keeps already-final
+            // processes from running extra (inert) pulses and lets the
+            // queue drain. If some straggler breaks the quiescent look,
+            // dispatch() releases the parked set.
+            if (!parked_flag_[v]) {
+                parked_flag_[v] = true;
+                parked_.push_back(v);
+            }
+            return;
+        }
+        execute_pulse(v);
+    }
+}
+
+void AsyncNetwork::drain_parked()
+{
+    while (!parked_.empty() && !looks_quiescent()) {
+        // Release in vertex-id order for a deterministic schedule.
+        auto it = std::min_element(parked_.begin(), parked_.end());
+        VertexId v = *it;
+        *it = parked_.back();
+        parked_.pop_back();
+        parked_flag_[v] = false;
+        try_advance(v);
+    }
+}
+
+void AsyncNetwork::dispatch(Event&& ev)
+{
+    DMST_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ++stats_.events;
+    stats_.virtual_time = now_;
+    switch (ev.kind) {
+        case EventKind::Payload: {
+            sync_.buffer_payload(
+                ev.target, ev.level,
+                AsyncIncoming{ev.port, ev.link_seq, std::move(ev.msg)});
+            // Acknowledge the link-level delivery back to the sender.
+            Event ack;
+            ack.time = now_ + static_cast<std::uint64_t>(delay_draw());
+            ack.kind = EventKind::Ack;
+            ack.target = ev.sender;
+            ack.level = ev.level;
+            stats_.sync_messages += 1;
+            stats_.sync_words += 1;
+            push_event(std::move(ack));
+            break;
+        }
+        case EventKind::Ack:
+            if (sync_.note_ack(ev.target))
+                announce_safe(ev.target);
+            try_advance(ev.target);
+            break;
+        case EventKind::Safe:
+            sync_.note_safe(ev.target, ev.level);
+            try_advance(ev.target);
+            break;
+    }
+    drain_parked();
+}
+
+void AsyncNetwork::start_epoch()
+{
+    sync_.start_epoch(max_level_);
+    completed_levels_ = max_level_;
+    level_count_.clear();
+    parked_.clear();
+    parked_flag_.assign(graph_.vertex_count(), false);
+    // Every vertex fires the epoch's first pulse at the current virtual
+    // time, in id order — the async analogue of lock-step round base+1.
+    for (VertexId v = 0; v < graph_.vertex_count(); ++v)
+        execute_pulse(v);
+}
+
+bool AsyncNetwork::step()
+{
+    DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
+    if (!started_ || terminated_) {
+        // First run, or a resume after quiescence (a phase-kicking driver
+        // flipped some processes back to not-done): rescan, and open a new
+        // synchronizer epoch re-aligned at the current top level.
+        not_done_ = 0;
+        for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
+            done_cache_[v] = processes_[v]->done();
+            if (!done_cache_[v])
+                ++not_done_;
+        }
+        if (looks_quiescent())
+            return false;
+        started_ = true;
+        terminated_ = false;
+        start_epoch();
+    }
+
+    const std::uint64_t target = completed_levels_ + 1;
+    while (!terminated_ && completed_levels_ < target) {
+        if (heap_.empty()) {
+            if (looks_quiescent()) {
+                terminated_ = true;
+                break;
+            }
+            throw InvariantViolation(
+                "async engine deadlock: event queue drained while the "
+                "network is not quiescent");
+        }
+        dispatch(pop_event());
+    }
+
+    round_ = max_level_;
+    stats_.rounds = max_level_;
+    stats_.virtual_time = now_;
+    return true;
+}
+
+}  // namespace dmst

@@ -1,0 +1,138 @@
+#ifndef DMST_SIM_ASYNC_NETWORK_H
+#define DMST_SIM_ASYNC_NETWORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmst/congest/network_base.h"
+#include "dmst/sim/synchronizer.h"
+
+namespace dmst {
+
+// Event-driven asynchronous engine (--engine=async): the third NetworkBase
+// backend. There is no global barrier and no lock-step round loop — a
+// seeded priority event queue drives execution, every message (protocol
+// payload, synchronizer ACK, synchronizer SAFE) travels with an
+// independent integer delay hashed from [1, config.async.max_delay], and a
+// vertex is activated per-event, exactly when the α-synchronizer
+// (sim/synchronizer.h) says its next logical pulse may fire.
+//
+// Exactness contract. A vertex's pulse p consumes exactly the payloads its
+// neighbors sent during their pulse p-1, sorted into the canonical
+// lock-step inbox order (arrival port, then per-link send order), and
+// Context::round() reports p during the activation — so every protocol's
+// state evolution, payload message counts, and outputs (MST edges,
+// verification verdicts) are bit-identical to the serial engine, for every
+// (max_delay, event_seed) point. What differs, deterministically per seed:
+// RunStats::events, ::virtual_time, ::sync_messages/::sync_words (the
+// synchronizer overhead), and the real-time interleaving of activations.
+//
+// Determinism. Delays are drawn from a SplitMix64 stream keyed by
+// (event_seed, draw index); ties in delivery time break by scheduling
+// order. Nothing reads wall clock or container state, so a (graph, seed)
+// pair replays the identical event sequence — the determinism fuzz pins
+// bit-identical RunStats across repeated runs.
+//
+// Termination. The engine parks a vertex whose next pulse is due while the
+// network looks quiescent (every process done, no payload unconsumed) —
+// the same global predicate the lock-step engines' quiescence check is —
+// and declares the run over when the event queue drains in that state.
+// Without the parking rule the synchronizer's SAFE waves would pulse
+// forever. A queue that drains while the network is NOT quiescent is a
+// protocol deadlock and throws. Drivers that re-kick processes after
+// quiescence (sync Borůvka's phase oracle) resume the engine; each resume
+// starts a new synchronizer epoch re-aligned to a common base level.
+//
+// Caveats: the lock-step conditioner does not compose (make_network
+// rejects it — the async delay model subsumes its latency axis), and
+// RunStats::rounds counts executed pulse levels, which can exceed the
+// serial round count by the endgame skew (trailing pulses of already-done
+// processes); RunStats::arrivals_per_round stays empty (arrivals are
+// virtual-time events, not round-indexed). messages_per_round is indexed
+// by logical level and matches the serial trace exactly.
+class AsyncNetwork : public NetworkBase {
+public:
+    AsyncNetwork(const WeightedGraph& g, NetConfig config);
+
+    // Advances the event simulation until at least one more pulse level
+    // completes on every vertex (the async analogue of one synchronous
+    // round), quiescence, or termination. Returns false once quiescent.
+    bool step() override;
+
+    std::uint64_t virtual_now() const override { return now_; }
+
+    // Completed levels: every vertex has executed this many pulses.
+    std::uint64_t completed_levels() const { return completed_levels_; }
+
+protected:
+    void send_from(VertexId from, std::size_t port, Message&& msg) override;
+
+private:
+    enum class EventKind : std::uint8_t { Payload, Ack, Safe };
+
+    struct Event {
+        std::uint64_t time = 0;
+        std::uint64_t seq = 0;  // scheduling order, the deterministic tie-break
+        EventKind kind = EventKind::Payload;
+        VertexId target = 0;
+        // Payload: arrival port, sender (for the ACK), tag = sender pulse,
+        // link_seq = send order on the link within that pulse.
+        std::uint32_t port = 0;
+        VertexId sender = 0;
+        std::uint64_t level = 0;  // payload tag / ACK level / SAFE level
+        std::uint32_t link_seq = 0;
+        Message msg;
+    };
+
+    // Min-heap on (time, seq) over a reusable vector; event_after is the
+    // single ordering predicate behind the deterministic schedule.
+    static bool event_after(const Event& a, const Event& b);
+    void push_event(Event&& ev);
+    Event pop_event();
+
+    int delay_draw();
+
+    void start_epoch();
+    void execute_pulse(VertexId v);
+    void announce_safe(VertexId v);
+    void try_advance(VertexId v);
+    void drain_parked();
+    void dispatch(Event&& ev);
+
+    // The lock-step quiescence predicate, O(1): every process done and no
+    // payload unconsumed. in_flight_ counts unconsumed payloads here.
+    bool looks_quiescent() const { return not_done_ == 0 && in_flight_ == 0; }
+    void refresh_done(VertexId v);
+
+    AlphaSynchronizer sync_;
+    std::vector<Event> heap_;
+    std::uint64_t now_ = 0;
+    std::uint64_t event_seq_ = 0;   // scheduling counter (heap tie-break)
+    std::uint64_t delay_ctr_ = 0;   // delay-stream draw index
+    std::uint64_t max_level_ = 0;   // highest pulse executed by any vertex
+    std::uint64_t completed_levels_ = 0;
+    // Vertices that executed each level past the epoch base, by level
+    // offset; completed_levels_ advances when a slot reaches n.
+    std::vector<std::size_t> level_count_;
+    std::size_t not_done_ = 0;
+    std::vector<bool> done_cache_;
+    bool started_ = false;
+    bool terminated_ = false;
+
+    // Vertices whose pulse came due while the network looked quiescent.
+    std::vector<VertexId> parked_;
+    std::vector<bool> parked_flag_;
+
+    // Payload sends of the pulse currently executing (per-level trace).
+    std::uint64_t pulse_sends_ = 0;
+
+    // Per-vertex inbox storage (grow-only) backing inbox_span_, and the
+    // per-(vertex, port) payload send-order counters of the current pulse.
+    std::vector<std::vector<Incoming>> inbox_store_;
+    std::vector<AsyncIncoming> pulse_scratch_;
+    std::vector<std::vector<std::uint32_t>> send_seq_;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_SIM_ASYNC_NETWORK_H

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dmst/congest/network.h"
+#include "dmst/sim/async_network.h"
 #include "dmst/sim/parallel_network.h"
 #include "dmst/util/cli.h"
 
@@ -16,6 +17,12 @@ std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
             return std::make_unique<Network>(g, config);
         case Engine::Parallel:
             return std::make_unique<ParallelNetwork>(g, config);
+        case Engine::Async:
+            if (config.conditioner.enabled())
+                throw std::invalid_argument(
+                    "the lock-step conditioner does not compose with "
+                    "--engine=async (the async delay model subsumes it)");
+            return std::make_unique<AsyncNetwork>(g, config);
     }
     throw std::invalid_argument("make_network: unknown engine");
 }
@@ -26,18 +33,26 @@ Engine parse_engine(const std::string& name)
         return Engine::Serial;
     if (name == "parallel")
         return Engine::Parallel;
+    if (name == "async")
+        return Engine::Async;
     throw std::invalid_argument("unknown engine '" + name +
-                                "' (expected serial|parallel)");
+                                "' (expected serial|parallel|async)");
 }
 
 const char* engine_name(Engine engine)
 {
-    return engine == Engine::Serial ? "serial" : "parallel";
+    switch (engine) {
+        case Engine::Serial: return "serial";
+        case Engine::Parallel: return "parallel";
+        case Engine::Async: return "async";
+    }
+    return "unknown";
 }
 
 void define_engine_flags(Args& args)
 {
-    args.define("engine", "serial", "simulation engine: serial|parallel");
+    args.define("engine", "serial",
+                "simulation engine: serial|parallel|async");
     args.define("threads", "0",
                 "parallel engine workers (0 = hardware concurrency)");
 }
@@ -71,6 +86,23 @@ ConditionerConfig conditioner_from_args(const Args& args)
     if (cc.max_latency < 0)
         throw std::invalid_argument("--latency must be >= 0");
     return cc;
+}
+
+void define_async_flags(Args& args)
+{
+    args.define("max_delay", "4",
+                "async engine: per-message delay bound in virtual time");
+    args.define("event_seed", "1", "async engine: delay-stream seed");
+}
+
+AsyncConfig async_from_args(const Args& args)
+{
+    AsyncConfig ac;
+    ac.max_delay = static_cast<int>(args.get_int("max_delay"));
+    ac.event_seed = static_cast<std::uint64_t>(args.get_int("event_seed"));
+    if (ac.max_delay < 1)
+        throw std::invalid_argument("--max_delay must be >= 1");
+    return ac;
 }
 
 }  // namespace dmst

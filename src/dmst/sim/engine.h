@@ -8,14 +8,19 @@
 
 namespace dmst {
 
-// Builds the engine selected by config.engine: the serial reference Network
-// or the sharded ParallelNetwork (config.threads workers). Both honor the
-// NetworkBase contract and are bit-identical in observable behavior.
+// Builds the engine selected by config.engine: the serial reference
+// Network, the sharded ParallelNetwork (config.threads workers), or the
+// event-driven AsyncNetwork (config.async delay model under an
+// α-synchronizer). All honor the NetworkBase contract and produce
+// bit-identical protocol outputs; serial and parallel are additionally
+// bit-identical in RunStats. Throws std::invalid_argument for
+// Engine::Async combined with an enabled lock-step conditioner.
 std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
                                           const NetConfig& config);
 
-// "serial" | "parallel" (case-sensitive); throws std::invalid_argument on
-// anything else. The inverse of engine_name, for CLI flags.
+// "serial" | "parallel" | "async" (case-sensitive); throws
+// std::invalid_argument on anything else. The inverse of engine_name,
+// for CLI flags.
 Engine parse_engine(const std::string& name);
 const char* engine_name(Engine engine);
 
@@ -37,6 +42,12 @@ EngineSelection engine_from_args(const Args& args);
 // identical.
 void define_conditioner_flags(Args& args);
 ConditionerConfig conditioner_from_args(const Args& args);
+
+// The shared --max_delay/--event_seed CLI surface of the bench binaries
+// (single values; the scenario runner sweeps its own comma-list axes).
+// Only the async engine reads them.
+void define_async_flags(Args& args);
+AsyncConfig async_from_args(const Args& args);
 
 }  // namespace dmst
 

@@ -29,7 +29,8 @@ struct AlgoRun {
 
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
-                      std::uint64_t ghs_k, const ConditionerConfig& cc)
+                      std::uint64_t ghs_k, const ConditionerConfig& cc,
+                      const AsyncConfig& ac)
 {
     AlgoRun out;
     if (algorithm == "elkin") {
@@ -38,6 +39,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.engine = engine;
         opts.threads = threads;
         opts.conditioner = cc;
+        opts.async = ac;
         auto r = run_elkin_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -47,6 +49,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.engine = engine;
         opts.threads = threads;
         opts.conditioner = cc;
+        opts.async = ac;
         auto r = run_pipeline_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -56,6 +59,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.engine = engine;
         opts.threads = threads;
         opts.conditioner = cc;
+        opts.async = ac;
         auto r = run_sync_boruvka(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -66,6 +70,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.engine = engine;
         opts.threads = threads;
         opts.conditioner = cc;
+        opts.async = ac;
         auto r = run_controlled_ghs(g, opts);
         // The forest is partial; gather edges straight from the port sets
         // (collect_mst_edges would reject a non-spanning forest).
@@ -263,7 +268,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
     if (spec.families.empty() || spec.sizes.empty() ||
         spec.bandwidths.empty() || spec.engines.empty() ||
         spec.thread_counts.empty() || spec.latencies.empty() ||
-        spec.hetero_bs.empty() || spec.adversarial_orders.empty())
+        spec.hetero_bs.empty() || spec.adversarial_orders.empty() ||
+        spec.max_delays.empty() || spec.event_seeds.empty())
         throw std::invalid_argument("run_scenarios: empty sweep dimension");
 
     std::vector<ScenarioCell> cells;
@@ -281,16 +287,32 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
             for (int latency : spec.latencies) {
             for (int hetero : spec.hetero_bs) {
             for (int adversarial : spec.adversarial_orders) {
+            for (int max_delay : spec.max_delays) {
+            for (std::uint64_t event_seed : spec.event_seeds) {
                 ConditionerConfig cc;
                 cc.max_latency = latency;
                 cc.hetero_bandwidth = hetero != 0;
                 cc.adversarial_order = adversarial != 0;
                 cc.seed = spec.conditioner_seed;
+                const bool ideal_conditioner = !cc.enabled();
+                const bool first_async_point =
+                    max_delay == spec.max_delays.front() &&
+                    event_seed == spec.event_seeds.front();
+                AsyncConfig ac;
+                ac.max_delay = max_delay;
+                ac.event_seed = event_seed;
                 for (Engine engine : spec.engines) {
-                    const std::vector<int> serial_only = {1};
-                    const auto& threads_axis = engine == Engine::Serial
-                                                   ? serial_only
-                                                   : spec.thread_counts;
+                    const bool is_async = engine == Engine::Async;
+                    // Skip axis points that do not apply to the engine,
+                    // so each configuration runs exactly once: lock-step
+                    // engines do not read the async axes; the async
+                    // engine rejects the lock-step conditioner.
+                    if (is_async ? !ideal_conditioner : !first_async_point)
+                        continue;
+                    const std::vector<int> single_run = {1};
+                    const auto& threads_axis = engine == Engine::Parallel
+                                                   ? spec.thread_counts
+                                                   : single_run;
                     for (int threads : threads_axis) {
                         ScenarioCell cell;
                         cell.algorithm = spec.algorithm;
@@ -301,15 +323,20 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         cell.latency = latency;
                         cell.hetero_b = cc.hetero_bandwidth;
                         cell.adversarial_order = cc.adversarial_order;
+                        if (is_async) {
+                            cell.max_delay = max_delay;
+                            cell.event_seed = event_seed;
+                        }
                         cell.engine = engine;
-                        cell.threads = engine == Engine::Serial
-                                           ? 1
-                                           : resolve_threads(threads);
+                        cell.threads = engine == Engine::Parallel
+                                           ? resolve_threads(threads)
+                                           : 1;
 
                         auto t0 = std::chrono::steady_clock::now();
                         AlgoRun run = run_algorithm(spec.algorithm, g,
                                                     bandwidth, engine,
-                                                    threads, spec.ghs_k, cc);
+                                                    threads, spec.ghs_k, cc,
+                                                    ac);
                         auto t1 = std::chrono::steady_clock::now();
                         cell.wall_ms =
                             std::chrono::duration<double, std::milli>(t1 - t0)
@@ -345,6 +372,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             vo.engine = engine;
                             vo.threads = threads;
                             vo.conditioner = cc;
+                            vo.async = ac;
                             auto claimed = ports_from_edges(g, run.edges);
                             auto vr = run_verify_mst(g, claimed, vo);
                             cell.model_verified = vr.accepted;
@@ -365,6 +393,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         cells.push_back(std::move(cell));
                     }
                 }
+            }
+            }
             }
             }
             }
@@ -392,6 +422,13 @@ std::string cell_json(const ScenarioCell& cell)
         << ",\"words\":" << cell.stats.words
         << ",\"wall_ms\":" << cell.wall_ms
         << ",\"mst_weight\":" << cell.mst_weight;
+    if (cell.engine == Engine::Async)
+        oss << ",\"max_delay\":" << cell.max_delay
+            << ",\"event_seed\":" << cell.event_seed
+            << ",\"events\":" << cell.stats.events
+            << ",\"virtual_time\":" << cell.stats.virtual_time
+            << ",\"sync_messages\":" << cell.stats.sync_messages
+            << ",\"sync_words\":" << cell.stats.sync_words;
     if (cell.verify_ran)
         oss << ",\"verified\":" << (cell.verified ? "true" : "false");
     if (cell.model_verify_ran)

@@ -30,11 +30,18 @@ struct ScenarioSpec {
     std::vector<int> thread_counts = {0};
     // Network-conditioner axes (congest/conditioner.h): per-link latency
     // bound, per-link bandwidth caps (0/1), adversarial delivery order
-    // (0/1). The default grid is the ideal substrate.
+    // (0/1). The default grid is the ideal substrate. The conditioner is
+    // a lock-step device: async-engine cells run only at the ideal
+    // conditioner point (all three axes zero) and are skipped elsewhere.
     std::vector<int> latencies = {0};
     std::vector<int> hetero_bs = {0};
     std::vector<int> adversarial_orders = {0};
     std::uint64_t conditioner_seed = 7;
+    // Event-driven engine axes (sim/async_network.h): per-message delay
+    // bound and delay-stream seed. Only async-engine cells sweep them;
+    // lock-step engines run at the first point of each axis only.
+    std::vector<int> max_delays = {4};
+    std::vector<std::uint64_t> event_seeds = {1};
     std::uint64_t seed = 1;
     // Cross-check the distributed output against sequential Kruskal. For
     // ghs (a partial forest, not a full MST) the check is containment of
@@ -62,6 +69,10 @@ struct ScenarioCell {
     int latency = 0;
     bool hetero_b = false;
     bool adversarial_order = false;
+    // The cell's async-axes point; meaningful only for async-engine cells
+    // (zero otherwise, and absent from their JSON).
+    int max_delay = 0;
+    std::uint64_t event_seed = 0;
     Engine engine = Engine::Serial;
     int threads = 1;
     RunStats stats;
@@ -132,8 +143,12 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 
 // Runs the full grid; throws std::invalid_argument on an unknown
 // algorithm, family, or empty dimension. Cells are produced in
-// (family, n, bandwidth, latency, hetero_b, adversarial_order, engine,
-// threads) lexicographic grid order.
+// (family, n, bandwidth, latency, hetero_b, adversarial_order, max_delay,
+// event_seed, engine, threads) lexicographic grid order. Cells whose axes
+// do not apply to their engine are skipped rather than duplicated:
+// lock-step engines run only at the first (max_delay, event_seed) point,
+// the async engine only at the ideal conditioner point and with a single
+// (threads = 1) run.
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell = {});
 

@@ -1,0 +1,109 @@
+#include "dmst/sim/synchronizer.h"
+
+#include <algorithm>
+
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+AlphaSynchronizer::AlphaSynchronizer(const WeightedGraph& g)
+    : graph_(g), state_(g.vertex_count())
+{
+    // A degree-0 vertex can never learn its (nonexistent) neighbors are
+    // safe and would free-run unboundedly; the α-synchronizer, like the
+    // protocols, is defined on graphs with no isolated vertices.
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        DMST_ASSERT_MSG(g.degree(v) > 0,
+                        "async engine requires every vertex to have degree >= 1");
+}
+
+void AlphaSynchronizer::start_epoch(std::uint64_t base_level)
+{
+    DMST_ASSERT_MSG(buffered_ == 0,
+                    "epoch started with unconsumed payloads in flight");
+    base_level_ = base_level;
+    for (VertexState& st : state_) {
+        st.pulse = base_level;
+        st.unacked = 0;
+        st.safe = false;
+        st.sends_done = false;
+        st.safe_from[0] = 0;
+        st.safe_from[1] = 0;
+        DMST_ASSERT(st.buffer[0].empty() && st.buffer[1].empty());
+    }
+}
+
+void AlphaSynchronizer::buffer_payload(VertexId v, std::uint64_t tag,
+                                       AsyncIncoming&& in)
+{
+    VertexState& st = state_[v];
+    DMST_ASSERT_MSG(tag == st.pulse || tag == st.pulse + 1,
+                    "payload tag outside the synchronizer skew window");
+    st.buffer[tag & 1].push_back(std::move(in));
+    ++buffered_;
+}
+
+bool AlphaSynchronizer::note_ack(VertexId v)
+{
+    VertexState& st = state_[v];
+    DMST_ASSERT_MSG(st.unacked > 0, "ACK with no send outstanding");
+    --st.unacked;
+    if (st.unacked == 0 && st.sends_done && !st.safe) {
+        st.safe = true;
+        return true;
+    }
+    return false;
+}
+
+bool AlphaSynchronizer::note_pulse_sends_done(VertexId v)
+{
+    VertexState& st = state_[v];
+    st.sends_done = true;
+    if (st.unacked == 0 && !st.safe) {
+        st.safe = true;
+        return true;
+    }
+    return false;
+}
+
+void AlphaSynchronizer::note_safe(VertexId v, std::uint64_t level)
+{
+    VertexState& st = state_[v];
+    DMST_ASSERT_MSG(level == st.pulse || level == st.pulse + 1,
+                    "SAFE level outside the synchronizer skew window");
+    ++st.safe_from[level & 1];
+    DMST_ASSERT(st.safe_from[level & 1] <= graph_.degree(v));
+}
+
+bool AlphaSynchronizer::ready(VertexId v) const
+{
+    const VertexState& st = state_[v];
+    if (st.pulse == base_level_)
+        return true;  // the epoch's first pulse is ungated
+    return st.safe && st.safe_from[st.pulse & 1] == graph_.degree(v);
+}
+
+void AlphaSynchronizer::begin_pulse(VertexId v, std::vector<AsyncIncoming>& out)
+{
+    VertexState& st = state_[v];
+    std::vector<AsyncIncoming>& buf = st.buffer[st.pulse & 1];
+    // (port, seq) pairs are unique — one sender per port, one seq stream
+    // per (sender, pulse, port) — so an unstable sort is deterministic.
+    std::sort(buf.begin(), buf.end(),
+              [](const AsyncIncoming& a, const AsyncIncoming& b) {
+                  return a.port != b.port ? a.port < b.port : a.seq < b.seq;
+              });
+    out.clear();
+    out.swap(buf);
+    DMST_ASSERT(buffered_ >= out.size());
+    buffered_ -= out.size();
+
+    // The SAFE slot of the consumed level is recycled for level pulse+2.
+    st.safe_from[st.pulse & 1] = 0;
+    ++st.pulse;
+    st.unacked = 0;
+    st.safe = false;
+    st.sends_done = false;
+}
+
+}  // namespace dmst

@@ -1,0 +1,105 @@
+#ifndef DMST_SIM_SYNCHRONIZER_H
+#define DMST_SIM_SYNCHRONIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dmst/congest/message.h"
+#include "dmst/graph/graph.h"
+
+namespace dmst {
+
+// A payload buffered at its receiver until the receiver's next pulse:
+// arrival port, the sender's per-(pulse, link) send sequence number, and
+// the message itself. Sorting a pulse's buffer by (port, seq) reproduces
+// exactly the lock-step engines' canonical inbox order — by arrival port,
+// ties by send order on the link (one sender per port).
+struct AsyncIncoming {
+    std::uint32_t port = 0;
+    std::uint32_t seq = 0;
+    Message msg;
+};
+
+// Acknowledgment-based α-synchronizer bookkeeping [Awerbuch 85]: the
+// per-vertex pulse state machine that re-creates the synchronous round
+// abstraction on the event-driven engine (sim/async_network.h). The
+// engine owns events, delays, and the virtual clock; this class owns the
+// round semantics:
+//
+//   - a vertex that executed pulse p is SAFE for p once every payload it
+//     sent during p has been acknowledged; it then announces SAFE(p) to
+//     all neighbors,
+//   - the vertex generates pulse p+1 once it is safe for p and holds
+//     SAFE(p) from every neighbor — at that point every payload of
+//     logical round p addressed to it has physically arrived, so its
+//     pulse-(p+1) inbox equals the lock-step round-(p+1) inbox exactly,
+//   - payloads are tagged with the sender's pulse and buffered per tag;
+//     neighbor pulse skew is at most one, so two tag slots (by parity)
+//     suffice, and likewise two SAFE-level counters.
+//
+// Epochs: drivers that re-kick processes after quiescence (sync Borůvka's
+// phase oracle) resume the network; each resume starts a new epoch that
+// re-aligns every vertex to the common base level — the same out-of-model
+// global device the lock-step engines' quiescence check already is.
+class AlphaSynchronizer {
+public:
+    explicit AlphaSynchronizer(const WeightedGraph& g);
+
+    // Re-aligns every vertex to `base_level` and clears all safety and
+    // buffer state. Requires no payload left unconsumed (asserted).
+    void start_epoch(std::uint64_t base_level);
+
+    std::uint64_t pulse(VertexId v) const { return state_[v].pulse; }
+    std::uint64_t base_level() const { return base_level_; }
+
+    // Buffers one arrived payload; `tag` is the sender's pulse and must be
+    // the receiver's pulse or one ahead (asserted — anything else means
+    // the safety discipline was violated).
+    void buffer_payload(VertexId v, std::uint64_t tag, AsyncIncoming&& in);
+
+    // Records a send during v's current pulse (one expected ACK).
+    void note_send(VertexId v) { ++state_[v].unacked; }
+
+    // One ACK returned to v. True if v just became safe for its current
+    // pulse (the caller then announces SAFE(pulse) to v's neighbors).
+    bool note_ack(VertexId v);
+
+    // v finished executing its current pulse with no sends outstanding.
+    // True if that made v safe immediately (no ACKs to wait for).
+    bool note_pulse_sends_done(VertexId v);
+
+    // SAFE(level) arrived from a neighbor; level must be v's pulse or one
+    // ahead (asserted).
+    void note_safe(VertexId v, std::uint64_t level);
+
+    // Whether v may generate its next pulse: safe for the current pulse
+    // and SAFE(pulse) held from every neighbor. The epoch's first pulse
+    // (pulse == base_level) is ungated, like lock-step round base+1.
+    bool ready(VertexId v) const;
+
+    // Transitions v into pulse p+1 and yields the payloads of tag p,
+    // in canonical (port, seq)-sorted order, through `out` (cleared
+    // first; buffers swap so the steady state reuses capacity). Safety
+    // state for the new pulse is reset; the caller runs on_round and then
+    // reports its sends via note_send / note_pulse_sends_done.
+    void begin_pulse(VertexId v, std::vector<AsyncIncoming>& out);
+
+private:
+    struct VertexState {
+        std::uint64_t pulse = 0;   // last generated pulse (== base at epoch start)
+        std::uint32_t unacked = 0; // pulse sends awaiting ACK
+        bool safe = false;         // safe for `pulse`, SAFE announced
+        bool sends_done = false;   // on_round of `pulse` returned
+        std::uint32_t safe_from[2] = {0, 0};   // SAFE counts by level parity
+        std::vector<AsyncIncoming> buffer[2];  // payloads by tag parity
+    };
+
+    const WeightedGraph& graph_;
+    std::vector<VertexState> state_;
+    std::uint64_t base_level_ = 0;
+    std::uint64_t buffered_ = 0;  // payloads buffered and not yet consumed
+};
+
+}  // namespace dmst
+
+#endif  // DMST_SIM_SYNCHRONIZER_H

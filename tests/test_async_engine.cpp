@@ -1,0 +1,224 @@
+// Invariance fuzz suite for the event-driven engine (sim/async_network.h):
+// across >= 32 random graphs x 3 event seeds, the MST edge set, the
+// payload message counters, and the verification verdicts (accept and
+// mutation-reject, witness included) must equal the serial lock-step
+// oracle; and replaying any cell with the same event seed must reproduce
+// bit-identical RunStats (determinism).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/mst_output.h"
+#include "dmst/core/pipeline_mst.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/core/verify_mst.h"
+#include "dmst/exp/workloads.h"
+#include "dmst/seq/mst.h"
+#include "dmst/sim/engine.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+constexpr std::uint64_t kEventSeeds[] = {1, 58, 4099};
+
+struct FuzzGraph {
+    WeightedGraph g;
+    std::string label;
+};
+
+// 32 random workloads: families x sizes x seeds, sized to keep the async
+// event volume (and so the suite's runtime) bounded.
+std::vector<FuzzGraph> fuzz_graphs()
+{
+    std::vector<FuzzGraph> graphs;
+    for (const char* family : {"er", "grid", "tree", "path"}) {
+        for (std::size_t n : {24, 40}) {
+            for (std::uint64_t seed : {11u, 29u, 61u, 83u}) {
+                FuzzGraph fg{make_workload(family, n, seed),
+                             std::string(family) + "/" + std::to_string(n) +
+                                 "/s" + std::to_string(seed)};
+                graphs.push_back(std::move(fg));
+            }
+        }
+    }
+    return graphs;
+}
+
+struct RunOutput {
+    std::vector<EdgeId> edges;
+    RunStats stats;
+};
+
+RunOutput run_algo(const std::string& algo, const WeightedGraph& g,
+                   Engine engine, const AsyncConfig& ac)
+{
+    RunOutput out;
+    if (algo == "elkin") {
+        ElkinOptions o;
+        o.engine = engine;
+        o.async = ac;
+        auto r = run_elkin_mst(g, o);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    } else if (algo == "pipeline") {
+        PipelineMstOptions o;
+        o.engine = engine;
+        o.async = ac;
+        auto r = run_pipeline_mst(g, o);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    } else {
+        SyncBoruvkaOptions o;
+        o.engine = engine;
+        o.async = ac;
+        auto r = run_sync_boruvka(g, o);
+        out.edges = std::move(r.mst_edges);
+        out.stats = std::move(r.stats);
+    }
+    return out;
+}
+
+TEST(AsyncFuzz, MstInvariantAcrossEventSeedsAndOracle)
+{
+    const char* algos[] = {"elkin", "pipeline", "boruvka"};
+    const auto graphs = fuzz_graphs();
+    ASSERT_GE(graphs.size(), 32u);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const auto& fg = graphs[i];
+        const std::string algo = algos[i % 3];
+        auto oracle = mst_kruskal(fg.g);
+        auto serial = run_algo(algo, fg.g, Engine::Serial, AsyncConfig{});
+        ASSERT_EQ(serial.edges, oracle.edges) << fg.label << " " << algo;
+
+        for (std::uint64_t event_seed : kEventSeeds) {
+            AsyncConfig ac;
+            ac.max_delay = 1 + static_cast<int>(event_seed % 5);
+            ac.event_seed = event_seed;
+            auto out = run_algo(algo, fg.g, Engine::Async, ac);
+            EXPECT_EQ(out.edges, serial.edges)
+                << fg.label << " " << algo << " event_seed " << event_seed;
+            // Payload traffic is bit-identical too; only the synchronizer
+            // metrics may (deterministically) vary with the seed.
+            EXPECT_EQ(out.stats.messages, serial.stats.messages) << fg.label;
+            EXPECT_EQ(out.stats.words, serial.stats.words) << fg.label;
+            EXPECT_GE(out.stats.rounds, serial.stats.rounds) << fg.label;
+            EXPECT_GT(out.stats.sync_messages, 0u) << fg.label;
+        }
+    }
+}
+
+TEST(AsyncFuzz, VerifyVerdictsMatchSerialAcrossEventSeeds)
+{
+    const auto graphs = fuzz_graphs();
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const auto& fg = graphs[i];
+        auto oracle = mst_kruskal(fg.g);
+        auto claimed = ports_from_edges(fg.g, oracle.edges);
+
+        // Mutated claim: drop the heaviest tree edge on both endpoints —
+        // must reject as disconnected with exactly that edge as witness.
+        auto mutated = claimed;
+        EdgeId heaviest = oracle.edges.front();
+        for (EdgeId e : oracle.edges)
+            if (edge_key(fg.g.edge(heaviest)) < edge_key(fg.g.edge(e)))
+                heaviest = e;
+        {
+            const Edge& edge = fg.g.edge(heaviest);
+            auto& pu = mutated[edge.u];
+            auto& pv = mutated[edge.v];
+            pu.erase(std::find(pu.begin(), pu.end(),
+                               fg.g.port_of(edge.u, edge.v)));
+            pv.erase(std::find(pv.begin(), pv.end(),
+                               fg.g.port_of(edge.v, edge.u)));
+        }
+
+        VerifyOptions serial_vo;
+        auto serial_ok = run_verify_mst(fg.g, claimed, serial_vo);
+        auto serial_bad = run_verify_mst(fg.g, mutated, serial_vo);
+        ASSERT_TRUE(serial_ok.accepted) << fg.label;
+        ASSERT_EQ(serial_bad.verdict, VerifyVerdict::RejectDisconnected)
+            << fg.label;
+
+        // The mutation battery is expensive under the event queue; sweep
+        // every seed on the accept path and every other graph on the
+        // reject path.
+        for (std::uint64_t event_seed : kEventSeeds) {
+            VerifyOptions vo;
+            vo.engine = Engine::Async;
+            vo.async.max_delay = 3;
+            vo.async.event_seed = event_seed;
+            auto ok = run_verify_mst(fg.g, claimed, vo);
+            EXPECT_TRUE(ok.accepted)
+                << fg.label << " event_seed " << event_seed;
+            EXPECT_EQ(ok.verdict, serial_ok.verdict);
+            EXPECT_EQ(ok.stats.messages, serial_ok.stats.messages);
+            EXPECT_EQ(ok.stats.words, serial_ok.stats.words);
+            if (i % 2 == 0) {
+                auto bad = run_verify_mst(fg.g, mutated, vo);
+                EXPECT_EQ(bad.verdict, serial_bad.verdict)
+                    << fg.label << " event_seed " << event_seed;
+                EXPECT_EQ(bad.witness, serial_bad.witness) << fg.label;
+                EXPECT_EQ(bad.offender, serial_bad.offender) << fg.label;
+            }
+        }
+    }
+}
+
+TEST(AsyncFuzz, SameSeedReplaysBitIdenticalRunStats)
+{
+    for (const char* family : {"er", "grid"}) {
+        auto g = make_workload(family, 40, 47);
+        for (std::uint64_t event_seed : kEventSeeds) {
+            ElkinOptions o;
+            o.engine = Engine::Async;
+            o.record_per_edge = true;
+            o.async.max_delay = 4;
+            o.async.event_seed = event_seed;
+            auto first = run_elkin_mst(g, o);
+            for (int rep = 0; rep < 2; ++rep) {
+                auto again = run_elkin_mst(g, o);
+                EXPECT_EQ(again.mst_edges, first.mst_edges);
+                EXPECT_EQ(again.stats.rounds, first.stats.rounds);
+                EXPECT_EQ(again.stats.messages, first.stats.messages);
+                EXPECT_EQ(again.stats.words, first.stats.words);
+                EXPECT_EQ(again.stats.events, first.stats.events);
+                EXPECT_EQ(again.stats.virtual_time, first.stats.virtual_time);
+                EXPECT_EQ(again.stats.sync_messages,
+                          first.stats.sync_messages);
+                EXPECT_EQ(again.stats.sync_words, first.stats.sync_words);
+                EXPECT_EQ(again.stats.messages_per_round,
+                          first.stats.messages_per_round);
+                EXPECT_EQ(again.stats.messages_per_edge,
+                          first.stats.messages_per_edge);
+            }
+        }
+    }
+}
+
+// The per-level message trace of the async engine equals the serial
+// per-round trace (levels are rounds; only the trailing inert skew may
+// append zero entries).
+TEST(AsyncFuzz, PerLevelTraceMatchesSerialPerRoundTrace)
+{
+    auto g = make_workload("er", 40, 19);
+    ElkinOptions serial;
+    auto s = run_elkin_mst(g, serial);
+    ElkinOptions as;
+    as.engine = Engine::Async;
+    auto a = run_elkin_mst(g, as);
+    ASSERT_GE(a.stats.messages_per_round.size(),
+              s.stats.messages_per_round.size());
+    for (std::size_t r = 0; r < a.stats.messages_per_round.size(); ++r) {
+        const std::uint64_t want = r < s.stats.messages_per_round.size()
+                                       ? s.stats.messages_per_round[r]
+                                       : 0;
+        EXPECT_EQ(a.stats.messages_per_round[r], want) << "level " << r + 1;
+    }
+}
+
+}  // namespace
+}  // namespace dmst

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dmst/exp/workloads.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/scenario.h"
@@ -226,6 +228,55 @@ TEST(Scenario, ConditionerAxesSweepInvariantCells)
     for (const char* token :
          {"\"latency\":2", "\"hetero_b\":true", "\"adversarial_order\":true"})
         EXPECT_NE(json.find(token), std::string::npos) << token;
+}
+
+TEST(Scenario, AsyncAxesSweepInvariantCellsAtIdealConditionerOnly)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "elkin";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.latencies = {0, 2};
+    spec.max_delays = {1, 3};
+    spec.event_seeds = {1, 2};
+    spec.engines = {Engine::Serial, Engine::Async};
+    spec.model_verify = true;
+
+    auto cells = run_scenarios(spec);
+    // Serial runs once per latency point (async axes collapse); async runs
+    // once per (max_delay, event_seed) point at the ideal conditioner only.
+    ASSERT_EQ(cells.size(), 2u + 2 * 2);
+    std::size_t async_cells = 0;
+    const std::uint64_t ideal_weight = cells[0].mst_weight;
+    for (const auto& cell : cells) {
+        EXPECT_TRUE(cell.verified);
+        EXPECT_TRUE(cell.model_verified);
+        EXPECT_EQ(cell.mutations_passed, cell.mutations_run);
+        EXPECT_EQ(cell.mst_weight, ideal_weight);
+        if (cell.engine != Engine::Async)
+            continue;
+        ++async_cells;
+        EXPECT_EQ(cell.latency, 0);
+        EXPECT_EQ(cell.threads, 1);
+        EXPECT_EQ(cell.stats.messages, cells[0].stats.messages);
+        EXPECT_EQ(cell.stats.words, cells[0].stats.words);
+        EXPECT_GT(cell.stats.events, 0u);
+        EXPECT_GE(cell.stats.virtual_time, cell.stats.rounds);
+    }
+    EXPECT_EQ(async_cells, 4u);
+
+    const auto last_async = std::find_if(
+        cells.rbegin(), cells.rend(),
+        [](const ScenarioCell& c) { return c.engine == Engine::Async; });
+    ASSERT_NE(last_async, cells.rend());
+    const std::string json = cell_json(*last_async);
+    for (const char* token :
+         {"\"engine\":\"async\"", "\"max_delay\":3", "\"event_seed\":2",
+          "\"events\":", "\"virtual_time\":", "\"sync_messages\":",
+          "\"sync_words\":"})
+        EXPECT_NE(json.find(token), std::string::npos) << token;
+    // Lock-step cells carry no async fields.
+    EXPECT_EQ(cell_json(cells[0]).find("max_delay"), std::string::npos);
 }
 
 TEST(Scenario, SplitListParsesFlagValues)

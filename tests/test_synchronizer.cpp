@@ -1,0 +1,228 @@
+// Unit tests of the α-synchronizer state machine (sim/synchronizer.h) and
+// the event-driven engine surface (sim/async_network.h): pulse gating,
+// canonical inbox ordering, engine selection, flood behavior, epoch
+// resume, and the composition rules.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "dmst/graph/generators.h"
+#include "dmst/graph/metrics.h"
+#include "dmst/sim/async_network.h"
+#include "dmst/sim/engine.h"
+#include "dmst/sim/synchronizer.h"
+#include "dmst/util/assert.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+// Path 0 - 1 - 2 with unit weights.
+WeightedGraph path3()
+{
+    return WeightedGraph::from_edges(3, {{0, 1, 1}, {1, 2, 1}});
+}
+
+TEST(Synchronizer, PulseGatingFollowsSafetyAndNeighborSafes)
+{
+    auto g = path3();
+    AlphaSynchronizer sync(g);
+    sync.start_epoch(0);
+
+    // The epoch's first pulse is ungated.
+    EXPECT_TRUE(sync.ready(1));
+    std::vector<AsyncIncoming> inbox;
+    sync.begin_pulse(1, inbox);
+    EXPECT_TRUE(inbox.empty());
+    EXPECT_EQ(sync.pulse(1), 1u);
+
+    // One send outstanding: not safe, not ready.
+    sync.note_send(1);
+    EXPECT_FALSE(sync.note_pulse_sends_done(1));
+    EXPECT_FALSE(sync.ready(1));
+
+    // The ACK completes safety, but pulse 2 still needs SAFE(1) from both
+    // neighbors.
+    EXPECT_TRUE(sync.note_ack(1));
+    EXPECT_FALSE(sync.ready(1));
+    sync.note_safe(1, 1);
+    EXPECT_FALSE(sync.ready(1));
+    sync.note_safe(1, 1);
+    EXPECT_TRUE(sync.ready(1));
+}
+
+TEST(Synchronizer, SafeOneLevelAheadIsBankedForTheNextPulse)
+{
+    auto g = path3();
+    AlphaSynchronizer sync(g);
+    sync.start_epoch(0);
+    std::vector<AsyncIncoming> inbox;
+    sync.begin_pulse(0, inbox);
+    EXPECT_TRUE(sync.note_pulse_sends_done(0));  // no sends: safe at once
+
+    // Vertex 0 (degree 1) banks SAFE(2) from a fast neighbor while still
+    // needing SAFE(1) for its own pulse 2.
+    sync.note_safe(0, 2);
+    EXPECT_FALSE(sync.ready(0));
+    sync.note_safe(0, 1);
+    EXPECT_TRUE(sync.ready(0));
+    sync.begin_pulse(0, inbox);
+    EXPECT_TRUE(sync.note_pulse_sends_done(0));
+    EXPECT_TRUE(sync.ready(0));  // the banked SAFE(2) now gates pulse 3
+}
+
+TEST(Synchronizer, BeginPulseSortsBufferedPayloadsByPortThenLinkOrder)
+{
+    auto g = path3();
+    AlphaSynchronizer sync(g);
+    sync.start_epoch(0);
+    std::vector<AsyncIncoming> inbox;
+    sync.begin_pulse(1, inbox);
+
+    // Arrival order scrambled across ports and link sequence.
+    auto msg = [](std::uint32_t tag) { return Message{tag, {}}; };
+    sync.buffer_payload(1, 1, AsyncIncoming{1, 1, msg(11)});
+    sync.buffer_payload(1, 1, AsyncIncoming{0, 1, msg(1)});
+    sync.buffer_payload(1, 1, AsyncIncoming{1, 0, msg(10)});
+    sync.buffer_payload(1, 1, AsyncIncoming{0, 0, msg(0)});
+    sync.note_pulse_sends_done(1);
+    sync.note_safe(1, 1);
+    sync.note_safe(1, 1);
+    sync.begin_pulse(1, inbox);
+
+    ASSERT_EQ(inbox.size(), 4u);
+    EXPECT_EQ(inbox[0].msg.tag, 0u);
+    EXPECT_EQ(inbox[1].msg.tag, 1u);
+    EXPECT_EQ(inbox[2].msg.tag, 10u);
+    EXPECT_EQ(inbox[3].msg.tag, 11u);
+}
+
+TEST(Synchronizer, RejectsIsolatedVertices)
+{
+    auto g = WeightedGraph::from_edges(3, {{0, 1, 1}});
+    EXPECT_THROW(AlphaSynchronizer sync(g), InvariantViolation);
+}
+
+// Flood process identical to the serial engine's reference test.
+class FloodProcess : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        if (ctx.id() == 0 && ctx.round() == 1)
+            heard_round_ = 0;
+        if (heard_round_ == kNotHeard && !ctx.inbox().empty())
+            heard_round_ = ctx.round() - 1;
+        if (heard_round_ != kNotHeard && !forwarded_) {
+            for (std::size_t p = 0; p < ctx.degree(); ++p)
+                ctx.send(p, Message{1, {}});
+            forwarded_ = true;
+        }
+    }
+
+    bool done() const override { return forwarded_; }
+
+    static constexpr std::uint64_t kNotHeard = ~std::uint64_t{0};
+    std::uint64_t heard_round_ = kNotHeard;
+    bool forwarded_ = false;
+};
+
+TEST(AsyncNetwork, FloodMatchesLockStepSchedule)
+{
+    Rng rng(1);
+    auto g = gen_grid(5, 8, rng);
+    auto dist = bfs_distances(g, 0);
+
+    NetConfig config;
+    config.engine = Engine::Async;
+    config.async.max_delay = 3;
+    AsyncNetwork net(g, config);
+    net.init([](VertexId) { return std::make_unique<FloodProcess>(); });
+    RunStats stats = net.run();
+
+    // The synchronizer re-creates the synchronous schedule exactly: every
+    // vertex hears the token at its BFS distance, in logical pulses.
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        const auto& p = static_cast<const FloodProcess&>(net.process(v));
+        EXPECT_EQ(p.heard_round_, dist[v]) << "vertex " << v;
+    }
+    EXPECT_EQ(stats.messages, 2 * g.edge_count());
+    EXPECT_GT(stats.events, stats.messages);
+    EXPECT_GT(stats.virtual_time, 0u);
+    EXPECT_EQ(stats.sync_words, stats.sync_messages);
+    EXPECT_TRUE(net.quiescent());
+}
+
+// A process that goes quiescent and is then re-kicked from outside, like
+// sync Borůvka's phase oracle: each kick floods one more wave.
+class KickableProcess : public Process {
+public:
+    void kick() { pending_ = true; }
+
+    void on_round(Context& ctx) override
+    {
+        if (pending_) {
+            pending_ = false;
+            for (std::size_t p = 0; p < ctx.degree(); ++p)
+                ctx.send(p, Message{7, {}});
+        }
+        received_ += ctx.inbox().size();
+    }
+
+    bool done() const override { return !pending_; }
+
+    std::uint64_t received_ = 0;
+
+private:
+    bool pending_ = false;
+};
+
+TEST(AsyncNetwork, EpochResumeAfterQuiescenceDeliversEveryWave)
+{
+    Rng rng(5);
+    auto g = gen_grid(4, 4, rng);
+    NetConfig config;
+    config.engine = Engine::Async;
+    AsyncNetwork net(g, config);
+    net.init([](VertexId) { return std::make_unique<KickableProcess>(); });
+
+    for (int wave = 1; wave <= 3; ++wave) {
+        for (VertexId v = 0; v < g.vertex_count(); ++v)
+            static_cast<KickableProcess&>(net.process(v)).kick();
+        net.run();
+        for (VertexId v = 0; v < g.vertex_count(); ++v) {
+            const auto& p = static_cast<const KickableProcess&>(net.process(v));
+            EXPECT_EQ(p.received_,
+                      static_cast<std::uint64_t>(wave) * g.degree(v))
+                << "vertex " << v << " wave " << wave;
+        }
+    }
+}
+
+TEST(AsyncNetwork, EngineSelectionAndCompositionRules)
+{
+    EXPECT_EQ(parse_engine("async"), Engine::Async);
+    EXPECT_STREQ(engine_name(Engine::Async), "async");
+    EXPECT_THROW(parse_engine("asink"), std::invalid_argument);
+
+    Rng rng(2);
+    auto g = gen_grid(3, 3, rng);
+    NetConfig config;
+    config.engine = Engine::Async;
+    auto net = make_network(g, config);
+    EXPECT_NE(dynamic_cast<AsyncNetwork*>(net.get()), nullptr);
+
+    // The lock-step conditioner does not compose with the async engine.
+    NetConfig conditioned = config;
+    conditioned.conditioner.max_latency = 2;
+    EXPECT_THROW(make_network(g, conditioned), std::invalid_argument);
+
+    // Delay bound must be positive.
+    NetConfig bad = config;
+    bad.async.max_delay = 0;
+    EXPECT_THROW(make_network(g, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmst
