@@ -7,12 +7,17 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "dmst/congest/network.h"
 #include "dmst/core/elkin_mst.h"
 #include "dmst/graph/generators.h"
+#include "dmst/obs/trace.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/engine.h"
 #include "dmst/sim/parallel_network.h"
+#include "dmst/sim/synchronizer.h"
 #include "dmst/util/rng.h"
 
 namespace dmst {
@@ -138,6 +143,155 @@ void BM_ElkinEndToEnd(benchmark::State& state)
 }
 BENCHMARK(BM_ElkinEndToEnd)->Range(128, 512);
 
+// --- Event-loop microbenchmarks: the async engine's hot paths.
+
+// The engine's event-queue discipline in isolation: a binary min-heap on
+// (time, seq) over a reusable vector, std::push_heap/std::pop_heap — the
+// same shape AsyncNetwork::push_event/pop_event use.
+struct HeapEvent {
+    std::uint64_t time = 0;
+    std::uint64_t seq = 0;
+};
+
+bool heap_event_after(const HeapEvent& a, const HeapEvent& b)
+{
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+}
+
+void BM_EventHeap(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<HeapEvent> heap;
+    heap.reserve(n);
+    for (auto _ : state) {
+        heap.clear();
+        std::uint64_t x = 0x9e3779b97f4a7c15ull;  // deterministic times
+        for (std::size_t i = 0; i < n; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            heap.push_back({x >> 40, i});
+            std::push_heap(heap.begin(), heap.end(), heap_event_after);
+        }
+        std::uint64_t drained = 0;
+        while (!heap.empty()) {
+            std::pop_heap(heap.begin(), heap.end(), heap_event_after);
+            drained += heap.back().time;
+            heap.pop_back();
+        }
+        benchmark::DoNotOptimize(drained);
+    }
+    // One item = one push + one pop.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventHeap)->Range(1024, 16384);
+
+// Full event-driven flood: event dispatch, delay hashing, synchronizer
+// ACK/SAFE waves. The event and virtual-time totals are deterministic per
+// (graph, event_seed) and gated exactly.
+void BM_AsyncEngineFlood(benchmark::State& state)
+{
+    Rng rng(7);
+    auto side = static_cast<std::size_t>(state.range(0));
+    auto g = gen_grid(side, side, rng);
+    std::uint64_t events = 0, vtime = 0;
+    for (auto _ : state) {
+        NetConfig config;
+        config.engine = Engine::Async;
+        auto net = make_network(g, config);
+        net->init([](VertexId) { return std::make_unique<FloodProcess>(); });
+        RunStats stats = net->run();
+        events = stats.events;
+        vtime = stats.virtual_time;
+        benchmark::DoNotOptimize(stats.messages);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(events));
+    state.counters["events"] = static_cast<double>(events);
+    state.counters["vtime"] = static_cast<double>(vtime);
+}
+BENCHMARK(BM_AsyncEngineFlood)->Range(8, 32);
+
+// The α-synchronizer pulse state machine alone (no event queue, no
+// delays): one iteration drives one whole-graph pulse wave — begin_pulse
+// plus the SAFE exchange that gates the next one. Items are
+// vertex-pulses.
+void BM_SynchronizerPulse(benchmark::State& state)
+{
+    Rng rng(7);
+    auto side = static_cast<std::size_t>(state.range(0));
+    auto g = gen_grid(side, side, rng);
+    const auto n = static_cast<VertexId>(g.vertex_count());
+    AlphaSynchronizer sync(g);
+    sync.start_epoch(0);
+    std::vector<AsyncIncoming> scratch;
+    for (auto _ : state) {
+        for (VertexId v = 0; v < n; ++v) {
+            sync.begin_pulse(v, scratch);
+            sync.note_pulse_sends_done(v);  // no sends: safe immediately
+            benchmark::DoNotOptimize(scratch.size());
+        }
+        for (VertexId v = 0; v < n; ++v)
+            for (std::size_t p = 0; p < g.degree(v); ++p)
+                sync.note_safe(g.neighbor(v, p), sync.pulse(v));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SynchronizerPulse)->Range(8, 32);
+
+// --- Trace-overhead gate (obs/trace.h).
+
+// Saturates every link for a fixed number of rounds, each send under a
+// trace span — the message-datapath workload of the trace-overhead gate.
+// With tracing disabled the span and the send hook are single pointer
+// tests; the deterministic round/message counters are gated exactly so
+// the disabled path cannot silently change the schedule.
+class BoundedChatter : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        TraceScope span(ctx, TracePhase::Bfs,
+                        static_cast<std::int64_t>(ctx.round() % 2));
+        for (const Incoming& in : ctx.inbox())
+            checksum_ += in.msg.words[0] + in.port;
+        if (ctx.round() <= kRounds)
+            for (std::size_t p = 0; p < ctx.degree(); ++p)
+                ctx.send(p, Message{1, {ctx.round(), 7}});
+        else
+            idle_ = true;
+    }
+    bool done() const override { return idle_; }
+
+    static constexpr std::uint64_t kRounds = 32;
+
+private:
+    std::uint64_t checksum_ = 0;
+    bool idle_ = false;
+};
+
+void BM_TraceOverhead(benchmark::State& state)
+{
+    const bool traced = state.range(0) != 0;
+    Rng rng(9);
+    auto g = gen_erdos_renyi(512, 2048, rng);
+    std::uint64_t rounds = 0, messages = 0;
+    for (auto _ : state) {
+        NetConfig config;
+        config.trace.enabled = traced;
+        Network net(g, config);
+        net.init([](VertexId) { return std::make_unique<BoundedChatter>(); });
+        RunStats stats = net.run();
+        rounds = stats.rounds;
+        messages = stats.messages;
+        benchmark::DoNotOptimize(stats.messages);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(messages));
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["messages"] = static_cast<double>(messages);
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace dmst
 
@@ -159,7 +313,8 @@ int main(int argc, char** argv)
     }
     static char filter[] =
         "--benchmark_filter=BM_SimulatorFlood/8|BM_EngineRoundThroughput/"
-        "50000/(0|2)|BM_ElkinEndToEnd/128";
+        "50000/(0|2)|BM_ElkinEndToEnd/128|BM_EventHeap/1024|"
+        "BM_AsyncEngineFlood/8|BM_SynchronizerPulse/8|BM_TraceOverhead/(0|1)";
     static char out[] = "--benchmark_out=BENCH_substrate.json";
     static char out_format[] = "--benchmark_out_format=json";
     static char min_time[] = "--benchmark_min_time=0.05";

@@ -28,12 +28,22 @@
 //           battery (expect rejects with correct witnesses)
 //   none    no checking (timing-only sweeps)
 // A bare `--verify` selects model mode. Exit status 2 if any check fails.
+//
+// Observability (obs/trace.h):
+//   --trace=PATH         write each cell's span trace to PATH (cell i > 0
+//                        appends '.i') and add a "phases" breakdown to the
+//                        cell JSON
+//   --trace_format=jsonl|chrome   span rows, or a Perfetto-loadable file
+//   --record_per_edge    per-edge message counts; each cell's JSON gains
+//                        its top-5 hottest edges
 
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "dmst/obs/export.h"
+#include "dmst/obs/trace.h"
 #include "dmst/sim/engine.h"
 #include "dmst/sim/scenario.h"
 #include "dmst/util/cli.h"
@@ -64,17 +74,28 @@ int main(int argc, char** argv)
     args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
     args.define("verify", "oracle", "oracle|model|none (bare --verify = model)");
     args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
+    args.define("trace", "",
+                "write each cell's span trace to this path (cell i > 0 "
+                "appends '.i'); also adds the per-phase breakdown to the "
+                "cell JSON");
+    args.define("trace_format", "jsonl",
+                "trace export format: jsonl|chrome (chrome loads in "
+                "Perfetto / chrome://tracing)");
+    args.define("record_per_edge", "0",
+                "record per-edge message counts and report each cell's "
+                "top-5 hottest edges (bare flag = 1)");
 
-    // A bare trailing/valueless `--verify` means "the full self-check":
-    // rewrite it before the --key=value parser sees it.
+    // A bare trailing/valueless `--verify` (or `--record_per_edge`) means
+    // "on": rewrite it before the --key=value parser sees it.
     std::vector<std::string> rewritten(argv, argv + argc);
     for (std::size_t i = 1; i < rewritten.size(); ++i) {
-        if (rewritten[i] != "--verify")
+        const bool is_verify = rewritten[i] == "--verify";
+        if (!is_verify && rewritten[i] != "--record_per_edge")
             continue;
         bool has_value = i + 1 < rewritten.size() &&
                          rewritten[i + 1].rfind("--", 0) != 0;
         if (!has_value)
-            rewritten[i] = "--verify=model";
+            rewritten[i] = is_verify ? "--verify=model" : "--record_per_edge=1";
     }
     std::vector<const char*> rewritten_argv;
     for (const std::string& s : rewritten)
@@ -141,10 +162,19 @@ int main(int argc, char** argv)
         } else {
             throw std::invalid_argument("--verify must be oracle|model|none");
         }
+        spec.record_per_edge = args.get_int("record_per_edge") != 0;
     } catch (const std::exception& e) {
         std::cerr << "bad flag value: " << e.what() << "\n";
         return 1;
     }
+
+    const std::string trace_path = args.get("trace");
+    const std::string trace_format = args.get("trace_format");
+    if (trace_format != "jsonl" && trace_format != "chrome") {
+        std::cerr << "bad flag value: --trace_format must be jsonl|chrome\n";
+        return 1;
+    }
+    spec.trace = !trace_path.empty();
 
     if (spec.model_verify && spec.algorithm == "ghs")
         std::cerr << "note: --verify=model is skipped for algo=ghs (its "
@@ -165,11 +195,25 @@ int main(int argc, char** argv)
     }
 
     bool all_verified = true;
+    bool trace_write_ok = true;
     std::size_t cells = 0;
     try {
         run_scenarios(spec, [&](const ScenarioCell& cell) {
             ++cells;
             *out << cell_json(cell) << "\n";
+            if (!trace_path.empty() && cell.stats.trace) {
+                std::string path = trace_path;
+                if (cells > 1)
+                    path += "." + std::to_string(cells - 1);
+                const bool ok =
+                    trace_format == "chrome"
+                        ? write_chrome_trace_file(path, *cell.stats.trace)
+                        : write_trace_jsonl_file(path, *cell.stats.trace);
+                if (!ok) {
+                    trace_write_ok = false;
+                    std::cerr << "cannot write trace file " << path << "\n";
+                }
+            }
             if (cell.verify_ran && !cell.verified) {
                 all_verified = false;
                 std::cerr << "VERIFICATION FAILED: " << cell_json(cell)
@@ -195,5 +239,7 @@ int main(int argc, char** argv)
                      "was skipped as inapplicable to its engine\n";
         return 1;
     }
+    if (!trace_write_ok)
+        return 1;
     return all_verified ? 0 : 2;
 }

@@ -27,6 +27,24 @@ GATE = [
      "direction": "lower", "tolerance": 0.25},
     {"name": "BM_ElkinEndToEnd/128", "field": "rounds",
      "direction": "exact"},
+    # Event-loop microbenchmarks: the async engine's event/virtual-time
+    # totals are deterministic per (graph, event_seed) — exact.
+    {"name": "BM_AsyncEngineFlood/8", "field": "events",
+     "direction": "exact"},
+    {"name": "BM_AsyncEngineFlood/8", "field": "vtime",
+     "direction": "exact"},
+    {"name": "BM_SynchronizerPulse/8", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    # Trace-overhead gate: the disabled-trace datapath must keep the exact
+    # simulated schedule (rounds/messages), and the enabled path too.
+    {"name": "BM_TraceOverhead/0", "field": "rounds",
+     "direction": "exact"},
+    {"name": "BM_TraceOverhead/0", "field": "messages",
+     "direction": "exact"},
+    {"name": "BM_TraceOverhead/1", "field": "rounds",
+     "direction": "exact"},
+    {"name": "BM_TraceOverhead/1", "field": "messages",
+     "direction": "exact"},
 ]
 
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -22,6 +23,8 @@ void Network::send_from(VertexId from, std::size_t port, Message&& msg)
 
     VertexId target = graph_.neighbor(from, port);
     std::size_t arrival_port = reverse_port(from, port);
+    if (trace_)
+        trace_->on_send(from, msg.tag, size);
     if (config_.record_per_edge)
         ++stats_.messages_per_edge[graph_.edge_id(from, port)];
     if (!arrive_hist_.empty())
@@ -45,6 +48,8 @@ bool Network::step()
     round_messages_ = 0;
     if (activation_tick()) {
         ++logical_round_;
+        if (trace_)
+            trace_->set_now(logical_round_, round_, 0);
         for (VertexId v = 0; v < graph_.vertex_count(); ++v)
             reset_round_words(v);
         for (VertexId v = 0; v < graph_.vertex_count(); ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -64,7 +65,32 @@ void Context::send(std::size_t port, Message msg)
     net_->send_from(vertex_, port, std::move(msg));
 }
 
+bool Context::tracing() const
+{
+    return net_->trace_ != nullptr;
+}
+
+void Context::trace_begin(TracePhase phase, std::int64_t level)
+{
+    if (TraceRecorder* t = net_->trace_)
+        t->span_begin(vertex_, phase, level);
+}
+
+void Context::trace_end()
+{
+    if (TraceRecorder* t = net_->trace_)
+        t->span_end(vertex_);
+}
+
+void Context::trace_instant(TracePhase phase, std::int64_t level)
+{
+    if (TraceRecorder* t = net_->trace_)
+        t->instant(vertex_, phase, level);
+}
+
 // ------------------------------------------------------------ NetworkBase
+
+NetworkBase::~NetworkBase() = default;
 
 NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
     : graph_(g), config_(config),
@@ -72,6 +98,10 @@ NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
 {
     DMST_ASSERT(config_.bandwidth >= 1);
     stride_ = cond_.stride();
+    if (config_.trace.enabled) {
+        trace_owned_ = std::make_unique<TraceRecorder>(g.vertex_count());
+        trace_ = trace_owned_.get();
+    }
     const std::size_t n = graph_.vertex_count();
     inbox_span_.resize(n);
     inbox_count_.assign(n, 0);
@@ -269,6 +299,11 @@ RunStats NetworkBase::run()
         if (round_ > config_.max_rounds)
             throw_round_limit();
     }
+    // Fold the span trace and self-check conservation. Re-finalized on
+    // every run() so multi-epoch drivers (kick + run loops) always see
+    // the cumulative table.
+    if (trace_)
+        stats_.trace = trace_->finalize(stats_);
     return stats_;
 }
 

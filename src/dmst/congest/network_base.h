@@ -9,10 +9,13 @@
 #include "dmst/congest/conditioner.h"
 #include "dmst/congest/message.h"
 #include "dmst/graph/graph.h"
+#include "dmst/obs/phase.h"
 
 namespace dmst {
 
 class NetworkBase;
+class TraceRecorder;
+struct TraceTable;
 
 // Initial knowledge model. KT0 is the paper's clean network model: a vertex
 // knows its own id, its port count, and the weight of each incident edge —
@@ -64,6 +67,9 @@ struct NetConfig {
     ConditionerConfig conditioner;
     // Event-driven engine parameters; ignored by Serial and Parallel.
     AsyncConfig async;
+    // Span-based tracing (src/dmst/obs/): off by default, in which case
+    // the send datapath pays one null-pointer test and nothing else.
+    TraceConfig trace;
 };
 
 // Counters for a completed (or in-progress) run.
@@ -97,6 +103,12 @@ struct RunStats {
     // (bench_e14_async).
     std::uint64_t sync_messages = 0;
     std::uint64_t sync_words = 0;
+
+    // Finalized span trace of the run (obs/trace.h); set by run() when
+    // NetConfig::trace.enabled, null otherwise. Shared so RunStats stays
+    // cheaply copyable; a multi-epoch driver's stats always point at the
+    // latest (cumulative) finalization.
+    std::shared_ptr<const TraceTable> trace;
 };
 
 // Read-only view of one vertex's inbox: a contiguous span of the engine's
@@ -157,6 +169,17 @@ public:
     // round is exceeded.
     void send(std::size_t port, Message msg);
 
+    // ---- tracing hooks (src/dmst/obs/trace.h) --------------------------
+    // No-ops (one pointer test) unless NetConfig::trace.enabled. Drivers
+    // normally use the TraceScope RAII helper instead of begin/end pairs.
+    bool tracing() const;
+    // Opens span (phase, level) on this vertex; sends from nested calls
+    // are attributed to the innermost open span.
+    void trace_begin(TracePhase phase, std::int64_t level = 0);
+    void trace_end();
+    // Records a point event in (phase, level) — a protocol milestone.
+    void trace_instant(TracePhase phase, std::int64_t level = 0);
+
 private:
     friend class NetworkBase;
     Context(NetworkBase& net, VertexId vertex) : net_(&net), vertex_(vertex) {}
@@ -206,7 +229,8 @@ class NetworkBase {
 public:
     using Factory = std::function<std::unique_ptr<Process>(VertexId)>;
 
-    virtual ~NetworkBase() = default;
+    // Out-of-line: the header only forward-declares TraceRecorder.
+    virtual ~NetworkBase();
 
     // Creates one process per vertex. Must be called exactly once.
     void init(const Factory& factory);
@@ -436,6 +460,12 @@ protected:
     std::uint64_t round_ = 0;
     std::uint64_t in_flight_ = 0;
     RunStats stats_;
+
+    // Span trace recorder (obs/trace.h); null unless config.trace.enabled,
+    // so the disabled datapath costs one pointer test per send. Engines
+    // call trace_->on_send()/set_now(); run() finalizes into stats_.trace.
+    std::unique_ptr<TraceRecorder> trace_owned_;
+    TraceRecorder* trace_ = nullptr;
 
 private:
     friend class Context;

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "dmst/congest/codec.h"
+#include "dmst/obs/trace.h"
 #include "dmst/proto/cv.h"
 #include "dmst/util/assert.h"
 #include "dmst/util/intmath.h"
@@ -144,6 +145,10 @@ void GhsVertex::on_round(Context& ctx)
             finished_ = true;
         return;
     }
+    // Self-scoped: GHS phase i is the level axis of the Ghs trace phase,
+    // so any embedding driver gets per-phase GHS traffic attribution for
+    // free (elkin pumps this component without wrapping it).
+    TraceScope trace_span(ctx, TracePhase::Ghs, pos->phase);
     if (pos->stage == GhsStage::Fid && pos->offset == 0 && pos->phase != phase_)
         begin_phase(ctx, pos->phase);
 
@@ -663,6 +668,8 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.record_per_edge = opts.record_per_edge;
+    config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

@@ -253,6 +253,10 @@ struct GhsOptions {
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;
+    // Record per-edge message counts in stats.messages_per_edge.
+    bool record_per_edge = false;
+    // Record the per-phase span trace in stats.trace.
+    bool trace = false;
 };
 
 MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opts);

@@ -5,10 +5,12 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 #include "dmst/util/dsu.h"
 #include "dmst/util/intmath.h"
@@ -48,23 +50,43 @@ void ElkinProcess::on_round(Context& ctx)
         neighbor_vid_.assign(ctx.degree(), ~std::uint64_t{0});
     }
 
-    // Sub-protocols consume their own tags.
-    bfs_.on_round(ctx);
-    if (bfs_.finished() && !labeler_.attached()) {
-        labeler_.attach(bfs_);
-        if (is_root_vertex())
-            labeler_.start(ctx);
+    // Sub-protocols consume their own tags. Each pump runs under its own
+    // trace span, so every send is attributed to the stage that caused it
+    // (GhsVertex scopes itself per GHS phase).
+    {
+        TraceScope span(ctx, TracePhase::Bfs);
+        bfs_.on_round(ctx);
     }
-    labeler_.on_round(ctx);
+    {
+        TraceScope span(ctx, TracePhase::Labeling);
+        if (bfs_.finished() && !labeler_.attached()) {
+            labeler_.attach(bfs_);
+            if (is_root_vertex())
+                labeler_.start(ctx);
+        }
+        labeler_.on_round(ctx);
+    }
     if (labeler_.finished() && !downcast_.attached()) {
         downcast_.attach(labeler_.own_index(), labeler_.children_ports(),
                          labeler_.child_intervals());
     }
-    downcast_.on_round(ctx);
+    {
+        // The interval downcast only ever carries Boruvka phase results.
+        TraceScope span(ctx, TracePhase::Boruvka,
+                        std::max<std::int64_t>(phase_, 0));
+        downcast_.on_round(ctx);
+    }
     if (ghs_)
         ghs_->on_round(ctx);
-    if (upcast_)
+    if (upcast_) {
+        // The upcast pipelines registration records until the Boruvka
+        // phases start, then per-phase MWOE reports.
+        TraceScope span(ctx,
+                        phase_ >= 0 ? TracePhase::Boruvka
+                                    : TracePhase::Registration,
+                        std::max<std::int64_t>(phase_, 0));
         upcast_->on_round(ctx);
+    }
 
     // Control traffic, processed in canonical phase order regardless of
     // delivery order (the conditioner's delivery adversary may permute the
@@ -162,10 +184,28 @@ void ElkinProcess::on_round(Context& ctx)
         }
         return false;
     };
-    if (control_pass(false))
-        return;
-    if (phase_start)
-        begin_boruvka_phase(ctx, *phase_start);
+    // Control-traffic attribution: sends triggered while draining the
+    // inbox belong to the driver's current stage — Boruvka phase j once
+    // phase 2 runs, the registration window after GHS, and the pre-GHS
+    // control waves before that. Re-evaluated after the phase bump so the
+    // second pass lands in the new phase's span.
+    auto ctl = [&]() -> std::pair<TracePhase, std::int64_t> {
+        if (phase_ >= 0)
+            return {TracePhase::Boruvka, phase_};
+        if (registration_started_)
+            return {TracePhase::Registration, 0};
+        return {TracePhase::Control, 0};
+    };
+    {
+        const auto [ph, lvl] = ctl();
+        TraceScope span(ctx, ph, lvl);
+        if (control_pass(false))
+            return;
+        if (phase_start)
+            begin_boruvka_phase(ctx, *phase_start);
+    }
+    const auto [ph, lvl] = ctl();
+    TraceScope span(ctx, ph, lvl);
     if (deferred > 0 && control_pass(true))
         return;
 
@@ -236,6 +276,7 @@ void ElkinProcess::start_ghs_from_wave(Context& ctx, std::uint64_t k,
 
 void ElkinProcess::begin_registration(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Registration);
     registration_started_ = true;
     DMST_ASSERT_MSG(labeler_.finished(), "interval labeling must precede GHS end");
 
@@ -283,6 +324,8 @@ void ElkinProcess::root_finish_registration(Context& ctx)
 
 void ElkinProcess::begin_boruvka_phase(Context& ctx, std::uint64_t j)
 {
+    TraceScope trace_span(ctx, TracePhase::Boruvka,
+                          static_cast<std::int64_t>(j));
     DMST_ASSERT(static_cast<std::int64_t>(j) == phase_ + 1);
     phase_ = static_cast<int>(j);
     chats_received_ = chats_next_;
@@ -476,6 +519,7 @@ void ElkinProcess::maybe_ack(Context& ctx)
 
 void ElkinProcess::finish(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Finish);
     for (std::size_t c : bfs_.children_ports())
         ctx.send(c, encode(tag(kFinish), EmptyMsg{}));
     finished_ = true;
@@ -492,8 +536,11 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
 
     NetConfig config;
     config.bandwidth = opts.bandwidth;
-    config.record_per_round = true;  // enables the phase-1/phase-2 split
+    config.record_per_round = true;  // per-round trace for tests and sweeps
     config.record_per_edge = opts.record_per_edge;
+    // The span trace drives the phase-1/phase-2 split; external callers can
+    // also request it for export, but the driver always needs it.
+    config.trace.enabled = true;
     config.engine = opts.engine;
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
@@ -525,16 +572,28 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     result.bfs_rounds = root.bfs_rounds();
     result.ghs_rounds = root.ghs_rounds();
 
-    // Phase split at the end of the Controlled-GHS schedule. The boundary
-    // is computed in logical rounds; the per-round trace and stats.rounds
-    // are tick-indexed, stride ticks per logical round.
-    const std::uint64_t stride = opts.conditioner.stride();
-    std::uint64_t ghs_end =
-        (root.bfs_rounds() + root.bfs_ecc() + 2 + root.ghs_rounds()) * stride;
-    ghs_end = std::min<std::uint64_t>(ghs_end, stats.rounds);
-    result.phase2_rounds = stats.rounds - ghs_end;
-    for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)
-        result.phase2_messages += stats.messages_per_round[r];
+    // Phase split, derived from the span trace: phase 2 is everything the
+    // registration handoff triggers — the Registration window, the Boruvka
+    // phases over base fragments, and the FINISH wave. The first tick any
+    // of those spans touched is the phase boundary (ticks, not logical
+    // rounds, so the split stays exact under the conditioner's stride).
+    DMST_ASSERT(stats.trace);
+    std::uint64_t phase2_first_tick = ~std::uint64_t{0};
+    for (const TraceSpan& s : stats.trace->spans) {
+        switch (s.phase) {
+            case TracePhase::Registration:
+            case TracePhase::Boruvka:
+            case TracePhase::Finish:
+                result.phase2_messages += s.messages;
+                phase2_first_tick = std::min(phase2_first_tick, s.first_tick);
+                break;
+            default:
+                break;
+        }
+    }
+    result.phase2_rounds = phase2_first_tick == ~std::uint64_t{0}
+                               ? 0
+                               : stats.rounds - (phase2_first_tick - 1);
     return result;
 }
 

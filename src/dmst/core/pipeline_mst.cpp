@@ -8,6 +8,7 @@
 #include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 #include "dmst/util/intmath.h"
 
@@ -41,6 +42,7 @@ void PipelineMstProcess::mark_if_incident(std::uint64_t packed_edge)
 
 void PipelineMstProcess::begin_pipeline(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Pipeline);
     pipeline_started_ = true;
     mst_ports_.insert(ghs_->mst_ports().begin(), ghs_->mst_ports().end());
     neighbor_fid_.assign(ctx.degree(), 0);
@@ -83,12 +85,23 @@ void PipelineMstProcess::on_round(Context& ctx)
     if (finished_)
         return;
 
-    bfs_.on_round(ctx);
+    // Sub-protocol pumps, each under its own span (GhsVertex self-scopes
+    // per GHS phase).
+    {
+        TraceScope span(ctx, TracePhase::Bfs);
+        bfs_.on_round(ctx);
+    }
     if (ghs_)
         ghs_->on_round(ctx);
-    if (upcast_)
+    if (upcast_) {
+        TraceScope span(ctx, TracePhase::Pipeline);
         upcast_->on_round(ctx);
+    }
 
+    // Control traffic and driver transitions run under the current stage:
+    // the pre-pipeline wave plumbing, then the pipeline proper.
+    TraceScope stage_span(ctx, pipeline_started_ ? TracePhase::Pipeline
+                                                 : TracePhase::Control);
     for (const Incoming& in : ctx.inbox()) {
         const std::uint32_t t = in.msg.tag;
         if (t == kStartGhs) {
@@ -189,6 +202,8 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     NetConfig config;
     config.bandwidth = opts.bandwidth;
     config.record_per_round = true;  // enables the phase-1/phase-2 split
+    config.record_per_edge = opts.record_per_edge;
+    config.trace.enabled = opts.trace;
     config.engine = opts.engine;
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;

@@ -2,6 +2,7 @@
 
 #include "dmst/sim/engine.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "dmst/congest/codec.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/graph/metrics.h"
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 #include "dmst/util/intmath.h"
 
@@ -121,6 +123,10 @@ void SyncBoruvkaProcess::do_flip(Context& ctx)
 
 void SyncBoruvkaProcess::on_round(Context& ctx)
 {
+    // One span per Boruvka phase; every send of the round belongs to the
+    // phase the driver kicked last.
+    TraceScope trace_span(ctx, TracePhase::Boruvka,
+                          std::max<std::int64_t>(phase_, 0));
     if (kick_pending_) {
         kick_pending_ = false;
         if (neighbor_fid_.empty() && ctx.degree() > 0) {
@@ -251,6 +257,8 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.record_per_edge = opts.record_per_edge;
+    config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

@@ -117,6 +117,10 @@ struct SyncBoruvkaOptions {
     // Runaway guard in ideal-substrate rounds, summed across all phases
     // (0 = the NetConfig default); scaled by the conditioner stride.
     std::uint64_t max_rounds = 0;
+    // Record per-edge message counts in stats.messages_per_edge.
+    bool record_per_edge = false;
+    // Record the per-phase span trace in stats.trace.
+    bool trace = false;
 };
 
 SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,

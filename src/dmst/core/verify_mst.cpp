@@ -6,6 +6,7 @@
 
 #include "dmst/congest/codec.h"
 #include "dmst/graph/metrics.h"
+#include "dmst/obs/trace.h"
 #include "dmst/sim/engine.h"
 #include "dmst/util/assert.h"
 
@@ -98,6 +99,7 @@ void VerifyMstProcess::on_round(Context& ctx)
         return;
 
     if (!hello_sent_) {
+        TraceScope span(ctx, TracePhase::Hello);
         hello_sent_ = true;
         for (std::size_t p = 0; p < ctx.degree(); ++p) {
             bool marked = std::find(claimed_input_.begin(), claimed_input_.end(),
@@ -108,11 +110,25 @@ void VerifyMstProcess::on_round(Context& ctx)
         read_hellos(ctx);
     }
 
-    // Sub-protocols consume their own tags.
-    bfs_.on_round(ctx);
-    marked_.on_round(ctx);
-    labeler_.on_round(ctx);
-    tokens_.on_round(ctx);
+    // Sub-protocols consume their own tags; each pump is its own span
+    // (the marked-component BFS belongs to the spanning check, the token
+    // exchange to the minimality check).
+    {
+        TraceScope span(ctx, TracePhase::Bfs);
+        bfs_.on_round(ctx);
+    }
+    {
+        TraceScope span(ctx, TracePhase::Spanning);
+        marked_.on_round(ctx);
+    }
+    {
+        TraceScope span(ctx, TracePhase::Labeling);
+        labeler_.on_round(ctx);
+    }
+    {
+        TraceScope span(ctx, TracePhase::Minimality);
+        tokens_.on_round(ctx);
+    }
 
     if (marked_.finished() && !labeler_.attached())
         labeler_.attach(marked_);
@@ -121,6 +137,7 @@ void VerifyMstProcess::on_round(Context& ctx)
     for (const Incoming& in : ctx.inbox()) {
         const std::uint32_t t = in.msg.tag;
         if (t == kSnap) {
+            TraceScope span(ctx, TracePhase::Spanning);
             decode<EmptyMsg>(in.msg);
             DMST_ASSERT_MSG(bfs_.finished(), "SNAP before local tau BFS finished");
             snap_seen_ = true;
@@ -197,6 +214,7 @@ void VerifyMstProcess::root_maybe_snap(Context& ctx)
 {
     if (!is_root_vertex() || snap_seen_ || !bfs_.finished() || !marked_.finished())
         return;
+    TraceScope trace_span(ctx, TracePhase::Spanning);
     DMST_ASSERT_MSG(bfs_.subtree_size() == n_,
                     "tau BFS did not span the graph (disconnected input?)");
     snap_seen_ = true;
@@ -209,6 +227,7 @@ void VerifyMstProcess::maybe_send_snapshot(Context& ctx)
 {
     if (!snap_seen_ || snapshot_sent_ || snapshots_pending_ > 0)
         return;
+    TraceScope trace_span(ctx, TracePhase::Spanning);
     snapshot_sent_ = true;
     // The count convergecast (pump_count) runs over tau while interval
     // labels flow down the *claimed* tree, so a tau child can start
@@ -234,6 +253,7 @@ void VerifyMstProcess::maybe_send_snapshot(Context& ctx)
 
 void VerifyMstProcess::root_resolve_spanning(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Spanning);
     root_spanning_resolved_ = true;
     claimed_sum_ = snapshot_acc_.claimed_ports;
     if (snapshot_acc_.asym != kInfiniteEdgeKey) {
@@ -266,6 +286,7 @@ void VerifyMstProcess::root_resolve_spanning(Context& ctx)
 
 void VerifyMstProcess::start_minimality(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Labeling);
     minimality_started_ = true;
     DMST_ASSERT_MSG(labeler_.attached(), "claimed labeler not attached at root");
     labeler_.start(ctx);
@@ -273,6 +294,7 @@ void VerifyMstProcess::start_minimality(Context& ctx)
 
 void VerifyMstProcess::start_cut_stage(Context& ctx)
 {
+    TraceScope trace_span(ctx, TracePhase::Cut);
     cut_seen_ = true;
     cut_reports_pending_ = bfs_.children_ports().size();
     for (std::size_t c : bfs_.children_ports())
@@ -286,6 +308,7 @@ void VerifyMstProcess::maybe_send_cut_report(Context& ctx)
     if (!cut_seen_ || cut_report_sent_ || sides_heard_ < ctx.degree() ||
         cut_reports_pending_ > 0)
         return;
+    TraceScope trace_span(ctx, TracePhase::Cut);
     cut_report_sent_ = true;
     if (!is_root_vertex()) {
         ctx.send(bfs_.parent_port(), encode(kCutReport, EdgeKeyMsg{cut_min_}));
@@ -300,6 +323,7 @@ void VerifyMstProcess::maybe_inject_tokens(Context& ctx)
 {
     if (!labeler_.finished())
         return;
+    TraceScope trace_span(ctx, TracePhase::Minimality);
     if (!index_sent_) {
         index_sent_ = true;
         std::size_t parent = marked_.parent_port();
@@ -332,6 +356,7 @@ void VerifyMstProcess::pump_count(Context& ctx)
 {
     if (!snapshot_sent_)
         return;
+    TraceScope trace_span(ctx, TracePhase::Minimality);
     std::uint64_t total = tokens_.pairs_completed();
     for (std::uint64_t c : child_pairs_)
         total += c;
@@ -368,6 +393,7 @@ void VerifyMstProcess::pump_count(Context& ctx)
 void VerifyMstProcess::finish(Context& ctx, VerifyVerdict verdict,
                               const EdgeKey& witness, const EdgeKey& offender)
 {
+    TraceScope trace_span(ctx, TracePhase::Verdict);
     verdict_ = verdict;
     witness_ = witness;
     offender_ = offender;
@@ -403,6 +429,8 @@ VerifyMstResult run_verify_mst(
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.record_per_edge = opts.record_per_edge;
+    config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner);

@@ -1,0 +1,221 @@
+#ifndef DMST_OBS_TRACE_H
+#define DMST_OBS_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dmst/congest/network_base.h"
+#include "dmst/obs/counters.h"
+#include "dmst/obs/phase.h"
+
+namespace dmst {
+
+// Span-based trace recorder for the CONGEST engines (ROADMAP: per-phase
+// observability). The model:
+//
+//   - Drivers open/close *spans* around their protocol stages via the
+//     Context trace hooks (usually through the TraceScope RAII helper).
+//     Spans are keyed by (TracePhase, level) — e.g. (Ghs, i) for
+//     Controlled-GHS phase i, (Boruvka, j) for Boruvka phase j — and
+//     nest per vertex: every send is attributed to the sender's innermost
+//     open span (or the Init span when none is open), so span sums equal
+//     the RunStats totals by construction. TraceSink::validate() checks
+//     that conservation invariant, and finalize() enforces it on every
+//     traced run.
+//
+//   - Per span the recorder keeps messages, words, instants, and the
+//     first/last *logical round* of activity — the engine-invariant clock
+//     all three engines agree on — plus first/last substrate tick and
+//     async virtual time as engine-specific extras. The logical-round
+//     projection (parity_fingerprint) is bit-identical across serial,
+//     parallel, and async engines for the same seed: a stronger form of
+//     the tri-engine exactness contract, enforced by tests/test_trace.cpp
+//     and the nightly trace self-check.
+//
+//   - A per-message-tag histogram (messages/words by codec tag) rides
+//     along; it must conserve too.
+//
+// Cost model: with tracing disabled (the default) the engines hold a null
+// recorder pointer and the send datapath pays one pointer test — no
+// allocation, no virtual call (the counting-allocator test and the exact
+// bench gates pin that down). Enabled, cells live in per-shard grow-only
+// arenas: the steady state allocates nothing once every live (span, tag)
+// cell exists.
+
+// One aggregated span row of a finalized trace.
+struct TraceSpan {
+    TracePhase phase = TracePhase::Init;
+    std::int64_t level = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint64_t instants = 0;
+    // Logical rounds of first/last activity: the parity-bearing fields.
+    std::uint64_t first_round = 0;
+    std::uint64_t last_round = 0;
+    // Substrate ticks (= rounds x conditioner stride on the lock-step
+    // engines, pulse levels on the async engine); excluded from parity.
+    std::uint64_t first_tick = 0;
+    std::uint64_t last_tick = 0;
+    // Async virtual time of first/last activity; 0 on lock-step engines.
+    std::uint64_t first_vtime = 0;
+    std::uint64_t last_vtime = 0;
+};
+
+// One per-message-tag histogram row.
+struct TagCount {
+    std::uint32_t tag = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+};
+
+// A finalized, immutable trace: spans sorted by (phase, level), tags
+// sorted by tag, totals snapshotted from the run's RunStats.
+struct TraceTable {
+    std::vector<TraceSpan> spans;
+    std::vector<TagCount> tags;
+    std::uint64_t total_messages = 0;
+    std::uint64_t total_words = 0;
+    std::uint64_t total_rounds = 0;  // RunStats::rounds (ticks)
+    std::uint64_t sync_messages = 0;  // α-synchronizer control traffic
+    std::uint64_t sync_words = 0;
+
+    const TraceSpan* find(TracePhase phase, std::int64_t level) const;
+    // Sum of span messages over every level of `phase`.
+    std::uint64_t phase_messages(TracePhase phase) const;
+
+    // Conservation self-check: span sums and tag sums must both equal the
+    // totals. Throws InvariantViolation with a per-phase breakdown on
+    // violation.
+    void validate() const;
+
+    // Engine-invariant projection: one line per span with the
+    // (phase, level, first_round, last_round, messages, words, instants)
+    // fields. Same seed => identical string on all three engines, per
+    // network run. Multi-epoch drivers (sync Borůvka) accumulate
+    // engine-specific round offsets across epoch boundaries (the async
+    // engine's endgame skew, see sim/async_network.h), so only their
+    // per-span messages/words/instants stay engine-invariant.
+    std::string parity_fingerprint() const;
+};
+
+// Abstract sink for trace events. The engines drive the concrete
+// TraceRecorder below; the interface exists so tests and tools can
+// substitute their own collector.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+
+    virtual void span_begin(VertexId v, TracePhase phase,
+                            std::int64_t level) = 0;
+    virtual void span_end(VertexId v) = 0;
+    virtual void instant(VertexId v, TracePhase phase, std::int64_t level) = 0;
+    virtual void on_send(VertexId from, std::uint32_t tag,
+                         std::uint64_t words) = 0;
+
+    // Self-verification: the recorded attribution must conserve against
+    // the run's totals. Throws InvariantViolation on violation.
+    virtual void validate(const RunStats& stats) const = 0;
+};
+
+// Arena-backed recorder. Thread-safety contract mirrors the parallel
+// engine's sharding: per-vertex state (span stacks) is only touched by
+// the shard that owns the vertex, and every cell/tag table is per shard;
+// folding happens on the coordinator at finalize() only. The serial and
+// async engines run everything on shard 0.
+class TraceRecorder final : public TraceSink {
+public:
+    explicit TraceRecorder(std::size_t vertex_count);
+
+    // Parallel engine only: route each vertex's events to its owning
+    // shard's tables. Must be called before any event is recorded.
+    void set_sharding(int shards, const std::vector<int>& shard_of);
+
+    // Engine clock, read by every subsequent event: the logical round,
+    // the substrate tick, and the async virtual time of the current
+    // activation. Written by the coordinator between phases (lock-step)
+    // or before each pulse (async).
+    void set_now(std::uint64_t logical_round, std::uint64_t tick,
+                 std::uint64_t vtime)
+    {
+        now_round_ = logical_round;
+        now_tick_ = tick;
+        now_vtime_ = vtime;
+    }
+
+    void span_begin(VertexId v, TracePhase phase, std::int64_t level) override;
+    void span_end(VertexId v) override;
+    void instant(VertexId v, TracePhase phase, std::int64_t level) override;
+
+    void on_send(VertexId from, std::uint32_t tag, std::uint64_t words) override
+    {
+        Shard& sh = shards_[shard_index(from)];
+        const std::vector<std::uint32_t>& stack = stack_[from];
+        SpanCell& cell = sh.cells[stack.empty() ? kInitCell : stack.back()];
+        ++cell.messages;
+        cell.words += words;
+        cell.touch(now_round_, now_tick_, now_vtime_);
+        sh.tags.add(tag, words);
+    }
+
+    // Folds every shard's cells into a sorted immutable table, snapshots
+    // the totals from `stats`, and validates conservation. Repeatable: a
+    // multi-epoch driver (sync_boruvka) finalizes after every run() and
+    // keeps accumulating in between.
+    std::shared_ptr<const TraceTable> finalize(const RunStats& stats) const;
+
+    void validate(const RunStats& stats) const override;
+
+private:
+    struct Shard {
+        std::vector<SpanCell> cells;      // cell arena; index 0 = Init
+        std::vector<std::uint64_t> keys;  // parallel to cells
+        std::unordered_map<std::uint64_t, std::uint32_t> index;
+        TagHistogram tags;
+    };
+
+    static constexpr std::uint32_t kInitCell = 0;
+
+    static std::uint64_t span_key(TracePhase phase, std::int64_t level);
+
+    std::size_t shard_index(VertexId v) const
+    {
+        return shard_of_.empty() ? 0
+                                 : static_cast<std::size_t>(shard_of_[v]);
+    }
+
+    std::uint32_t cell_for(Shard& sh, TracePhase phase, std::int64_t level);
+
+    std::vector<Shard> shards_;
+    std::vector<int> shard_of_;  // empty = everything on shard 0
+    std::vector<std::vector<std::uint32_t>> stack_;  // per-vertex open spans
+    std::uint64_t now_round_ = 0;
+    std::uint64_t now_tick_ = 0;
+    std::uint64_t now_vtime_ = 0;
+};
+
+// RAII span for driver code: opens (phase, level) on the context's vertex
+// for the enclosing scope. A no-op (one pointer test) when tracing is
+// disabled.
+class TraceScope {
+public:
+    TraceScope(Context& ctx, TracePhase phase, std::int64_t level = 0)
+        : ctx_(&ctx)
+    {
+        ctx_->trace_begin(phase, level);
+    }
+
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+    ~TraceScope() { ctx_->trace_end(); }
+
+private:
+    Context* ctx_;
+};
+
+}  // namespace dmst
+
+#endif  // DMST_OBS_TRACE_H

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dmst/congest/conditioner.h"
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -75,6 +76,8 @@ void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
 {
     const std::size_t size = msg.size_words();
     charge_bandwidth(from, port, size);
+    if (trace_)
+        trace_->on_send(from, msg.tag, size);
 
     Event ev;
     ev.time = now_ + static_cast<std::uint64_t>(delay_draw());
@@ -131,6 +134,12 @@ void AsyncNetwork::execute_pulse(VertexId v)
     in_flight_ -= pulse_scratch_.size();
 
     logical_round_ = level;  // Context::round() during this activation
+    // Trace clock: the async engine's tick is the pulse level itself, and
+    // the virtual time is the clock at activation (sends within a pulse
+    // do not advance it). Logical rounds match the lock-step engines —
+    // the basis of tri-engine trace parity.
+    if (trace_)
+        trace_->set_now(level, level, now_);
     pulse_sends_ = 0;
     Context ctx = context_for(v);
     processes_[v]->on_round(ctx);

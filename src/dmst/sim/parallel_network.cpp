@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dmst/obs/trace.h"
 #include "dmst/util/assert.h"
 
 namespace dmst {
@@ -35,6 +36,12 @@ ParallelNetwork::ParallelNetwork(const WeightedGraph& g, NetConfig config,
 
     if (threads_ > 1)
         pool_ = std::make_unique<ThreadPool>(threads_);
+
+    // Per-shard trace tables: each worker records into its own shard's
+    // cells (routed by shard_of_), folded at finalize only — the same
+    // no-synchronization discipline as the counters above.
+    if (trace_)
+        trace_->set_sharding(shards_, shard_of_);
 }
 
 void ParallelNetwork::run_phase(const std::function<void(int)>& phase)
@@ -66,6 +73,8 @@ void ParallelNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
 
     ShardState& st = shard_states_[static_cast<std::size_t>(shard_of_[from])];
     VertexId target = graph_.neighbor(from, port);
+    if (trace_)
+        trace_->on_send(from, msg.tag, size);
     if (config_.record_per_round)
         ++st.arrive_hist[link_delay(from, port)];
     if (config_.record_per_edge) {
@@ -173,6 +182,8 @@ bool ParallelNetwork::step()
     std::uint64_t sent = 0;
     if (activation_tick()) {
         ++logical_round_;
+        if (trace_)
+            trace_->set_now(logical_round_, round_, 0);
         run_phase([this](int s) { step_shard(s); });
         rethrow_shard_error();
 

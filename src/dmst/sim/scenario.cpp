@@ -13,6 +13,7 @@
 #include "dmst/core/pipeline_mst.h"
 #include "dmst/core/sync_boruvka.h"
 #include "dmst/exp/workloads.h"
+#include "dmst/obs/trace.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/engine.h"
 #include "dmst/sim/thread_pool.h"
@@ -30,7 +31,7 @@ struct AlgoRun {
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
                       std::uint64_t ghs_k, const ConditionerConfig& cc,
-                      const AsyncConfig& ac)
+                      const AsyncConfig& ac, bool trace, bool record_per_edge)
 {
     AlgoRun out;
     if (algorithm == "elkin") {
@@ -40,7 +41,8 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
-        auto r = run_elkin_mst(g, opts);
+        opts.record_per_edge = record_per_edge;
+        auto r = run_elkin_mst(g, opts);  // always records the span trace
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
     } else if (algorithm == "pipeline") {
@@ -50,6 +52,8 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.trace = trace;
+        opts.record_per_edge = record_per_edge;
         auto r = run_pipeline_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -60,6 +64,8 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.trace = trace;
+        opts.record_per_edge = record_per_edge;
         auto r = run_sync_boruvka(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
@@ -71,6 +77,8 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.trace = trace;
+        opts.record_per_edge = record_per_edge;
         auto r = run_controlled_ghs(g, opts);
         // The forest is partial; gather edges straight from the port sets
         // (collect_mst_edges would reject a non-spanning forest).
@@ -86,6 +94,33 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
             "' (expected elkin|pipeline|boruvka|ghs)");
     }
     return out;
+}
+
+// The k edges with the highest construction-run message counts, ties
+// broken by edge id for a deterministic report.
+std::vector<HotEdge> hottest_edges(const WeightedGraph& g,
+                                   const std::vector<std::uint64_t>& per_edge,
+                                   std::size_t k)
+{
+    std::vector<EdgeId> order(per_edge.size());
+    for (EdgeId e = 0; e < order.size(); ++e)
+        order[e] = e;
+    k = std::min(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](EdgeId a, EdgeId b) {
+                          return per_edge[a] != per_edge[b]
+                                     ? per_edge[a] > per_edge[b]
+                                     : a < b;
+                      });
+    std::vector<HotEdge> top;
+    top.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (per_edge[order[i]] == 0)
+            break;  // fewer than k edges ever carried a message
+        top.push_back(HotEdge{g.edge(order[i]).u, g.edge(order[i]).v,
+                              per_edge[order[i]]});
+    }
+    return top;
 }
 
 // Tree path between the endpoints of non-tree edge `f` within `tree_edges`.
@@ -333,17 +368,24 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                            : 1;
 
                         auto t0 = std::chrono::steady_clock::now();
-                        AlgoRun run = run_algorithm(spec.algorithm, g,
-                                                    bandwidth, engine,
-                                                    threads, spec.ghs_k, cc,
-                                                    ac);
+                        AlgoRun run = run_algorithm(
+                            spec.algorithm, g, bandwidth, engine, threads,
+                            spec.ghs_k, cc, ac, spec.trace,
+                            spec.record_per_edge);
                         auto t1 = std::chrono::steady_clock::now();
                         cell.wall_ms =
                             std::chrono::duration<double, std::milli>(t1 - t0)
                                 .count();
                         cell.stats = std::move(run.stats);
+                        // Elkin records a trace unconditionally (its phase
+                        // split needs it); only surface it when asked.
+                        if (!spec.trace)
+                            cell.stats.trace.reset();
                         for (EdgeId e : run.edges)
                             cell.mst_weight += g.edge(e).w;
+                        if (spec.record_per_edge)
+                            cell.top_edges = hottest_edges(
+                                g, cell.stats.messages_per_edge, 5);
 
                         if (spec.verify) {
                             cell.verify_ran = true;
@@ -438,6 +480,34 @@ std::string cell_json(const ScenarioCell& cell)
             << ",\"verify_words\":" << cell.verify_stats.words
             << ",\"mutations_passed\":" << cell.mutations_passed
             << ",\"mutations_run\":" << cell.mutations_run;
+    if (cell.stats.trace) {
+        oss << ",\"phases\":[";
+        bool first = true;
+        for (const TraceSpan& s : cell.stats.trace->spans) {
+            if (!first)
+                oss << ",";
+            first = false;
+            oss << "{\"phase\":\"" << trace_phase_name(s.phase) << "\""
+                << ",\"level\":" << s.level
+                << ",\"messages\":" << s.messages
+                << ",\"words\":" << s.words
+                << ",\"first_round\":" << s.first_round
+                << ",\"last_round\":" << s.last_round << "}";
+        }
+        oss << "]";
+    }
+    if (!cell.top_edges.empty()) {
+        oss << ",\"top_edges\":[";
+        bool first = true;
+        for (const HotEdge& e : cell.top_edges) {
+            if (!first)
+                oss << ",";
+            first = false;
+            oss << "{\"u\":" << e.u << ",\"v\":" << e.v
+                << ",\"messages\":" << e.messages << "}";
+        }
+        oss << "]";
+    }
     oss << "}";
     return oss.str();
 }

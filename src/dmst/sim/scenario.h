@@ -56,6 +56,22 @@ struct ScenarioSpec {
     bool model_verify = false;
     // ghs only: the k of Controlled-GHS (fragment diameter budget).
     std::uint64_t ghs_k = 8;
+    // Record the per-phase span trace (obs/trace.h) of the construction
+    // run; cells carry it in stats.trace and cell_json emits a per-phase
+    // breakdown. Elkin records it regardless (its phase split needs it);
+    // this flag adds the JSON breakdown and the other algorithms' traces.
+    bool trace = false;
+    // Record per-edge message counts; cell_json emits the top-5 hottest
+    // edges of each cell.
+    bool record_per_edge = false;
+};
+
+// One of a cell's hottest edges (spec.record_per_edge): endpoints plus the
+// construction run's message count over that edge.
+struct HotEdge {
+    VertexId u = 0;
+    VertexId v = 0;
+    std::uint64_t messages = 0;
 };
 
 struct ScenarioCell {
@@ -90,6 +106,9 @@ struct ScenarioCell {
     RunStats verify_stats;
     int mutations_run = 0;
     int mutations_passed = 0;
+
+    // Top-5 hottest edges by message count (spec.record_per_edge only).
+    std::vector<HotEdge> top_edges;
 };
 
 // Forest perturbations for the self-checking sweeps: each mutates a

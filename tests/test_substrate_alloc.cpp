@@ -13,6 +13,7 @@
 
 #include "dmst/congest/network.h"
 #include "dmst/graph/generators.h"
+#include "dmst/obs/trace.h"
 #include "dmst/sim/parallel_network.h"
 #include "dmst/util/rng.h"
 
@@ -73,16 +74,47 @@ public:
     std::uint64_t checksum_ = 0;
 };
 
-std::uint64_t measure_steady_state_allocs(NetworkBase& net, int warmup_rounds,
+// Like SteadyChatter, but every send runs under an alternating trace span
+// — the worst case for the recorder's arena: two live (span, tag) cells
+// per shard plus the per-vertex span stacks, all of which must hit their
+// high-water mark during warmup.
+class TracedChatter : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        TraceScope span(ctx, TracePhase::Bfs,
+                        static_cast<std::int64_t>(ctx.round() % 2));
+        for (const Incoming& in : ctx.inbox())
+            checksum_ += in.msg.words[0] + in.port;
+        for (std::size_t p = 0; p < ctx.degree(); ++p)
+            ctx.send(p, Message{1, {ctx.round(), 7}});
+    }
+
+    bool done() const override { return false; }  // stepped manually
+
+    std::uint64_t checksum_ = 0;
+};
+
+std::uint64_t measure_steady_state_allocs(NetworkBase& net,
+                                          const NetworkBase::Factory& factory,
+                                          int warmup_rounds,
                                           int measured_rounds)
 {
-    net.init([](VertexId) { return std::make_unique<SteadyChatter>(); });
+    net.init(factory);
     for (int i = 0; i < warmup_rounds; ++i)
         net.step();
     const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
     for (int i = 0; i < measured_rounds; ++i)
         net.step();
     return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+std::uint64_t measure_steady_state_allocs(NetworkBase& net, int warmup_rounds,
+                                          int measured_rounds)
+{
+    return measure_steady_state_allocs(
+        net, [](VertexId) { return std::make_unique<SteadyChatter>(); },
+        warmup_rounds, measured_rounds);
 }
 
 TEST(SubstrateAlloc, SerialSteadyStateIsAllocationFree)
@@ -131,6 +163,35 @@ TEST(SubstrateAlloc, ConditionedSteadyStateIsAllocationFree)
     Network net(g, config);
     // 8 warmup ticks = 4 logical rounds reach every high-water mark.
     EXPECT_EQ(measure_steady_state_allocs(net, 8, 8), 0u);
+}
+
+TEST(SubstrateAlloc, TraceEnabledSteadyStateIsAllocationFree)
+{
+    // Enabled tracing holds the same contract once warm: the recorder's
+    // cells live in grow-only arenas and the per-vertex span stacks keep
+    // their capacity, so a steady state with every send inside a span
+    // performs no allocations either.
+    Rng rng(35);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.trace.enabled = true;
+    Network net(g, config);
+    auto factory = [](VertexId) { return std::make_unique<TracedChatter>(); };
+    EXPECT_EQ(measure_steady_state_allocs(net, factory, 3, 8), 0u);
+}
+
+TEST(SubstrateAlloc, TraceEnabledParallelSteadyStateIsAllocationFree)
+{
+    // Parallel engine: events route to per-shard tables, so the warm
+    // steady state is allocation-free on the sharded recorder too.
+    Rng rng(36);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.threads = 1;
+    config.trace.enabled = true;
+    ParallelNetwork net(g, config, /*shard_override=*/4);
+    auto factory = [](VertexId) { return std::make_unique<TracedChatter>(); };
+    EXPECT_EQ(measure_steady_state_allocs(net, factory, 3, 8), 0u);
 }
 
 TEST(SubstrateAlloc, CountingOperatorNewIsLive)
