@@ -16,6 +16,7 @@
 #include "dmst/obs/trace.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/engine.h"
+#include "dmst/sim/event_queue.h"
 #include "dmst/sim/parallel_network.h"
 #include "dmst/sim/synchronizer.h"
 #include "dmst/util/rng.h"
@@ -145,9 +146,10 @@ BENCHMARK(BM_ElkinEndToEnd)->Range(128, 512);
 
 // --- Event-loop microbenchmarks: the async engine's hot paths.
 
-// The engine's event-queue discipline in isolation: a binary min-heap on
+// The event-queue discipline in isolation: a binary min-heap on
 // (time, seq) over a reusable vector, std::push_heap/std::pop_heap — the
-// same shape AsyncNetwork::push_event/pop_event use.
+// shape of EventQueue's fallback mode and the baseline the timing wheel
+// (BM_EventWheel) is measured against.
 struct HeapEvent {
     std::uint64_t time = 0;
     std::uint64_t seq = 0;
@@ -185,6 +187,43 @@ void BM_EventHeap(benchmark::State& state)
 }
 BENCHMARK(BM_EventHeap)->Range(1024, 16384);
 
+// The engine's actual queue (sim/event_queue.h) under its bounded-delay
+// discipline: every push lands within (now, now+16], pops drain whole
+// timestamp batches. Same push/pop volume as BM_EventHeap, so the two
+// compare directly (the wheel replaces O(log n) sift operations with O(1)
+// bucket appends plus an O(max_delay) scan per occupied timestamp).
+void BM_EventWheel(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    constexpr int kMaxDelay = 16;
+    EventQueue<HeapEvent> queue(kMaxDelay);
+    std::vector<HeapEvent> batch;
+    batch.reserve(n);
+    for (auto _ : state) {
+        std::uint64_t x = 0x9e3779b97f4a7c15ull;  // deterministic delays
+        std::uint64_t drained = 0;
+        std::size_t pushed = 0;
+        // Sliding schedule: keep ~kMaxDelay timestamps in flight, drain a
+        // batch, refill — the engine's steady-state shape.
+        while (pushed < n || !queue.empty()) {
+            while (pushed < n && queue.size() < 4 * kMaxDelay) {
+                x = x * 6364136223846793005ull + 1442695040888963407ull;
+                const std::uint64_t delay = 1 + (x >> 40) % kMaxDelay;
+                queue.push({queue.now() + delay, pushed++});
+            }
+            batch.clear();
+            queue.pop_due(queue.next_time(), batch);
+            for (const HeapEvent& ev : batch)
+                drained += ev.time;
+        }
+        benchmark::DoNotOptimize(drained);
+    }
+    // One item = one push + one pop, comparable to BM_EventHeap.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventWheel)->Range(1024, 16384);
+
 // Full event-driven flood: event dispatch, delay hashing, synchronizer
 // ACK/SAFE waves. The event and virtual-time totals are deterministic per
 // (graph, event_seed) and gated exactly.
@@ -197,6 +236,7 @@ void BM_AsyncEngineFlood(benchmark::State& state)
     for (auto _ : state) {
         NetConfig config;
         config.engine = Engine::Async;
+        config.threads = static_cast<int>(state.range(1));
         auto net = make_network(g, config);
         net->init([](VertexId) { return std::make_unique<FloodProcess>(); });
         RunStats stats = net->run();
@@ -209,7 +249,19 @@ void BM_AsyncEngineFlood(benchmark::State& state)
     state.counters["events"] = static_cast<double>(events);
     state.counters["vtime"] = static_cast<double>(vtime);
 }
-BENCHMARK(BM_AsyncEngineFlood)->Range(8, 32);
+// Second arg = worker threads. The 224-side grid is the ~50k-vertex
+// threading workload; events/vtime are thread-invariant (the engine is
+// bit-exact across worker counts), so the exact gates apply to every
+// variant of a side equally. UseRealTime keeps items_per_second honest
+// for the threaded variants (CPU time only charges the main thread).
+BENCHMARK(BM_AsyncEngineFlood)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({32, 8})
+    ->Args({224, 1})
+    ->Args({224, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // The α-synchronizer pulse state machine alone (no event queue, no
 // delays): one iteration drives one whole-graph pulse wave — begin_pulse
@@ -313,8 +365,9 @@ int main(int argc, char** argv)
     }
     static char filter[] =
         "--benchmark_filter=BM_SimulatorFlood/8|BM_EngineRoundThroughput/"
-        "50000/(0|2)|BM_ElkinEndToEnd/128|BM_EventHeap/1024|"
-        "BM_AsyncEngineFlood/8|BM_SynchronizerPulse/8|BM_TraceOverhead/(0|1)";
+        "50000/(0|2)|BM_ElkinEndToEnd/128|BM_EventHeap/1024|BM_EventWheel/"
+        "1024|BM_AsyncEngineFlood/(8|32)/1|BM_SynchronizerPulse/8|"
+        "BM_TraceOverhead/(0|1)";
     static char out[] = "--benchmark_out=BENCH_substrate.json";
     static char out_format[] = "--benchmark_out_format=json";
     static char min_time[] = "--benchmark_min_time=0.05";
@@ -324,6 +377,14 @@ int main(int argc, char** argv)
         args.push_back(out_format);
         args.push_back(min_time);
     }
+    // The stock "library_build_type" context field describes how
+    // libbenchmark itself was compiled, not this code — report our own
+    // build flavor so scripts/bench_gate.py can refuse debug baselines.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("dmst_build_type", "release");
+#else
+    benchmark::AddCustomContext("dmst_build_type", "debug");
+#endif
     int count = static_cast<int>(args.size());
     benchmark::Initialize(&count, args.data());
     if (benchmark::ReportUnrecognizedArguments(count, args.data()))

@@ -19,7 +19,10 @@
 //   --event_seed=1,2,3   delay-stream seeds
 // Async cells skip conditioned grid points (the conditioner is a
 // lock-step device) and must produce the same MST and verdicts as the
-// serial engine; --verify enforces that per cell.
+// serial engine; --verify enforces that per cell. Async cells also sweep
+// --threads (the sharded engine is bit-exact across worker counts, so a
+// threaded cell must match its serial-oracle row counter for counter —
+// scripts/parity_diff.py checks that over a JSONL sweep).
 //
 // Verification modes (--verify):
 //   oracle  cross-check the output against sequential Kruskal (default)
@@ -59,7 +62,7 @@ int main(int argc, char** argv)
     args.define("bandwidths", "1", "comma list of CONGEST bandwidths");
     args.define("engines", "serial", "comma list: serial,parallel,async");
     args.define("threads", "0",
-                "comma list of parallel worker counts (0 = hardware)");
+                "comma list of parallel/async worker counts (0 = hardware)");
     args.define("seed", "1", "workload seed");
     args.define("latency", "0",
                 "comma list of conditioner per-link latency bounds");

@@ -61,6 +61,19 @@ def main():
         print(f"bench_gate: cannot read input: {e}", file=sys.stderr)
         return 2
 
+    # A baseline recorded against a debug build makes every wall-time gate
+    # meaningless (any release run "passes" by miles) — refuse it outright.
+    # "dmst_build_type" is injected by the bench binary itself (NDEBUG
+    # probe); fall back to the stock "library_build_type" for baselines
+    # that predate the custom field, which forces them through a refresh.
+    ctx = baseline_data.get("context", {})
+    build_type = ctx.get("dmst_build_type") or ctx.get("library_build_type")
+    if build_type == "debug":
+        print("bench_gate: baseline was recorded against a debug library "
+              "build — rebuild with CMAKE_BUILD_TYPE=Release and refresh "
+              "it with scripts/refresh_bench_baseline.py", file=sys.stderr)
+        return 2
+
     gate = baseline_data.get("dmst_gate")
     if not isinstance(gate, list) or not gate:
         print("bench_gate: baseline has no dmst_gate block — refresh the "

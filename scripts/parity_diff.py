@@ -12,7 +12,13 @@ conditioner axes) and enforces the engines' equivalence contracts:
     (messages/words, verify_messages/verify_words). rounds are excluded:
     async pulse levels may exceed the serial count by the documented
     endgame skew, and the synchronizer metrics (events, virtual_time,
-    sync_*) are async-only.
+    sync_*) are async-only;
+  - async rows at the same (max_delay, event_seed) point but different
+    worker counts must be bit-identical on EVERY counter, including the
+    async-only ones (rounds, events, virtual_time, sync_messages,
+    sync_words): the sharded engine's determinism contract says threading
+    never changes the schedule, so any drift here is an engine bug even
+    when the serial comparison above still passes.
 
 Reads one or more JSONL files (e.g. one per algorithm from the nightly
 grid). Exit status: 0 parity holds, 1 mismatch, 2 bad input.
@@ -31,6 +37,9 @@ LOCKSTEP_COMPARE = ("rounds", "messages", "words", "mst_weight", "verified",
 ASYNC_COMPARE = ("messages", "words", "mst_weight", "verified",
                  "model_verified", "mutations_passed", "mutations_run",
                  "verify_messages", "verify_words")
+ASYNC_THREAD_COMPARE = ASYNC_COMPARE + (
+    "rounds", "events", "virtual_time", "sync_messages", "sync_words",
+    "verify_rounds")
 
 
 def describe(row):
@@ -72,6 +81,7 @@ def main(argv):
     mismatches = []
     lockstep_pairs = 0
     async_rows = 0
+    async_thread_pairs = 0
 
     def check(reference, row, fields, kind):
         nonlocal mismatches
@@ -105,8 +115,23 @@ def main(argv):
             async_rows += 1
             check(serial, row, ASYNC_COMPARE, "async")
 
+        # Thread-invariance: async rows sharing a delay point are the same
+        # schedule run by different worker counts — exact on everything.
+        by_point = {}
+        for row in asyncs:
+            point = (row.get("max_delay"), row.get("event_seed"))
+            by_point.setdefault(point, []).append(row)
+        for point_rows in by_point.values():
+            ref = min(point_rows, key=lambda r: r.get("threads", 0))
+            for row in point_rows:
+                if row is ref:
+                    continue
+                async_thread_pairs += 1
+                check(ref, row, ASYNC_THREAD_COMPARE, "async-threads")
+
     print(f"parity_diff: {rows} rows, {len(groups)} scenario points, "
           f"{lockstep_pairs} lock-step comparisons, {async_rows} async "
+          f"comparisons, {async_thread_pairs} async thread-invariance "
           f"comparisons")
     if mismatches:
         for m in mismatches:

@@ -28,11 +28,22 @@ GATE = [
     {"name": "BM_ElkinEndToEnd/128", "field": "rounds",
      "direction": "exact"},
     # Event-loop microbenchmarks: the async engine's event/virtual-time
-    # totals are deterministic per (graph, event_seed) — exact.
-    {"name": "BM_AsyncEngineFlood/8", "field": "events",
+    # totals are deterministic per (graph, event_seed) and thread-invariant
+    # — exact. Event throughput (events/sec) gates like wall time.
+    {"name": "BM_AsyncEngineFlood/8/1/real_time", "field": "events",
      "direction": "exact"},
-    {"name": "BM_AsyncEngineFlood/8", "field": "vtime",
+    {"name": "BM_AsyncEngineFlood/8/1/real_time", "field": "vtime",
      "direction": "exact"},
+    {"name": "BM_AsyncEngineFlood/8/1/real_time", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    {"name": "BM_AsyncEngineFlood/32/1/real_time", "field": "events",
+     "direction": "exact"},
+    {"name": "BM_AsyncEngineFlood/32/1/real_time", "field": "vtime",
+     "direction": "exact"},
+    {"name": "BM_AsyncEngineFlood/32/1/real_time", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
+    {"name": "BM_EventWheel/1024", "field": "items_per_second",
+     "direction": "higher", "tolerance": 0.25},
     {"name": "BM_SynchronizerPulse/8", "field": "items_per_second",
      "direction": "higher", "tolerance": 0.25},
     # Trace-overhead gate: the disabled-trace datapath must keep the exact
@@ -54,6 +65,12 @@ def main():
         return 2
     with open(sys.argv[1]) as f:
         data = json.load(f)
+    ctx = data.get("context", {})
+    if (ctx.get("dmst_build_type") or ctx.get("library_build_type")) == "debug":
+        print("refresh: input was recorded against a debug library build — "
+              "rebuild with CMAKE_BUILD_TYPE=Release first (bench_gate.py "
+              "rejects debug baselines)", file=sys.stderr)
+        return 2
     names = {b["name"] for b in data.get("benchmarks", [])}
     for entry in GATE:
         if entry["name"] not in names:

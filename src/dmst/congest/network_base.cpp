@@ -17,7 +17,8 @@ std::size_t Context::n() const
 
 std::uint64_t Context::round() const
 {
-    return net_->logical_round_;
+    return net_->round_by_vertex_ ? net_->round_by_vertex_[vertex_]
+                                  : net_->logical_round_;
 }
 
 std::uint64_t Context::virtual_time() const

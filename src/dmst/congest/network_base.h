@@ -455,6 +455,12 @@ protected:
     // Context::round(); maintained by the engines instead of divided out
     // of round_ (round() is on the per-vertex-per-round hot path).
     std::uint64_t logical_round_ = 0;
+    // Per-vertex override of Context::round(), for engines whose vertices
+    // run at different logical rounds concurrently (the sharded async
+    // engine: a single logical_round_ would be both wrong across shards
+    // and a data race). Null on the lock-step engines — round() then pays
+    // one pointer test, like the trace hook.
+    const std::uint64_t* round_by_vertex_ = nullptr;
     std::vector<std::vector<std::uint16_t>> link_delay_;
     std::vector<std::vector<std::uint16_t>> link_cap_;
     std::uint64_t round_ = 0;

@@ -129,7 +129,7 @@ void TraceRecorder::instant(VertexId v, TracePhase phase, std::int64_t level)
     Shard& sh = shards_[shard_index(v)];
     SpanCell& cell = sh.cells[cell_for(sh, phase, level)];
     ++cell.instants;
-    cell.touch(now_round_, now_tick_, now_vtime_);
+    cell.touch(sh.now_round, sh.now_tick, sh.now_vtime);
 }
 
 std::shared_ptr<const TraceTable> TraceRecorder::finalize(

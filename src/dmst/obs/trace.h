@@ -135,14 +135,29 @@ public:
 
     // Engine clock, read by every subsequent event: the logical round,
     // the substrate tick, and the async virtual time of the current
-    // activation. Written by the coordinator between phases (lock-step)
-    // or before each pulse (async).
+    // activation. The clock is kept per shard so shards running at
+    // different logical rounds (the sharded async engine) stay exact and
+    // race-free. set_now writes every shard — coordinator-only, between
+    // phases (the lock-step engines' single global clock); set_now_for
+    // writes only the shard owning `v` — worker-safe, before each pulse
+    // (the async engine's per-vertex clock).
     void set_now(std::uint64_t logical_round, std::uint64_t tick,
                  std::uint64_t vtime)
     {
-        now_round_ = logical_round;
-        now_tick_ = tick;
-        now_vtime_ = vtime;
+        for (Shard& sh : shards_) {
+            sh.now_round = logical_round;
+            sh.now_tick = tick;
+            sh.now_vtime = vtime;
+        }
+    }
+
+    void set_now_for(VertexId v, std::uint64_t logical_round,
+                     std::uint64_t tick, std::uint64_t vtime)
+    {
+        Shard& sh = shards_[shard_index(v)];
+        sh.now_round = logical_round;
+        sh.now_tick = tick;
+        sh.now_vtime = vtime;
     }
 
     void span_begin(VertexId v, TracePhase phase, std::int64_t level) override;
@@ -156,7 +171,7 @@ public:
         SpanCell& cell = sh.cells[stack.empty() ? kInitCell : stack.back()];
         ++cell.messages;
         cell.words += words;
-        cell.touch(now_round_, now_tick_, now_vtime_);
+        cell.touch(sh.now_round, sh.now_tick, sh.now_vtime);
         sh.tags.add(tag, words);
     }
 
@@ -174,6 +189,10 @@ private:
         std::vector<std::uint64_t> keys;  // parallel to cells
         std::unordered_map<std::uint64_t, std::uint32_t> index;
         TagHistogram tags;
+        // Shard-local engine clock (see set_now / set_now_for).
+        std::uint64_t now_round = 0;
+        std::uint64_t now_tick = 0;
+        std::uint64_t now_vtime = 0;
     };
 
     static constexpr std::uint32_t kInitCell = 0;
@@ -191,9 +210,6 @@ private:
     std::vector<Shard> shards_;
     std::vector<int> shard_of_;  // empty = everything on shard 0
     std::vector<std::vector<std::uint32_t>> stack_;  // per-vertex open spans
-    std::uint64_t now_round_ = 0;
-    std::uint64_t now_tick_ = 0;
-    std::uint64_t now_vtime_ = 0;
 };
 
 // RAII span for driver code: opens (phase, level) on the context's vertex

@@ -11,17 +11,13 @@ namespace dmst {
 
 namespace {
 
-// Domain-separation constant of the per-message delay stream.
+// Domain-separation constant of the per-event delay stream.
 constexpr std::uint64_t kDelayStream = 0x64656c617921000bULL;
 
 }  // namespace
 
-bool AsyncNetwork::event_after(const Event& a, const Event& b)
-{
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-}
-
-AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config)
+AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
+                           int shard_override)
     : NetworkBase(g, config), sync_(g)
 {
     DMST_ASSERT_MSG(!config_.conditioner.enabled(),
@@ -29,46 +25,84 @@ AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config)
                     "async engine (its delay model subsumes the latency axis)");
     if (config_.async.max_delay < 1)
         throw std::invalid_argument("async max_delay must be >= 1");
+
+    threads_ = resolve_threads(config_.threads);
+    shards_ = shard_override > 0 ? shard_override : threads_;
+    // Event::owner routes pool slots back to their shard in one byte.
+    DMST_ASSERT_MSG(shards_ <= 256, "async engine supports at most 256 shards");
+
     const std::size_t n = graph_.vertex_count();
+    bounds_.resize(static_cast<std::size_t>(shards_) + 1);
+    for (int s = 0; s <= shards_; ++s)
+        bounds_[s] = static_cast<VertexId>(
+            n * static_cast<std::size_t>(s) / static_cast<std::size_t>(shards_));
+
+    shard_of_.resize(n);
+    for (int s = 0; s < shards_; ++s)
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            shard_of_[v] = s;
+
+    shard_states_.reserve(static_cast<std::size_t>(shards_));
+    for (int s = 0; s < shards_; ++s) {
+        shard_states_.emplace_back(config_.async.max_delay);
+        ShardState& st = shard_states_.back();
+        st.freed.resize(static_cast<std::size_t>(shards_));
+        if (config_.record_per_edge)
+            st.edge_hist.assign(graph_.edge_count(), 0);
+    }
+    merge_cursor_.assign(static_cast<std::size_t>(shards_), 0);
+
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+
+    // Per-shard trace tables: each worker records into its own shard's
+    // cells (routed by shard_of_), folded at finalize only — the same
+    // no-synchronization discipline as the counter deltas.
+    if (trace_)
+        trace_->set_sharding(shards_, shard_of_);
+
     inbox_store_.resize(n);
-    done_cache_.assign(n, false);
+    done_cache_.assign(n, 0);
+    touch_stamp_.assign(n, 0);
+    vertex_level_.assign(n, 0);
+    round_by_vertex_ = vertex_level_.data();
     send_seq_.resize(n);
     for (VertexId v = 0; v < n; ++v)
         send_seq_[v].assign(graph_.degree(v), 0);
 }
 
-void AsyncNetwork::push_event(Event&& ev)
+bool AsyncNetwork::wheel_queue() const
 {
-    ev.seq = event_seq_++;
-    heap_.push_back(std::move(ev));
-    std::push_heap(heap_.begin(), heap_.end(), event_after);
+    return shard_states_.front().queue.wheel();
 }
 
-AsyncNetwork::Event AsyncNetwork::pop_event()
-{
-    std::pop_heap(heap_.begin(), heap_.end(), event_after);
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    return ev;
-}
-
-int AsyncNetwork::delay_draw()
+int AsyncNetwork::delay_draw(std::uint64_t seq) const
 {
     const std::uint64_t draw = LinkConditioner::mix(
-        config_.async.event_seed ^ LinkConditioner::mix(kDelayStream ^ delay_ctr_++));
+        config_.async.event_seed ^ LinkConditioner::mix(kDelayStream ^ seq));
     return 1 + static_cast<int>(
                    draw % static_cast<std::uint64_t>(config_.async.max_delay));
 }
 
-void AsyncNetwork::refresh_done(VertexId v)
+void AsyncNetwork::run_phase(const std::function<void(int)>& phase)
 {
-    const bool now_done = processes_[v]->done();
-    if (now_done != done_cache_[v]) {
-        done_cache_[v] = now_done;
-        if (now_done)
-            --not_done_;
-        else
-            ++not_done_;
+    if (pool_) {
+        pool_->run_jobs(shards_, phase);
+    } else {
+        for (int s = 0; s < shards_; ++s)
+            phase(s);
+    }
+}
+
+void AsyncNetwork::rethrow_shard_error()
+{
+    for (int s = 0; s < shards_; ++s) {
+        if (shard_states_[s].error) {
+            std::exception_ptr err = shard_states_[s].error;
+            for (auto& st : shard_states_)
+                st.error = nullptr;
+            std::rethrow_exception(err);
+        }
     }
 }
 
@@ -79,178 +113,308 @@ void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
     if (trace_)
         trace_->on_send(from, msg.tag, size);
 
+    ShardState& st = shard_states_[static_cast<std::size_t>(shard_of_[from])];
     Event ev;
-    ev.time = now_ + static_cast<std::uint64_t>(delay_draw());
     ev.kind = EventKind::Payload;
     ev.target = graph_.neighbor(from, port);
     ev.port = static_cast<std::uint32_t>(reverse_port(from, port));
     ev.sender = from;
     ev.level = sync_.pulse(from);
     ev.link_seq = send_seq_[from][port]++;
-    ev.msg = std::move(msg);
+    ev.owner = static_cast<std::uint8_t>(shard_of_[from]);
+    ev.payload = st.pool.acquire(std::move(msg));
 
-    if (config_.record_per_edge)
-        ++stats_.messages_per_edge[graph_.edge_id(from, port)];
+    if (config_.record_per_edge) {
+        const EdgeId e = graph_.edge_id(from, port);
+        if (st.edge_hist[e]++ == 0)
+            st.touched_edges.push_back(e);
+    }
     sync_.note_send(from);
-    ++in_flight_;  // unconsumed until the receiver's matching pulse
-    ++pulse_sends_;
-    stats_.messages += 1;
-    stats_.words += size;
-    push_event(std::move(ev));
+    ++st.in_flight;  // unconsumed until the receiver's matching pulse
+    ++st.pulse_sends;
+    st.messages += 1;
+    st.words += size;
+    st.staged_pulse.push_back(ev);
 }
 
-void AsyncNetwork::announce_safe(VertexId v)
+void AsyncNetwork::stage_safe(VertexId v, ShardState& st,
+                              std::vector<Event>& staged, std::uint64_t key)
 {
     const std::uint64_t level = sync_.pulse(v);
     for (std::size_t p = 0; p < graph_.degree(v); ++p) {
         Event ev;
-        ev.time = now_ + static_cast<std::uint64_t>(delay_draw());
         ev.kind = EventKind::Safe;
         ev.target = graph_.neighbor(v, p);
         ev.level = level;
-        push_event(std::move(ev));
+        ev.seq = key;
+        staged.push_back(ev);
     }
-    stats_.sync_messages += graph_.degree(v);
-    stats_.sync_words += graph_.degree(v);
+    st.sync_messages += graph_.degree(v);
+    st.sync_words += graph_.degree(v);
 }
 
-void AsyncNetwork::execute_pulse(VertexId v)
+void AsyncNetwork::touch(VertexId v, ShardState& st)
+{
+    if (touch_stamp_[v] != step_stamp_) {
+        touch_stamp_[v] = step_stamp_;
+        st.touched.push_back(v);
+    }
+}
+
+void AsyncNetwork::apply(Event& ev, ShardState& st)
+{
+    switch (ev.kind) {
+        case EventKind::Payload: {
+            sync_.buffer_payload(
+                ev.target, ev.level,
+                AsyncIncoming{ev.port, ev.link_seq, ev.owner, ev.payload});
+            // Acknowledge the link-level delivery back to the sender;
+            // merged after the barrier keyed by this payload's seq.
+            Event ack;
+            ack.kind = EventKind::Ack;
+            ack.target = ev.sender;
+            ack.level = ev.level;
+            ack.seq = ev.seq;
+            st.sync_messages += 1;
+            st.sync_words += 1;
+            st.staged_apply.push_back(ack);
+            break;
+        }
+        case EventKind::Ack:
+            if (sync_.note_ack(ev.target))
+                stage_safe(ev.target, st, st.staged_apply, ev.seq);
+            break;
+        case EventKind::Safe:
+            sync_.note_safe(ev.target, ev.level);
+            break;
+    }
+    touch(ev.target, st);
+}
+
+void AsyncNetwork::execute_pulse(VertexId v, ShardState& st)
 {
     const std::uint64_t level = sync_.pulse(v) + 1;
     reset_round_words(v);
     std::fill(send_seq_[v].begin(), send_seq_[v].end(), 0);
 
-    // Canonical inbox: the consumed tag's payloads in (port, link order).
-    sync_.begin_pulse(v, pulse_scratch_);
+    // Canonical inbox: the consumed tag's payloads in (port, link order),
+    // moved out of their pool slots; the slots return to their owning
+    // shard at the merge barrier.
+    sync_.begin_pulse(v, st.scratch);
     std::vector<Incoming>& store = inbox_store_[v];
-    if (store.size() < pulse_scratch_.size())
-        store.resize(pulse_scratch_.size());
-    for (std::size_t i = 0; i < pulse_scratch_.size(); ++i) {
-        store[i].port = pulse_scratch_[i].port;
-        store[i].msg = std::move(pulse_scratch_[i].msg);
+    if (store.size() < st.scratch.size())
+        store.resize(st.scratch.size());
+    for (std::size_t i = 0; i < st.scratch.size(); ++i) {
+        const AsyncIncoming& in = st.scratch[i];
+        store[i].port = in.port;
+        store[i].msg = std::move(*in.payload);
+        st.freed[in.owner].push_back(in.payload);
     }
-    inbox_span_[v] = InboxSpan{store.data(), pulse_scratch_.size()};
-    DMST_ASSERT(in_flight_ >= pulse_scratch_.size());
-    in_flight_ -= pulse_scratch_.size();
+    inbox_span_[v] = InboxSpan{store.data(), st.scratch.size()};
+    st.in_flight -= static_cast<std::int64_t>(st.scratch.size());
 
-    logical_round_ = level;  // Context::round() during this activation
+    vertex_level_[v] = level;  // Context::round() during this activation
     // Trace clock: the async engine's tick is the pulse level itself, and
     // the virtual time is the clock at activation (sends within a pulse
     // do not advance it). Logical rounds match the lock-step engines —
     // the basis of tri-engine trace parity.
     if (trace_)
-        trace_->set_now(level, level, now_);
-    pulse_sends_ = 0;
+        trace_->set_now_for(v, level, level, now_);
+    st.pulse_sends = 0;
     Context ctx = context_for(v);
     processes_[v]->on_round(ctx);
-    refresh_done(v);
+    const bool now_done = processes_[v]->done();
+    if (now_done != (done_cache_[v] != 0)) {
+        done_cache_[v] = now_done ? 1 : 0;
+        st.not_done += now_done ? -1 : 1;
+    }
+    st.pulses.push_back(PulseRec{level, st.pulse_sends});
 
-    max_level_ = std::max(max_level_, level);
-    if (config_.record_per_round) {
-        if (stats_.messages_per_round.size() < level)
-            stats_.messages_per_round.resize(level, 0);
-        stats_.messages_per_round[level - 1] += pulse_sends_;
+    if (sync_.note_pulse_sends_done(v))
+        stage_safe(v, st, st.staged_pulse, 0);
+}
+
+void AsyncNetwork::apply_shard(int s)
+{
+    ShardState& st = shard_states_[static_cast<std::size_t>(s)];
+    try {
+        st.due.clear();
+        if (!st.queue.empty() && st.queue.next_time() == now_) {
+            st.queue.pop_due(now_, st.due);
+            st.events += st.due.size();
+            for (Event& ev : st.due)
+                apply(ev, st);
+        } else {
+            // Idle this timestamp: advance anyway so the wheel window
+            // stays anchored at the global clock.
+            st.queue.advance_to(now_);
+        }
+    } catch (...) {
+        st.error = std::current_exception();
+    }
+}
+
+void AsyncNetwork::pulse_shard(int s)
+{
+    ShardState& st = shard_states_[static_cast<std::size_t>(s)];
+    try {
+        // Ascending id keeps the staged-send order canonical; the while
+        // loop covers a pulse whose immediate safety (no sends) re-enables
+        // the next one against already-held SAFEs.
+        std::sort(st.touched.begin(), st.touched.end());
+        for (VertexId v : st.touched)
+            while (sync_.ready(v))
+                execute_pulse(v, st);
+    } catch (...) {
+        st.error = std::current_exception();
+    }
+}
+
+void AsyncNetwork::epoch_shard(int s)
+{
+    ShardState& st = shard_states_[static_cast<std::size_t>(s)];
+    try {
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
+            execute_pulse(v, st);
+    } catch (...) {
+        st.error = std::current_exception();
+    }
+}
+
+void AsyncNetwork::schedule(Event&& ev)
+{
+    ev.seq = event_seq_++;
+    ev.time = now_ + static_cast<std::uint64_t>(delay_draw(ev.seq));
+    shard_states_[static_cast<std::size_t>(shard_of_[ev.target])].queue.push(
+        std::move(ev));
+}
+
+void AsyncNetwork::merge_barrier()
+{
+    // Fold every shard's counter deltas and pulse records; return freed
+    // pool slots to their owners.
+    for (ShardState& st : shard_states_) {
+        stats_.messages += st.messages;
+        stats_.words += st.words;
+        stats_.sync_messages += st.sync_messages;
+        stats_.sync_words += st.sync_words;
+        stats_.events += st.events;
+        st.messages = st.words = st.sync_messages = st.sync_words =
+            st.events = 0;
+        DMST_ASSERT(st.in_flight >= 0 ||
+                    in_flight_ >= static_cast<std::uint64_t>(-st.in_flight));
+        in_flight_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(in_flight_) + st.in_flight);
+        st.in_flight = 0;
+        not_done_ = static_cast<std::size_t>(
+            static_cast<std::int64_t>(not_done_) + st.not_done);
+        st.not_done = 0;
+
+        for (const PulseRec& rec : st.pulses) {
+            max_level_ = std::max(max_level_, rec.level);
+            // level_count_ is a sliding window anchored one past
+            // completed_levels_ (every pulse is above it: a vertex's next
+            // level exceeds every fully completed one). The window span is
+            // the live level skew — bounded — so once warm this never
+            // reallocates.
+            const std::size_t off =
+                static_cast<std::size_t>(rec.level - completed_levels_ - 1);
+            if (level_count_.size() <= off)
+                level_count_.resize(off + 1, 0);
+            ++level_count_[off];
+            if (config_.record_per_round) {
+                if (stats_.messages_per_round.size() < rec.level)
+                    stats_.messages_per_round.resize(rec.level, 0);
+                stats_.messages_per_round[rec.level - 1] += rec.sends;
+            }
+        }
+        st.pulses.clear();
+        st.touched.clear();
+
+        for (EdgeId e : st.touched_edges) {
+            stats_.messages_per_edge[e] += st.edge_hist[e];
+            st.edge_hist[e] = 0;
+        }
+        st.touched_edges.clear();
+
+        for (std::size_t o = 0; o < st.freed.size(); ++o) {
+            for (Message* slot : st.freed[o])
+                shard_states_[o].pool.release(slot);
+            st.freed[o].clear();
+        }
+    }
+
+    // Canonical schedule assignment. Apply-phase spawns (ACKs, SAFE fans)
+    // merge across shards by their causing event's seq — each shard's list
+    // is already ascending (events were applied in seq order), and cause
+    // seqs are globally unique, so this k-way merge reproduces one global
+    // order no matter how vertices are sharded. Pulse-phase spawns follow
+    // in sender-id order: shards are contiguous ascending id ranges, so
+    // concatenation is canonical. Every event then draws its delay from
+    // the stream keyed by its own canonical seq.
+    std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+    for (;;) {
+        int best = -1;
+        std::uint64_t best_key = 0;
+        for (int s = 0; s < shards_; ++s) {
+            const std::vector<Event>& staged =
+                shard_states_[static_cast<std::size_t>(s)].staged_apply;
+            const std::size_t cur = merge_cursor_[static_cast<std::size_t>(s)];
+            if (cur < staged.size() &&
+                (best < 0 || staged[cur].seq < best_key)) {
+                best = s;
+                best_key = staged[cur].seq;
+            }
+        }
+        if (best < 0)
+            break;
+        ShardState& st = shard_states_[static_cast<std::size_t>(best)];
+        schedule(std::move(
+            st.staged_apply[merge_cursor_[static_cast<std::size_t>(best)]++]));
+    }
+    for (ShardState& st : shard_states_) {
+        st.staged_apply.clear();
+        for (Event& ev : st.staged_pulse)
+            schedule(std::move(ev));
+        st.staged_pulse.clear();
     }
 
     // Level accounting: completed_levels_ advances once every vertex has
     // executed the level (pulses are consecutive per vertex, so the
-    // lowest incomplete slot gates all later ones).
-    const std::size_t off =
-        static_cast<std::size_t>(level - sync_.base_level() - 1);
-    if (level_count_.size() <= off)
-        level_count_.resize(off + 1, 0);
-    if (++level_count_[off] == graph_.vertex_count()) {
-        std::size_t done_off = completed_levels_ - sync_.base_level();
-        while (done_off < level_count_.size() &&
-               level_count_[done_off] == graph_.vertex_count()) {
-            ++completed_levels_;
-            ++done_off;
-        }
+    // lowest incomplete slot gates all later ones). Completed slots slide
+    // out of the window — a shift, never a reallocation.
+    std::size_t done = 0;
+    while (done < level_count_.size() &&
+           level_count_[done] == graph_.vertex_count())
+        ++done;
+    if (done > 0) {
+        completed_levels_ += done;
+        level_count_.erase(level_count_.begin(),
+                           level_count_.begin() +
+                               static_cast<std::ptrdiff_t>(done));
     }
 
-    if (sync_.note_pulse_sends_done(v))
-        announce_safe(v);
-}
-
-void AsyncNetwork::try_advance(VertexId v)
-{
-    for (;;) {
-        if (!sync_.ready(v))
-            return;
-        if (looks_quiescent()) {
-            // The network may be done; freezing here keeps already-final
-            // processes from running extra (inert) pulses and lets the
-            // queue drain. If some straggler breaks the quiescent look,
-            // dispatch() releases the parked set.
-            if (!parked_flag_[v]) {
-                parked_flag_[v] = true;
-                parked_.push_back(v);
-            }
-            return;
-        }
-        execute_pulse(v);
-    }
-}
-
-void AsyncNetwork::drain_parked()
-{
-    while (!parked_.empty() && !looks_quiescent()) {
-        // Release in vertex-id order for a deterministic schedule.
-        auto it = std::min_element(parked_.begin(), parked_.end());
-        VertexId v = *it;
-        *it = parked_.back();
-        parked_.pop_back();
-        parked_flag_[v] = false;
-        try_advance(v);
-    }
-}
-
-void AsyncNetwork::dispatch(Event&& ev)
-{
-    DMST_ASSERT(ev.time >= now_);
-    now_ = ev.time;
-    ++stats_.events;
-    stats_.virtual_time = now_;
-    switch (ev.kind) {
-        case EventKind::Payload: {
-            sync_.buffer_payload(
-                ev.target, ev.level,
-                AsyncIncoming{ev.port, ev.link_seq, std::move(ev.msg)});
-            // Acknowledge the link-level delivery back to the sender.
-            Event ack;
-            ack.time = now_ + static_cast<std::uint64_t>(delay_draw());
-            ack.kind = EventKind::Ack;
-            ack.target = ev.sender;
-            ack.level = ev.level;
-            stats_.sync_messages += 1;
-            stats_.sync_words += 1;
-            push_event(std::move(ack));
-            break;
-        }
-        case EventKind::Ack:
-            if (sync_.note_ack(ev.target))
-                announce_safe(ev.target);
-            try_advance(ev.target);
-            break;
-        case EventKind::Safe:
-            sync_.note_safe(ev.target, ev.level);
-            try_advance(ev.target);
-            break;
-    }
-    drain_parked();
+    // The lock-step quiescence predicate, evaluated only here so it is a
+    // function of folded (schedule-determined) state: once latched, pulse
+    // phases stop and the synchronizer's residual ACK/SAFE traffic drains.
+    // It cannot unflip within an epoch — only pulses change either count.
+    if (!quiescent_ && not_done_ == 0 && in_flight_ == 0)
+        quiescent_ = true;
 }
 
 void AsyncNetwork::start_epoch()
 {
+    DMST_ASSERT_MSG(in_flight_ == 0,
+                    "epoch started with unconsumed payloads in flight");
     sync_.start_epoch(max_level_);
     completed_levels_ = max_level_;
     level_count_.clear();
-    parked_.clear();
-    parked_flag_.assign(graph_.vertex_count(), false);
     // Every vertex fires the epoch's first pulse at the current virtual
-    // time, in id order — the async analogue of lock-step round base+1.
-    for (VertexId v = 0; v < graph_.vertex_count(); ++v)
-        execute_pulse(v);
+    // time, in id order (shard concatenation = ascending id) — the async
+    // analogue of lock-step round base+1.
+    run_phase([this](int s) { epoch_shard(s); });
+    rethrow_shard_error();
+    merge_barrier();
 }
 
 bool AsyncNetwork::step()
@@ -262,21 +426,33 @@ bool AsyncNetwork::step()
         // synchronizer epoch re-aligned at the current top level.
         not_done_ = 0;
         for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
-            done_cache_[v] = processes_[v]->done();
+            done_cache_[v] = processes_[v]->done() ? 1 : 0;
             if (!done_cache_[v])
                 ++not_done_;
         }
-        if (looks_quiescent())
+        if (not_done_ == 0 && in_flight_ == 0)
             return false;
         started_ = true;
         terminated_ = false;
+        quiescent_ = false;
         start_epoch();
     }
 
     const std::uint64_t target = completed_levels_ + 1;
     while (!terminated_ && completed_levels_ < target) {
-        if (heap_.empty()) {
-            if (looks_quiescent()) {
+        // The earliest pending timestamp across every shard's queue.
+        std::uint64_t t = 0;
+        bool any = false;
+        for (ShardState& st : shard_states_) {
+            if (st.queue.empty())
+                continue;
+            const std::uint64_t nt = st.queue.next_time();
+            if (!any || nt < t)
+                t = nt;
+            any = true;
+        }
+        if (!any) {
+            if (quiescent_) {
                 terminated_ = true;
                 break;
             }
@@ -284,7 +460,16 @@ bool AsyncNetwork::step()
                 "async engine deadlock: event queue drained while the "
                 "network is not quiescent");
         }
-        dispatch(pop_event());
+        DMST_ASSERT(t > now_);
+        now_ = t;
+        ++step_stamp_;
+        run_phase([this](int s) { apply_shard(s); });
+        rethrow_shard_error();
+        if (!quiescent_) {
+            run_phase([this](int s) { pulse_shard(s); });
+            rethrow_shard_error();
+        }
+        merge_barrier();
     }
 
     round_ = max_level_;

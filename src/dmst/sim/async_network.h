@@ -2,20 +2,25 @@
 #define DMST_SIM_ASYNC_NETWORK_H
 
 #include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "dmst/congest/network_base.h"
+#include "dmst/congest/payload_pool.h"
+#include "dmst/sim/event_queue.h"
 #include "dmst/sim/synchronizer.h"
+#include "dmst/sim/thread_pool.h"
 
 namespace dmst {
 
 // Event-driven asynchronous engine (--engine=async): the third NetworkBase
-// backend. There is no global barrier and no lock-step round loop — a
-// seeded priority event queue drives execution, every message (protocol
-// payload, synchronizer ACK, synchronizer SAFE) travels with an
-// independent integer delay hashed from [1, config.async.max_delay], and a
-// vertex is activated per-event, exactly when the α-synchronizer
-// (sim/synchronizer.h) says its next logical pulse may fire.
+// backend. There is no global lock-step round loop — seeded event queues
+// drive execution, every message (protocol payload, synchronizer ACK,
+// synchronizer SAFE) travels with an independent integer delay hashed from
+// [1, config.async.max_delay], and a vertex is activated exactly when the
+// α-synchronizer (sim/synchronizer.h) says its next logical pulse may fire.
 //
 // Exactness contract. A vertex's pulse p consumes exactly the payloads its
 // neighbors sent during their pulse p-1, sorted into the canonical
@@ -23,23 +28,56 @@ namespace dmst {
 // Context::round() reports p during the activation — so every protocol's
 // state evolution, payload message counts, and outputs (MST edges,
 // verification verdicts) are bit-identical to the serial engine, for every
-// (max_delay, event_seed) point. What differs, deterministically per seed:
-// RunStats::events, ::virtual_time, ::sync_messages/::sync_words (the
-// synchronizer overhead), and the real-time interleaving of activations.
+// (max_delay, event_seed, threads) point. What differs, deterministically
+// per seed: RunStats::events, ::virtual_time, ::sync_messages/::sync_words
+// (the synchronizer overhead), and the real-time interleaving of
+// activations.
 //
-// Determinism. Delays are drawn from a SplitMix64 stream keyed by
-// (event_seed, draw index); ties in delivery time break by scheduling
-// order. Nothing reads wall clock or container state, so a (graph, seed)
-// pair replays the identical event sequence — the determinism fuzz pins
-// bit-identical RunStats across repeated runs.
+// Execution model: time-stepped conservative parallel discrete-event
+// simulation. Because every delay is >= 1, an event processed at virtual
+// time t can only schedule events at t+1 or later — one full timestamp of
+// lookahead — so the engine advances in batches: pick the earliest
+// timestamp t across every shard's queue, then
 //
-// Termination. The engine parks a vertex whose next pulse is due while the
-// network looks quiescent (every process done, no payload unconsumed) —
-// the same global predicate the lock-step engines' quiescence check is —
-// and declares the run over when the event queue drains in that state.
-// Without the parking rule the synchronizer's SAFE waves would pulse
-// forever. A queue that drains while the network is NOT quiescent is a
-// protocol deadlock and throws. Drivers that re-kick processes after
+//   1. apply phase (parallel): each shard drains its due batch in seq
+//      order — payload arrivals buffer into the synchronizer and stage the
+//      link-level ACK, ACKs advance the safety state and stage SAFE fans,
+//      SAFEs advance the readiness state;
+//   2. pulse phase (parallel): each shard activates its vertices whose
+//      next pulse became ready, in ascending id, staging their sends;
+//   3. merge barrier (coordinator): staged events get canonical global
+//      sequence numbers — apply-phase spawns ordered by their causing
+//      event's seq, pulse-phase spawns by sender id — each draws its delay
+//      from the seeded stream keyed by that seq, and lands in its target
+//      shard's queue; counters fold.
+//
+// Determinism under sharding. The canonical merge order is a function of
+// the schedule alone, not of the shard partition or worker count, and
+// same-timestamp operations on distinct vertices commute (per-vertex
+// synchronizer state; payload consumption is sorted canonically), so the
+// entire event schedule — and with it every RunStats counter, including
+// events, virtual_time, and the sync traffic — is bit-identical across
+// --threads values, for every (max_delay, event_seed) point. Nothing
+// reads wall clock, so a (graph, seed) pair also replays identically
+// run-to-run; the invariance fuzz pins both properties.
+//
+// Datapath: each shard owns an EventQueue (sim/event_queue.h — a timing
+// wheel exploiting the bounded-delay window, heap fallback past
+// EventQueue::kWheelMaxDelay) and a PayloadPool (congest/payload_pool.h) —
+// payloads are moved into a pool slot once at send and travel as 8-byte
+// handles; queue and synchronizer traffic never move a Message. All
+// staging, queue, and pool storage is grow-only, so the traced steady
+// state performs zero per-event heap allocations
+// (tests/test_substrate_alloc.cpp).
+//
+// Termination. Once a merge barrier observes the lock-step quiescence
+// predicate (every process done, no payload unconsumed) the engine latches
+// quiescent_: pulse phases stop (the analogue of the lock-step engines not
+// scheduling another round), the remaining ACK/SAFE traffic drains, and
+// the run is over when every queue is empty. The latch cannot unflip
+// within an epoch — both not-done and in-flight counts only change inside
+// pulse phases. A queue set that drains while the network is NOT quiescent
+// is a protocol deadlock and throws. Drivers that re-kick processes after
 // quiescence (sync Borůvka's phase oracle) resume the engine; each resume
 // starts a new synchronizer epoch re-aligned to a common base level.
 //
@@ -52,7 +90,11 @@ namespace dmst {
 // by logical level and matches the serial trace exactly.
 class AsyncNetwork : public NetworkBase {
 public:
-    AsyncNetwork(const WeightedGraph& g, NetConfig config);
+    // Worker count comes from config.threads (0 = hardware concurrency).
+    // shard_override forces a shard count different from the worker count;
+    // results do not depend on it (tests sweep it to prove that).
+    AsyncNetwork(const WeightedGraph& g, NetConfig config,
+                 int shard_override = 0);
 
     // Advances the event simulation until at least one more pulse level
     // completes on every vertex (the async analogue of one synchronous
@@ -64,6 +106,12 @@ public:
     // Completed levels: every vertex has executed this many pulses.
     std::uint64_t completed_levels() const { return completed_levels_; }
 
+    int threads() const { return threads_; }
+    int shards() const { return shards_; }
+    // Whether the shard queues run in timing-wheel mode (max_delay within
+    // EventQueue::kWheelMaxDelay) or fell back to the binary heap.
+    bool wheel_queue() const;
+
 protected:
     void send_from(VertexId from, std::size_t port, Message&& msg) override;
 
@@ -72,64 +120,116 @@ private:
 
     struct Event {
         std::uint64_t time = 0;
-        std::uint64_t seq = 0;  // scheduling order, the deterministic tie-break
-        EventKind kind = EventKind::Payload;
+        // Canonical global schedule order, assigned at the merge barrier;
+        // the tie-break within a timestamp. Between staging and the
+        // barrier the field holds the merge key instead: the seq of the
+        // causing event (apply-phase spawns) or 0 (pulse-phase spawns,
+        // merged in sender-id order).
+        std::uint64_t seq = 0;
+        std::uint64_t level = 0;     // payload tag / ACK level / SAFE level
+        Message* payload = nullptr;  // pool slot; Payload events only
         VertexId target = 0;
-        // Payload: arrival port, sender (for the ACK), tag = sender pulse,
-        // link_seq = send order on the link within that pulse.
-        std::uint32_t port = 0;
-        VertexId sender = 0;
-        std::uint64_t level = 0;  // payload tag / ACK level / SAFE level
-        std::uint32_t link_seq = 0;
-        Message msg;
+        VertexId sender = 0;         // Payload: for the ACK return
+        std::uint32_t port = 0;      // Payload: arrival port at the target
+        std::uint32_t link_seq = 0;  // Payload: send order on the link
+        EventKind kind = EventKind::Payload;
+        std::uint8_t owner = 0;      // Payload: shard owning the pool slot
     };
 
-    // Min-heap on (time, seq) over a reusable vector; event_after is the
-    // single ordering predicate behind the deterministic schedule.
-    static bool event_after(const Event& a, const Event& b);
-    void push_event(Event&& ev);
-    Event pop_event();
+    // One executed pulse, folded into the level/trace accounting at the
+    // merge barrier.
+    struct PulseRec {
+        std::uint64_t level = 0;
+        std::uint64_t sends = 0;
+    };
 
-    int delay_draw();
+    // Per-shard scratch, cache-line separated: only the owning worker
+    // touches it during a phase; the coordinator merges between phases.
+    struct alignas(64) ShardState {
+        explicit ShardState(int max_delay) : queue(max_delay) {}
 
+        EventQueue<Event> queue;
+        PayloadPool pool;
+        std::vector<Event> due;        // pop_due batch of the current step
+        std::vector<Event> staged_apply;  // spawns keyed by causing seq
+        std::vector<Event> staged_pulse;  // spawns in sender-id order
+        std::vector<std::vector<Message*>> freed;  // by owning shard
+        std::vector<VertexId> touched;  // targets of this step's arrivals
+        std::vector<PulseRec> pulses;   // pulses executed this step
+        std::vector<AsyncIncoming> scratch;  // begin_pulse out-buffer
+        std::uint64_t pulse_sends = 0;  // sends of the executing pulse
+        std::uint64_t messages = 0;     // counter deltas, folded + zeroed
+        std::uint64_t words = 0;
+        std::uint64_t sync_messages = 0;
+        std::uint64_t sync_words = 0;
+        std::uint64_t events = 0;
+        std::int64_t in_flight = 0;
+        std::int64_t not_done = 0;
+        std::vector<std::uint64_t> edge_hist;  // only if record_per_edge
+        std::vector<EdgeId> touched_edges;     // edges with edge_hist != 0
+        std::exception_ptr error;
+    };
+
+    int delay_draw(std::uint64_t seq) const;
+
+    void run_phase(const std::function<void(int)>& phase);
+    void rethrow_shard_error();
+
+    void apply_shard(int s);
+    void pulse_shard(int s);
+    void epoch_shard(int s);
+    void apply(Event& ev, ShardState& st);
+    void execute_pulse(VertexId v, ShardState& st);
+    void stage_safe(VertexId v, ShardState& st, std::vector<Event>& staged,
+                    std::uint64_t key);
+    void touch(VertexId v, ShardState& st);
+
+    void schedule(Event&& ev);
+    void merge_barrier();
     void start_epoch();
-    void execute_pulse(VertexId v);
-    void announce_safe(VertexId v);
-    void try_advance(VertexId v);
-    void drain_parked();
-    void dispatch(Event&& ev);
-
-    // The lock-step quiescence predicate, O(1): every process done and no
-    // payload unconsumed. in_flight_ counts unconsumed payloads here.
-    bool looks_quiescent() const { return not_done_ == 0 && in_flight_ == 0; }
-    void refresh_done(VertexId v);
 
     AlphaSynchronizer sync_;
-    std::vector<Event> heap_;
+
+    int threads_ = 1;
+    int shards_ = 1;
+    std::vector<VertexId> bounds_;  // size shards_+1; shard s = [b[s], b[s+1])
+    std::vector<int> shard_of_;     // vertex -> owning shard
+    std::vector<ShardState> shard_states_;
+    std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+    std::vector<std::size_t> merge_cursor_;  // barrier k-way merge scratch
+
     std::uint64_t now_ = 0;
-    std::uint64_t event_seq_ = 0;   // scheduling counter (heap tie-break)
-    std::uint64_t delay_ctr_ = 0;   // delay-stream draw index
+    std::uint64_t event_seq_ = 0;   // canonical schedule counter
     std::uint64_t max_level_ = 0;   // highest pulse executed by any vertex
     std::uint64_t completed_levels_ = 0;
-    // Vertices that executed each level past the epoch base, by level
-    // offset; completed_levels_ advances when a slot reaches n.
+    // Sliding window: slot i counts vertices that executed level
+    // completed_levels_ + 1 + i; full slots shift out as
+    // completed_levels_ advances, so the window spans only the live level
+    // skew and its capacity is bounded.
     std::vector<std::size_t> level_count_;
     std::size_t not_done_ = 0;
-    std::vector<bool> done_cache_;
+    // Per-vertex done flag; plain bytes (not vector<bool>) so shards can
+    // write their own vertices' rows concurrently.
+    std::vector<std::uint8_t> done_cache_;
     bool started_ = false;
     bool terminated_ = false;
+    // Latched at a merge barrier when every process is done and nothing is
+    // in flight; pulse phases stop and the queues drain (see class docs).
+    bool quiescent_ = false;
 
-    // Vertices whose pulse came due while the network looked quiescent.
-    std::vector<VertexId> parked_;
-    std::vector<bool> parked_flag_;
+    // Arrival dedup for the pulse phase: touch_stamp_[v] == step_stamp_
+    // marks v as touched this step. Written by v's owning shard only.
+    std::vector<std::uint64_t> touch_stamp_;
+    std::uint64_t step_stamp_ = 0;
 
-    // Payload sends of the pulse currently executing (per-level trace).
-    std::uint64_t pulse_sends_ = 0;
+    // Per-vertex logical level, installed as the Context::round() override
+    // (shards run at different levels concurrently). Written by the owning
+    // shard before each on_round.
+    std::vector<std::uint64_t> vertex_level_;
 
     // Per-vertex inbox storage (grow-only) backing inbox_span_, and the
     // per-(vertex, port) payload send-order counters of the current pulse.
     std::vector<std::vector<Incoming>> inbox_store_;
-    std::vector<AsyncIncoming> pulse_scratch_;
     std::vector<std::vector<std::uint32_t>> send_seq_;
 };
 

@@ -54,7 +54,7 @@ void define_engine_flags(Args& args)
     args.define("engine", "serial",
                 "simulation engine: serial|parallel|async");
     args.define("threads", "0",
-                "parallel engine workers (0 = hardware concurrency)");
+                "parallel/async engine workers (0 = hardware concurrency)");
 }
 
 EngineSelection engine_from_args(const Args& args)

@@ -345,9 +345,13 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                     if (is_async ? !ideal_conditioner : !first_async_point)
                         continue;
                     const std::vector<int> single_run = {1};
-                    const auto& threads_axis = engine == Engine::Parallel
-                                                   ? spec.thread_counts
-                                                   : single_run;
+                    // Both multi-worker engines sweep the thread axis; the
+                    // async engine is bit-exact across worker counts, so
+                    // its threaded cells double as parity probes.
+                    const bool threaded_engine =
+                        engine == Engine::Parallel || is_async;
+                    const auto& threads_axis =
+                        threaded_engine ? spec.thread_counts : single_run;
                     for (int threads : threads_axis) {
                         ScenarioCell cell;
                         cell.algorithm = spec.algorithm;
@@ -363,9 +367,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             cell.event_seed = event_seed;
                         }
                         cell.engine = engine;
-                        cell.threads = engine == Engine::Parallel
-                                           ? resolve_threads(threads)
-                                           : 1;
+                        cell.threads =
+                            threaded_engine ? resolve_threads(threads) : 1;
 
                         auto t0 = std::chrono::steady_clock::now();
                         AlgoRun run = run_algorithm(

@@ -25,8 +25,10 @@ struct ScenarioSpec {
     std::vector<std::size_t> sizes = {256};
     std::vector<int> bandwidths = {1};
     std::vector<Engine> engines = {Engine::Serial};
-    // Worker counts swept for the parallel engine; the serial engine runs
-    // each cell once (threads reported as 1) regardless of this list.
+    // Worker counts swept for the multi-worker engines (parallel and
+    // async); the serial engine runs each cell once (threads reported as
+    // 1) regardless of this list. Async cells are bit-exact across worker
+    // counts, so sweeping them doubles as a determinism probe.
     std::vector<int> thread_counts = {0};
     // Network-conditioner axes (congest/conditioner.h): per-link latency
     // bound, per-link bandwidth caps (0/1), adversarial delivery order
@@ -166,8 +168,9 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 // event_seed, engine, threads) lexicographic grid order. Cells whose axes
 // do not apply to their engine are skipped rather than duplicated:
 // lock-step engines run only at the first (max_delay, event_seed) point,
-// the async engine only at the ideal conditioner point and with a single
-// (threads = 1) run.
+// the async engine only at the ideal conditioner point; the serial engine
+// runs a single (threads = 1) cell while parallel and async sweep the
+// thread axis.
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell = {});
 

@@ -19,8 +19,6 @@ AlphaSynchronizer::AlphaSynchronizer(const WeightedGraph& g)
 
 void AlphaSynchronizer::start_epoch(std::uint64_t base_level)
 {
-    DMST_ASSERT_MSG(buffered_ == 0,
-                    "epoch started with unconsumed payloads in flight");
     base_level_ = base_level;
     for (VertexState& st : state_) {
         st.pulse = base_level;
@@ -39,8 +37,7 @@ void AlphaSynchronizer::buffer_payload(VertexId v, std::uint64_t tag,
     VertexState& st = state_[v];
     DMST_ASSERT_MSG(tag == st.pulse || tag == st.pulse + 1,
                     "payload tag outside the synchronizer skew window");
-    st.buffer[tag & 1].push_back(std::move(in));
-    ++buffered_;
+    st.buffer[tag & 1].push_back(in);
 }
 
 bool AlphaSynchronizer::note_ack(VertexId v)
@@ -93,10 +90,13 @@ void AlphaSynchronizer::begin_pulse(VertexId v, std::vector<AsyncIncoming>& out)
               [](const AsyncIncoming& a, const AsyncIncoming& b) {
                   return a.port != b.port ? a.port < b.port : a.seq < b.seq;
               });
-    out.clear();
-    out.swap(buf);
-    DMST_ASSERT(buffered_ >= out.size());
-    buffered_ -= out.size();
+    // Copy out (16-byte handle records) rather than swapping buffers: a
+    // swap would circulate capacities between vertices of different
+    // degrees through the caller's shared scratch, forcing perpetual
+    // regrowth; this way every vertex's buffer keeps its own high-water
+    // capacity and the steady state never touches the allocator.
+    out.assign(buf.begin(), buf.end());
+    buf.clear();
 
     // The SAFE slot of the consumed level is recycled for level pulse+2.
     st.safe_from[st.pulse & 1] = 0;

@@ -10,14 +10,19 @@
 namespace dmst {
 
 // A payload buffered at its receiver until the receiver's next pulse:
-// arrival port, the sender's per-(pulse, link) send sequence number, and
-// the message itself. Sorting a pulse's buffer by (port, seq) reproduces
-// exactly the lock-step engines' canonical inbox order — by arrival port,
-// ties by send order on the link (one sender per port).
+// arrival port, the sender's per-(pulse, link) send sequence number, and a
+// handle to the message itself — a stable slot in the sending shard's
+// PayloadPool (congest/payload_pool.h), so buffering and the canonical
+// sort move 16-byte records, never a Message. `owner` names the pool the
+// slot must be returned to after consumption. Sorting a pulse's buffer by
+// (port, seq) reproduces exactly the lock-step engines' canonical inbox
+// order — by arrival port, ties by send order on the link (one sender per
+// port).
 struct AsyncIncoming {
     std::uint32_t port = 0;
     std::uint32_t seq = 0;
-    Message msg;
+    std::uint32_t owner = 0;
+    Message* payload = nullptr;
 };
 
 // Acknowledgment-based α-synchronizer bookkeeping [Awerbuch 85]: the
@@ -41,12 +46,18 @@ struct AsyncIncoming {
 // phase oracle) resume the network; each resume starts a new epoch that
 // re-aligns every vertex to the common base level — the same out-of-model
 // global device the lock-step engines' quiescence check already is.
+//
+// Threading: all state is per-vertex and there are no cross-vertex
+// counters, so the sharded engine may drive disjoint vertex sets from
+// different workers concurrently — every method touches only state_[v] of
+// the vertex it is given (plus const graph lookups).
 class AlphaSynchronizer {
 public:
     explicit AlphaSynchronizer(const WeightedGraph& g);
 
     // Re-aligns every vertex to `base_level` and clears all safety and
-    // buffer state. Requires no payload left unconsumed (asserted).
+    // buffer state. Requires no payload left unconsumed (asserted
+    // per-vertex; the engine asserts the global in-flight count).
     void start_epoch(std::uint64_t base_level);
 
     std::uint64_t pulse(VertexId v) const { return state_[v].pulse; }
@@ -97,7 +108,6 @@ private:
     const WeightedGraph& graph_;
     std::vector<VertexState> state_;
     std::uint64_t base_level_ = 0;
-    std::uint64_t buffered_ = 0;  // payloads buffered and not yet consumed
 };
 
 }  // namespace dmst

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "dmst/core/verify_mst.h"
 #include "dmst/exp/workloads.h"
 #include "dmst/seq/mst.h"
+#include "dmst/sim/async_network.h"
 #include "dmst/sim/engine.h"
 #include "dmst/util/rng.h"
 
@@ -195,6 +197,125 @@ TEST(AsyncFuzz, SameSeedReplaysBitIdenticalRunStats)
                 EXPECT_EQ(again.stats.messages_per_edge,
                           first.stats.messages_per_edge);
             }
+        }
+    }
+}
+
+// Sharded execution is bit-exact: every RunStats field — including the
+// schedule-bearing events / virtual_time / sync traffic — and the MST edge
+// set are identical across worker counts, because the canonical merge
+// order and the seq-keyed delay stream are partition-independent.
+TEST(AsyncFuzz, RunStatsBitIdenticalAcrossThreadCounts)
+{
+    const char* algos[] = {"elkin", "pipeline", "boruvka"};
+    int gi = 0;
+    for (const char* family : {"er", "grid", "tree"}) {
+        auto g = make_workload(family, 40, 23);
+        const std::string algo = algos[gi++ % 3];
+        for (std::uint64_t event_seed : kEventSeeds) {
+            AsyncConfig ac;
+            ac.max_delay = 1 + static_cast<int>(event_seed % 5);
+            ac.event_seed = event_seed;
+            auto base = run_algo(algo, g, Engine::Async, ac);
+            for (int threads : {2, 3, 8}) {
+                RunOutput out;
+                if (algo == "elkin") {
+                    ElkinOptions o;
+                    o.engine = Engine::Async;
+                    o.async = ac;
+                    o.threads = threads;
+                    auto r = run_elkin_mst(g, o);
+                    out = {std::move(r.mst_edges), std::move(r.stats)};
+                } else if (algo == "pipeline") {
+                    PipelineMstOptions o;
+                    o.engine = Engine::Async;
+                    o.async = ac;
+                    o.threads = threads;
+                    auto r = run_pipeline_mst(g, o);
+                    out = {std::move(r.mst_edges), std::move(r.stats)};
+                } else {
+                    SyncBoruvkaOptions o;
+                    o.engine = Engine::Async;
+                    o.async = ac;
+                    o.threads = threads;
+                    auto r = run_sync_boruvka(g, o);
+                    out = {std::move(r.mst_edges), std::move(r.stats)};
+                }
+                EXPECT_EQ(out.edges, base.edges)
+                    << family << " " << algo << " threads " << threads;
+                EXPECT_EQ(out.stats.rounds, base.stats.rounds);
+                EXPECT_EQ(out.stats.messages, base.stats.messages);
+                EXPECT_EQ(out.stats.words, base.stats.words);
+                EXPECT_EQ(out.stats.events, base.stats.events)
+                    << family << " " << algo << " threads " << threads;
+                EXPECT_EQ(out.stats.virtual_time, base.stats.virtual_time);
+                EXPECT_EQ(out.stats.sync_messages, base.stats.sync_messages);
+                EXPECT_EQ(out.stats.sync_words, base.stats.sync_words);
+                EXPECT_EQ(out.stats.messages_per_round,
+                          base.stats.messages_per_round);
+            }
+        }
+    }
+}
+
+// Flood used by the shard-override sweep: vertex 0 seeds a token that
+// every vertex forwards once — enough traffic to exercise every event
+// kind on every shard boundary.
+class ShardFlood : public Process {
+public:
+    void on_round(Context& ctx) override
+    {
+        if (ctx.id() == 0 && ctx.round() == 1)
+            heard_ = true;
+        if (!heard_ && !ctx.inbox().empty())
+            heard_ = true;
+        if (heard_ && !forwarded_) {
+            for (std::size_t p = 0; p < ctx.degree(); ++p)
+                ctx.send(p, Message{1, {}});
+            forwarded_ = true;
+        }
+    }
+
+    bool done() const override { return forwarded_; }
+
+private:
+    bool heard_ = false;
+    bool forwarded_ = false;
+};
+
+// The shard partition (decoupled from the worker count via the test-only
+// override) must not show up in any output either — including with more
+// shards than workers, and degenerate single-vertex shards.
+TEST(AsyncFuzz, ShardOverrideInvariance)
+{
+    auto g = make_workload("er", 24, 83);
+    NetConfig config;
+    config.engine = Engine::Async;
+    config.record_per_edge = true;
+    config.async.max_delay = 3;
+    config.async.event_seed = 58;
+
+    auto flood = [&](int threads, int shards) {
+        NetConfig c = config;
+        c.threads = threads;
+        AsyncNetwork net(g, c, shards);
+        net.init([](VertexId) { return std::make_unique<ShardFlood>(); });
+        return net.run();
+    };
+    RunStats base = flood(1, 1);
+    for (int threads : {1, 2}) {
+        for (int shards : {2, 3, 7, 24}) {
+            RunStats got = flood(threads, shards);
+            EXPECT_EQ(got.messages, base.messages)
+                << threads << "x" << shards;
+            EXPECT_EQ(got.words, base.words);
+            EXPECT_EQ(got.events, base.events) << threads << "x" << shards;
+            EXPECT_EQ(got.virtual_time, base.virtual_time)
+                << threads << "x" << shards;
+            EXPECT_EQ(got.sync_messages, base.sync_messages);
+            EXPECT_EQ(got.sync_words, base.sync_words);
+            EXPECT_EQ(got.rounds, base.rounds);
+            EXPECT_EQ(got.messages_per_edge, base.messages_per_edge);
         }
     }
 }

@@ -1,0 +1,171 @@
+// Ordering fuzz for the async engine's event queue (sim/event_queue.h):
+// random interleavings of pushes and due-batch pops, in both timing-wheel
+// and heap-fallback modes, must drain in exactly the order of a
+// std::priority_queue ordered by (time, seq) — including dense
+// same-timestamp ties pushed out of seq order.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "dmst/sim/event_queue.h"
+#include "dmst/util/assert.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+struct Ev {
+    std::uint64_t time = 0;
+    std::uint64_t seq = 0;
+};
+
+using Key = std::pair<std::uint64_t, std::uint64_t>;  // (time, seq)
+
+using Mode = EventQueue<Ev>::Mode;
+
+// Drives `queue` and a (time, seq) min-heap reference through the same
+// random schedule: every step pushes a burst of events with delays in
+// [1, max_delay] — bursts deliberately land several events on one
+// timestamp, in scrambled seq order — then advances to the earliest
+// pending time and pops its whole batch, comparing against the reference.
+void fuzz_against_reference(Mode mode, int max_delay, std::uint64_t seed)
+{
+    EventQueue<Ev> queue(max_delay, mode);
+    std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ref;
+    Rng rng(seed);
+    std::uint64_t now = 0;
+    std::uint64_t next_seq = 0;
+
+    const int kSteps = 400;
+    for (int step = 0; step < kSteps; ++step) {
+        // Push a burst (possibly empty near the end so the queue drains).
+        const std::uint64_t burst =
+            step < kSteps / 2 ? rng.next_below(6) : rng.next_below(2);
+        std::vector<Ev> pending;
+        for (std::uint64_t i = 0; i < burst; ++i) {
+            Ev ev;
+            ev.time =
+                now + 1 + rng.next_below(static_cast<std::uint64_t>(max_delay));
+            ev.seq = next_seq++;
+            pending.push_back(ev);
+        }
+        // Scramble the push order so same-timestamp events arrive with
+        // out-of-order seqs and exercise the sort-on-pop path.
+        for (std::size_t i = pending.size(); i > 1; --i)
+            std::swap(pending[i - 1], pending[rng.next_below(i)]);
+        for (Ev& ev : pending) {
+            ref.emplace(ev.time, ev.seq);
+            queue.push(std::move(ev));
+        }
+
+        ASSERT_EQ(queue.empty(), ref.empty());
+        ASSERT_EQ(queue.size(), ref.size());
+        if (ref.empty())
+            continue;
+
+        // Occasionally idle past a gap first: advance_to just below the
+        // next due time must not disturb anything.
+        const std::uint64_t due = ref.top().first;
+        ASSERT_EQ(queue.next_time(), due);
+        if (due > now + 1 && rng.next_below(2) == 0)
+            queue.advance_to(due - 1);
+
+        std::vector<Ev> batch;
+        queue.pop_due(due, batch);
+        ASSERT_FALSE(batch.empty());
+        for (const Ev& ev : batch) {
+            ASSERT_FALSE(ref.empty());
+            EXPECT_EQ(ev.time, ref.top().first);
+            EXPECT_EQ(ev.seq, ref.top().second);
+            ref.pop();
+        }
+        // The batch must be exactly the events of `due`: the reference's
+        // next entry (if any) is strictly later.
+        if (!ref.empty()) {
+            EXPECT_GT(ref.top().first, due);
+        }
+        now = due;
+        ASSERT_EQ(queue.now(), now);
+    }
+
+    // Drain whatever is left and require full agreement to the last event.
+    std::vector<Ev> batch;
+    while (!queue.empty()) {
+        const std::uint64_t due = queue.next_time();
+        batch.clear();
+        queue.pop_due(due, batch);
+        for (const Ev& ev : batch) {
+            ASSERT_FALSE(ref.empty());
+            EXPECT_EQ(Key(ev.time, ev.seq), ref.top());
+            ref.pop();
+        }
+        now = due;
+    }
+    EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventQueue, WheelMatchesPriorityQueueReference)
+{
+    for (int max_delay : {1, 2, 7, 64})
+        for (std::uint64_t seed : {3u, 17u, 101u})
+            fuzz_against_reference(Mode::Wheel, max_delay, seed);
+}
+
+TEST(EventQueue, HeapFallbackMatchesPriorityQueueReference)
+{
+    for (int max_delay : {1, 7, 64, 500})
+        for (std::uint64_t seed : {3u, 17u, 101u})
+            fuzz_against_reference(Mode::Heap, max_delay, seed);
+}
+
+TEST(EventQueue, AutoModeSelectsWheelWithinTheBound)
+{
+    EXPECT_TRUE(EventQueue<Ev>(1).wheel());
+    EXPECT_TRUE(EventQueue<Ev>(EventQueue<Ev>::kWheelMaxDelay).wheel());
+    EXPECT_FALSE(EventQueue<Ev>(EventQueue<Ev>::kWheelMaxDelay + 1).wheel());
+}
+
+TEST(EventQueue, RejectsPastAndOutOfWindowSchedules)
+{
+    EventQueue<Ev> q(4, Mode::Wheel);
+    q.push(Ev{2, 0});
+    q.advance_to(1);
+    EXPECT_THROW(q.push(Ev{1, 1}), InvariantViolation);  // in the past
+    EXPECT_THROW(q.push(Ev{6, 2}), InvariantViolation);  // past the window
+    std::vector<Ev> batch;
+    q.pop_due(2, batch);
+    ASSERT_EQ(batch.size(), 1u);
+
+    EventQueue<Ev> h(4, Mode::Heap);
+    h.push(Ev{100, 0});  // the heap accepts any future time
+    EXPECT_THROW(h.push(Ev{0, 1}), InvariantViolation);
+    EXPECT_EQ(h.next_time(), 100u);
+}
+
+// Same-timestamp ties pushed in ascending seq (the engine's canonical
+// merge order) take the pre-sorted fast path; the result must be the seq
+// order either way.
+TEST(EventQueue, SameTimeBatchPopsInSeqOrder)
+{
+    for (Mode mode : {Mode::Wheel, Mode::Heap}) {
+        EventQueue<Ev> q(8, mode);
+        for (std::uint64_t seq : {0u, 1u, 2u, 3u})
+            q.push(Ev{5, seq});
+        for (std::uint64_t seq : {9u, 7u, 4u, 8u})  // scrambled tail
+            q.push(Ev{5, seq});
+        q.push(Ev{6, 5});
+        std::vector<Ev> batch;
+        q.pop_due(5, batch);
+        ASSERT_EQ(batch.size(), 8u);
+        for (std::size_t i = 1; i < batch.size(); ++i)
+            EXPECT_LT(batch[i - 1].seq, batch[i].seq) << "mode/wheel="
+                                                      << q.wheel();
+        EXPECT_EQ(q.next_time(), 6u);
+    }
+}
+
+}  // namespace
+}  // namespace dmst

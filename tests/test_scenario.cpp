@@ -219,9 +219,10 @@ TEST(Scenario, ConditionerAxesSweepInvariantCells)
         }
         // Latency inflates ticks by exactly the stride on pure-latency
         // cells.
-        if (cell.latency == 2 && !cell.hetero_b && !cell.adversarial_order)
+        if (cell.latency == 2 && !cell.hetero_b && !cell.adversarial_order) {
             EXPECT_EQ(cell.stats.rounds,
                       (cells[0].stats.rounds - 1) * 3 + 1);
+        }
     }
 
     const std::string json = cell_json(cells.back());
@@ -240,13 +241,15 @@ TEST(Scenario, AsyncAxesSweepInvariantCellsAtIdealConditionerOnly)
     spec.max_delays = {1, 3};
     spec.event_seeds = {1, 2};
     spec.engines = {Engine::Serial, Engine::Async};
+    spec.thread_counts = {1, 2};
     spec.model_verify = true;
 
     auto cells = run_scenarios(spec);
-    // Serial runs once per latency point (async axes collapse); async runs
-    // once per (max_delay, event_seed) point at the ideal conditioner only.
-    ASSERT_EQ(cells.size(), 2u + 2 * 2);
-    std::size_t async_cells = 0;
+    // Serial runs once per latency point (async axes and the thread axis
+    // collapse); async runs once per (max_delay, event_seed, threads)
+    // point at the ideal conditioner only.
+    ASSERT_EQ(cells.size(), 2u + 2 * 2 * 2);
+    std::vector<const ScenarioCell*> asyncs;
     const std::uint64_t ideal_weight = cells[0].mst_weight;
     for (const auto& cell : cells) {
         EXPECT_TRUE(cell.verified);
@@ -255,15 +258,29 @@ TEST(Scenario, AsyncAxesSweepInvariantCellsAtIdealConditionerOnly)
         EXPECT_EQ(cell.mst_weight, ideal_weight);
         if (cell.engine != Engine::Async)
             continue;
-        ++async_cells;
+        asyncs.push_back(&cell);
         EXPECT_EQ(cell.latency, 0);
-        EXPECT_EQ(cell.threads, 1);
         EXPECT_EQ(cell.stats.messages, cells[0].stats.messages);
         EXPECT_EQ(cell.stats.words, cells[0].stats.words);
         EXPECT_GT(cell.stats.events, 0u);
         EXPECT_GE(cell.stats.virtual_time, cell.stats.rounds);
     }
-    EXPECT_EQ(async_cells, 4u);
+    ASSERT_EQ(asyncs.size(), 8u);
+    // Grid order interleaves threads innermost: cells 2i and 2i+1 are the
+    // same (max_delay, event_seed) point at 1 and 2 workers — bit-exact
+    // on the async-only counters too (the determinism contract).
+    for (std::size_t i = 0; i < asyncs.size(); i += 2) {
+        EXPECT_EQ(asyncs[i]->threads, 1);
+        EXPECT_EQ(asyncs[i + 1]->threads, 2);
+        EXPECT_EQ(asyncs[i]->stats.events, asyncs[i + 1]->stats.events);
+        EXPECT_EQ(asyncs[i]->stats.virtual_time,
+                  asyncs[i + 1]->stats.virtual_time);
+        EXPECT_EQ(asyncs[i]->stats.rounds, asyncs[i + 1]->stats.rounds);
+        EXPECT_EQ(asyncs[i]->stats.sync_messages,
+                  asyncs[i + 1]->stats.sync_messages);
+        EXPECT_EQ(asyncs[i]->verify_stats.messages,
+                  asyncs[i + 1]->verify_stats.messages);
+    }
 
     const auto last_async = std::find_if(
         cells.rbegin(), cells.rend(),

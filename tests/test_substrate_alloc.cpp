@@ -14,6 +14,7 @@
 #include "dmst/congest/network.h"
 #include "dmst/graph/generators.h"
 #include "dmst/obs/trace.h"
+#include "dmst/sim/async_network.h"
 #include "dmst/sim/parallel_network.h"
 #include "dmst/util/rng.h"
 
@@ -192,6 +193,54 @@ TEST(SubstrateAlloc, TraceEnabledParallelSteadyStateIsAllocationFree)
     ParallelNetwork net(g, config, /*shard_override=*/4);
     auto factory = [](VertexId) { return std::make_unique<TracedChatter>(); };
     EXPECT_EQ(measure_steady_state_allocs(net, factory, 3, 8), 0u);
+}
+
+TEST(SubstrateAlloc, AsyncSteadyStateIsAllocationFree)
+{
+    // The event datapath holds the same contract: pooled payload slots,
+    // grow-only timing-wheel buckets and staging vectors, the in-place
+    // due-batch sort, and the sliding level window all reach their
+    // high-water mark during warmup — then not one allocation per event.
+    Rng rng(37);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.threads = 1;
+    config.async.max_delay = 4;
+    AsyncNetwork net(g, config);
+    // Warmup is longer than the lock-step engines': pool, wheel, and
+    // synchronizer buffers only fill as the delay-spread traffic arrives.
+    EXPECT_EQ(measure_steady_state_allocs(net, 10, 8), 0u);
+}
+
+TEST(SubstrateAlloc, AsyncShardedSteadyStateIsAllocationFree)
+{
+    // Sharded datapath (single worker, see the parallel test above): the
+    // per-shard queues, pools, staging buffers, cross-shard freed-slot
+    // returns, and the barrier's k-way merge are all allocation-free too.
+    Rng rng(38);
+    auto g = gen_erdos_renyi(200, 800, rng);
+    NetConfig config;
+    config.threads = 1;
+    config.async.max_delay = 4;
+    AsyncNetwork net(g, config, /*shard_override=*/4);
+    // Per-shard due batches are smaller samples of the random delay mix,
+    // so their high-water sizes creep longer than the single-queue case;
+    // the schedule is deterministic, so this warmup is exact, not flaky.
+    EXPECT_EQ(measure_steady_state_allocs(net, 50, 8), 0u);
+}
+
+TEST(SubstrateAlloc, AsyncHeapFallbackSteadyStateIsAllocationFree)
+{
+    // Past kWheelMaxDelay the queue degrades to the binary heap; the
+    // zero-allocation contract must survive the fallback.
+    Rng rng(39);
+    auto g = gen_erdos_renyi(100, 300, rng);
+    NetConfig config;
+    config.threads = 1;
+    config.async.max_delay = 80;
+    AsyncNetwork net(g, config);
+    EXPECT_FALSE(net.wheel_queue());
+    EXPECT_EQ(measure_steady_state_allocs(net, 10, 8), 0u);
 }
 
 TEST(SubstrateAlloc, CountingOperatorNewIsLive)

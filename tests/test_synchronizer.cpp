@@ -8,6 +8,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "dmst/congest/payload_pool.h"
 #include "dmst/graph/generators.h"
 #include "dmst/graph/metrics.h"
 #include "dmst/sim/async_network.h"
@@ -81,22 +82,27 @@ TEST(Synchronizer, BeginPulseSortsBufferedPayloadsByPortThenLinkOrder)
     std::vector<AsyncIncoming> inbox;
     sync.begin_pulse(1, inbox);
 
-    // Arrival order scrambled across ports and link sequence.
-    auto msg = [](std::uint32_t tag) { return Message{tag, {}}; };
-    sync.buffer_payload(1, 1, AsyncIncoming{1, 1, msg(11)});
-    sync.buffer_payload(1, 1, AsyncIncoming{0, 1, msg(1)});
-    sync.buffer_payload(1, 1, AsyncIncoming{1, 0, msg(10)});
-    sync.buffer_payload(1, 1, AsyncIncoming{0, 0, msg(0)});
+    // Arrival order scrambled across ports and link sequence. Payloads
+    // travel as pool-slot handles, exactly as the engine hands them over.
+    PayloadPool pool;
+    auto slot = [&pool](std::uint32_t tag) {
+        return pool.acquire(Message{tag, {}});
+    };
+    sync.buffer_payload(1, 1, AsyncIncoming{1, 1, 0, slot(11)});
+    sync.buffer_payload(1, 1, AsyncIncoming{0, 1, 0, slot(1)});
+    sync.buffer_payload(1, 1, AsyncIncoming{1, 0, 0, slot(10)});
+    sync.buffer_payload(1, 1, AsyncIncoming{0, 0, 0, slot(0)});
     sync.note_pulse_sends_done(1);
     sync.note_safe(1, 1);
     sync.note_safe(1, 1);
     sync.begin_pulse(1, inbox);
 
     ASSERT_EQ(inbox.size(), 4u);
-    EXPECT_EQ(inbox[0].msg.tag, 0u);
-    EXPECT_EQ(inbox[1].msg.tag, 1u);
-    EXPECT_EQ(inbox[2].msg.tag, 10u);
-    EXPECT_EQ(inbox[3].msg.tag, 11u);
+    EXPECT_EQ(inbox[0].payload->tag, 0u);
+    EXPECT_EQ(inbox[1].payload->tag, 1u);
+    EXPECT_EQ(inbox[2].payload->tag, 10u);
+    EXPECT_EQ(inbox[3].payload->tag, 11u);
+    EXPECT_EQ(pool.live(), 4u);
 }
 
 TEST(Synchronizer, RejectsIsolatedVertices)
