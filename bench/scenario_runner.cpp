@@ -24,6 +24,17 @@
 // threaded cell must match its serial-oracle row counter for counter —
 // scripts/parity_diff.py checks that over a JSONL sweep).
 //
+// Fault-injection axes (comma lists, congest/faults.h):
+//   --drop_rate=0,0.05,0.2   per-link data/ACK drop probability
+//   --loss_seed=11,12,13     loss-stream seeds (collapsed at drop_rate 0)
+//   --crash=none,3@5+7@9     crash-stop schedules, "v@r[+v@r...]" or none
+//   --burst_len=N            drop-window burst length (scalar)
+// The reliable-delivery shim makes loss transparent: lossy cells must
+// produce the same MST and verdicts as their clean twins (--verify
+// enforces that). Crash cells are lock-step only (async skips them) and
+// verify by containment of the partial forest in the reference MST;
+// model verification is skipped on crash cells.
+//
 // Verification modes (--verify):
 //   oracle  cross-check the output against sequential Kruskal (default)
 //   model   additionally run the in-model verification protocol on the
@@ -45,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "dmst/congest/faults.h"
 #include "dmst/obs/export.h"
 #include "dmst/obs/trace.h"
 #include "dmst/sim/engine.h"
@@ -74,6 +86,12 @@ int main(int argc, char** argv)
     args.define("max_delay", "4",
                 "comma list of async per-message delay bounds (>= 1)");
     args.define("event_seed", "1", "comma list of async delay-stream seeds");
+    args.define("drop_rate", "0",
+                "comma list of per-link drop probabilities in [0, 1)");
+    args.define("loss_seed", "11", "comma list of loss-stream seeds");
+    args.define("crash", "none",
+                "comma list of crash-stop schedules: v@r[+v@r...] or none");
+    args.define("burst_len", "1", "loss-shim drop-window burst length");
     args.define("ghs_k", "8", "Controlled-GHS k (algo=ghs only)");
     args.define("verify", "oracle", "oracle|model|none (bare --verify = model)");
     args.define("json", "-", "JSON Lines output: '-' = stdout, else a path");
@@ -152,6 +170,31 @@ int main(int argc, char** argv)
         spec.event_seeds.clear();
         for (std::int64_t s : split_int_list(args.get("event_seed")))
             spec.event_seeds.push_back(static_cast<std::uint64_t>(s));
+        spec.drop_rates.clear();
+        for (const std::string& item : split_list(args.get("drop_rate"))) {
+            std::size_t pos = 0;
+            double rate = 0;
+            try {
+                rate = std::stod(item, &pos);
+            } catch (const std::exception&) {
+                pos = std::string::npos;  // unified error below
+            }
+            if (pos != item.size() || rate < 0.0 || rate >= 1.0)
+                throw std::invalid_argument(
+                    "--drop_rate items must be numbers in [0, 1)");
+            spec.drop_rates.push_back(rate);
+        }
+        spec.loss_seeds.clear();
+        for (std::int64_t s : split_int_list(args.get("loss_seed")))
+            spec.loss_seeds.push_back(static_cast<std::uint64_t>(s));
+        spec.crash_specs.clear();
+        for (const std::string& c : split_list(args.get("crash"))) {
+            parse_crash_spec(c);  // validate up front: throws on bad specs
+            spec.crash_specs.push_back(c == "none" ? "" : c);
+        }
+        spec.fault_burst = static_cast<int>(args.get_int("burst_len"));
+        if (spec.fault_burst < 1)
+            throw std::invalid_argument("--burst_len must be >= 1");
         spec.ghs_k = static_cast<std::uint64_t>(args.get_int("ghs_k"));
         const std::string verify = args.get("verify");
         // Legacy spellings from before the mode flag: true/false.

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Docs integrity check: links and file pointers must resolve.
+
+Over README.md, ROADMAP.md, and every docs/*.md:
+
+  - every relative markdown link target ([text](path), # anchors and
+    external http(s)/mailto links excluded) must exist on disk,
+    resolved against the file containing the link;
+  - every backtick-quoted repo path (`src/...`, `tests/...`, `bench/...`,
+    `scripts/...`, `docs/...`, optionally suffixed `:line`) must exist.
+    Brace/glob shorthands like `faults.{h,cpp}` and `bench_e*.cpp`
+    expand before checking.
+
+Pure stdlib, no network. Exit status: 0 ok, 1 dangling references.
+"""
+
+import glob
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PATH_RE = re.compile(
+    r"`((?:src|tests|bench|scripts|docs)/[A-Za-z0-9_./*{},-]+)`")
+
+
+def expand_braces(path):
+    m = re.search(r"\{([^}]*)\}", path)
+    if not m:
+        return [path]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(path[:m.start()] + alt + path[m.end():]))
+    return out
+
+
+def check_file(md, repo):
+    failures = []
+    text = md.read_text()
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#")[0]
+        if not rel:
+            continue
+        if not (md.parent / rel).exists():
+            failures.append("%s: dangling link (%s)" % (md.name, target))
+    for ref in PATH_RE.findall(text):
+        ref = ref.rstrip(".,")
+        ref = re.sub(r":\d+$", "", ref)  # file.cpp:123 pointers
+        for candidate in expand_braces(ref):
+            if "*" in candidate:
+                if not glob.glob(str(repo / candidate)):
+                    failures.append("%s: no files match `%s`"
+                                    % (md.name, candidate))
+            elif not (repo / candidate).exists():
+                failures.append("%s: missing file pointer `%s`"
+                                % (md.name, candidate))
+    return failures
+
+
+def main():
+    repo = Path(__file__).resolve().parent.parent
+    files = [repo / "README.md", repo / "ROADMAP.md"]
+    files += sorted((repo / "docs").glob("*.md"))
+    failures = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            failures.append("expected file %s is missing"
+                            % md.relative_to(repo))
+            continue
+        checked += 1
+        failures.extend(check_file(md, repo))
+    if failures:
+        for f in failures:
+            print("check_docs: FAIL " + f, file=sys.stderr)
+        return 1
+    print("check_docs: %d files, all links and file pointers resolve"
+          % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,20 @@ Modes:
                                       on violation — self-checking CI leg)
   trace_report.py FILE --diff OTHER   compare two traces' span tables
                                       (exit 1 if they differ — the
-                                      tri-engine parity check from files)
+                                      tri-engine parity check from files);
+                                      --diff-fields=f1,f2 selects the span
+                                      fields compared (default
+                                      messages,words,first_round,last_round;
+                                      multi-epoch drivers skew round
+                                      numbering: use messages,words)
 
---format=auto|jsonl|chrome overrides sniffing (auto: a first line that
-parses as a JSON object with a "type" key is jsonl, else chrome).
+--format=auto|jsonl|chrome names the format the trace was *written* in —
+the same choice the writer made via `scenario_runner --trace_format=...`
+(obs/export.h callers pick it per file). The default `auto` sniffs: a
+first line that parses as a JSON object with a "type" key is jsonl, else
+chrome. Pass --format explicitly only when sniffing could mislead (e.g.
+a truncated file); it applies to both FILE and the --diff OTHER file, so
+diffing a jsonl trace against a chrome trace needs --format=auto.
 
 Exit status: 0 ok, 1 check/diff failure, 2 bad input.
 """
@@ -200,7 +210,13 @@ def diff(path_a, spans_a, path_b, spans_b, fields=PARITY_FIELDS):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Full module docstring as the --help epilog: the modes/format notes
+    # above are the documentation of record, and check_trace_report_help.py
+    # asserts --help and the accepted flags stay in sync.
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=__doc__.split("\n", 2)[2],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("file", help="trace file (jsonl or chrome)")
     ap.add_argument("--check", action="store_true",
                     help="verify span/total conservation")

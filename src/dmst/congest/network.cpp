@@ -27,42 +27,68 @@ void Network::send_from(VertexId from, std::size_t port, Message&& msg)
         trace_->on_send(from, msg.tag, size);
     if (config_.record_per_edge)
         ++stats_.messages_per_edge[graph_.edge_id(from, port)];
-    if (!arrive_hist_.empty())
-        ++arrive_hist_[link_delay(from, port)];
+    ++round_messages_;
+    stats_.messages += 1;
+    stats_.words += size;
+    if (has_crashes_ && crashed_[target]) {
+        // The sender paid (bandwidth, counters, trace) but the target is
+        // dead: the message dies on the wire and never enters flight.
+        ++fault_delta_.failed_sends;
+        return;
+    }
+    // Delivery offset in ticks from this activation: the link latency on
+    // the clean substrate, or the loss shim's first-successful-attempt
+    // arrival when the shim is armed.
+    std::uint64_t delivery = 1 + static_cast<std::uint64_t>(link_delay(from, port));
+    if (faults_on_)
+        delivery = plan_fault_delivery(from, port, fault_delta_);
+    if (!arrive_hist_.empty()) {
+        const std::size_t idx = static_cast<std::size_t>(delivery - 1);
+        if (arrive_hist_.size() <= idx)
+            arrive_hist_.resize(idx + 1, 0);
+        ++arrive_hist_[idx];
+    }
     ++inbox_count_[target];  // consumed (and reset) by deliver_staged
     staged_.emplace(target, static_cast<std::uint32_t>(arrival_port),
                     std::move(msg));
     ++in_flight_;
-    ++round_messages_;
-    stats_.messages += 1;
-    stats_.words += size;
 }
 
 bool Network::step()
 {
     DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
-    if (quiescent())
+    if (stalled_ || quiescent())
         return false;
 
     ++round_;
     round_messages_ = 0;
     if (activation_tick()) {
         ++logical_round_;
+        if (has_crashes_)
+            apply_crashes();
         if (trace_)
             trace_->set_now(logical_round_, round_, 0);
         for (VertexId v = 0; v < graph_.vertex_count(); ++v)
             reset_round_words(v);
         for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
+            if (has_crashes_ && crashed_[v])
+                continue;
             Context ctx = context_for(v);
-            processes_[v]->on_round(ctx);
+            run_process_guarded(v, ctx, fault_delta_);
         }
         // The inbox was consumed this tick; the messages leave flight now
         // even though the arena is only rebuilt at the next deliver tick.
         DMST_ASSERT(live_ <= in_flight_);
         in_flight_ -= live_;
         live_ = 0;
+        note_activation();
         if (config_.record_per_round)
             fold_arrivals(arrive_hist_);
+        // Book the next deliver/activation pair: the stride on the clean
+        // substrate, stretched to the slowest shim plan under loss.
+        schedule_round(faults_on_ || has_crashes_
+                           ? fold_fault_delta(fault_delta_)
+                           : static_cast<std::uint64_t>(stride_));
     }
     // Between activations (stride > 1) the staged messages ride along
     // unread; the inbox for the next activation is built on the tick just

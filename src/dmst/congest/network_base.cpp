@@ -95,10 +95,30 @@ NetworkBase::~NetworkBase() = default;
 
 NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
     : graph_(g), config_(config),
-      cond_(g, config.conditioner, config.bandwidth)
+      cond_(g, config.conditioner, config.bandwidth),
+      faults_(g, config.faults)
 {
     DMST_ASSERT(config_.bandwidth >= 1);
     stride_ = cond_.stride();
+    faults_on_ = faults_.loss_enabled();
+    has_crashes_ = faults_.crash_enabled();
+    if (faults_on_) {
+        fault_attempts_.resize(g.vertex_count());
+        for (VertexId v = 0; v < g.vertex_count(); ++v)
+            fault_attempts_[v].assign(graph_.degree(v), 0);
+    }
+    if (has_crashes_) {
+        crashed_.assign(g.vertex_count(), 0);
+        pending_crashes_ = config_.faults.crashes;
+        std::sort(pending_crashes_.begin(), pending_crashes_.end(),
+                  [](const CrashPoint& a, const CrashPoint& b) {
+                      return a.round != b.round ? a.round < b.round
+                                                : a.vertex < b.vertex;
+                  });
+        stall_window_ = config_.faults.stall_window
+                            ? config_.faults.stall_window
+                            : 2 * static_cast<std::uint64_t>(g.vertex_count()) + 64;
+    }
     if (config_.trace.enabled) {
         trace_owned_ = std::make_unique<TraceRecorder>(g.vertex_count());
         trace_ = trace_owned_.get();
@@ -260,10 +280,102 @@ bool NetworkBase::quiescent() const
 {
     if (in_flight_ > 0)
         return false;
-    for (const auto& p : processes_)
-        if (!p->done())
+    for (VertexId v = 0; v < processes_.size(); ++v) {
+        if (crashed(v))
+            continue;  // a crashed vertex can never report done
+        if (!processes_[v]->done())
             return false;
+    }
     return true;
+}
+
+std::uint64_t NetworkBase::plan_fault_delivery(VertexId from, std::size_t port,
+                                               FaultDelta& delta)
+{
+    const std::uint64_t one_way = 1 + static_cast<std::uint64_t>(link_delay(from, port));
+    const EdgeId e = graph_.edge_id(from, port);
+    const int direction = from < graph_.neighbor(from, port) ? 0 : 1;
+    const FaultPlan plan =
+        faults_.plan_transmission(e, direction, one_way, fault_attempts_[from][port]);
+    delta.drops += plan.drops;
+    delta.retransmissions += plan.retransmissions;
+    delta.acks += plan.acks;
+    delta.timeouts += plan.timeouts;
+    delta.horizon = std::max(delta.horizon, plan.completion);
+    if (trace_ && (plan.retransmissions | plan.drops))
+        trace_->on_fault(from, plan.retransmissions, plan.drops);
+    return plan.delivery;
+}
+
+std::uint64_t NetworkBase::fold_fault_delta(FaultDelta& delta)
+{
+    for (VertexId v : delta.wedged) {
+        if (!crashed_[v]) {
+            crashed_[v] = 1;
+            ++stats_.crashed_vertices;
+        }
+    }
+    stats_.drops += delta.drops;
+    stats_.retransmissions += delta.retransmissions;
+    stats_.acks += delta.acks;
+    stats_.timeouts += delta.timeouts;
+    stats_.failed_sends += delta.failed_sends;
+    const std::uint64_t horizon =
+        std::max<std::uint64_t>(delta.horizon, static_cast<std::uint64_t>(stride_));
+    delta = FaultDelta();
+    return horizon;
+}
+
+void NetworkBase::run_process_guarded(VertexId v, Context& ctx,
+                                      FaultDelta& delta)
+{
+    if (!has_crashes_ || !faults_.config().graceful) {
+        processes_[v]->on_round(ctx);
+        return;
+    }
+    try {
+        processes_[v]->on_round(ctx);
+    } catch (const std::logic_error&) {
+        // InvariantViolation and the std:: precondition family
+        // (out_of_range from a .at() on state a dead neighbor never
+        // populated, etc.) — both mean the protocol wedged, not that the
+        // engine broke. Runtime errors still propagate.
+        delta.wedged.push_back(v);
+    }
+}
+
+void NetworkBase::apply_crashes()
+{
+    while (next_crash_ < pending_crashes_.size() &&
+           pending_crashes_[next_crash_].round <= logical_round_) {
+        const VertexId v = pending_crashes_[next_crash_++].vertex;
+        if (!crashed_[v]) {
+            crashed_[v] = 1;
+            ++stats_.crashed_vertices;
+        }
+    }
+}
+
+void NetworkBase::note_activation()
+{
+    if (!has_crashes_ || stalled_)
+        return;
+    if (in_flight_ > 0) {
+        idle_activations_ = 0;
+        return;
+    }
+    if (++idle_activations_ < stall_window_)
+        return;
+    stats_.stalled = true;
+    stalled_ = true;
+    if (!config_.faults.graceful) {
+        std::ostringstream oss;
+        oss << "crash-stop stall: no live traffic for " << idle_activations_
+            << " logical rounds after " << stats_.crashed_vertices
+            << " crash(es) at logical round " << logical_round_
+            << " (graceful=false)";
+        throw InvariantViolation(oss.str());
+    }
 }
 
 void NetworkBase::throw_round_limit() const

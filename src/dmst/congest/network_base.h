@@ -1,12 +1,14 @@
 #ifndef DMST_CONGEST_NETWORK_BASE_H
 #define DMST_CONGEST_NETWORK_BASE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "dmst/congest/conditioner.h"
+#include "dmst/congest/faults.h"
 #include "dmst/congest/message.h"
 #include "dmst/graph/graph.h"
 #include "dmst/obs/phase.h"
@@ -65,6 +67,14 @@ struct NetConfig {
     // synchronizer device and does not compose with Engine::Async;
     // make_network rejects that combination.
     ConditionerConfig conditioner;
+    // Deterministic fault injection (congest/faults.h): seeded per-link
+    // loss behind a reliable-delivery shim, and crash-stop vertices with
+    // graceful degradation. Loss composes with every engine and with the
+    // conditioner; crash-stop is lock-step-only (make_network rejects
+    // crash + Engine::Async). Under loss a logical round stretches to the
+    // slowest shim plan, so callers scale their ideal budget with the
+    // fault-aware scaled_round_budget() overload.
+    FaultConfig faults;
     // Event-driven engine parameters; ignored by Serial and Parallel.
     AsyncConfig async;
     // Span-based tracing (src/dmst/obs/): off by default, in which case
@@ -103,6 +113,29 @@ struct RunStats {
     // (bench_e14_async).
     std::uint64_t sync_messages = 0;
     std::uint64_t sync_words = 0;
+
+    // ---- fault-injection metrics (NetConfig::faults; zero otherwise) ----
+    // Shim transmissions lost to the seeded loss draw (data + ACK).
+    std::uint64_t drops = 0;
+    // Data transmissions beyond the first per protocol send; kept separate
+    // from `messages` so the payload counters stay bit-identical to a
+    // clean run (the invariance bar) and the retransmission overhead is
+    // directly gateable (bench_e15_faults).
+    std::uint64_t retransmissions = 0;
+    // Shim ACKs generated by receivers (one per data arrival).
+    std::uint64_t acks = 0;
+    // Retransmission timer expiries; equals retransmissions under the
+    // bounded-adversary model (every timeout retransmits exactly once).
+    std::uint64_t timeouts = 0;
+    // Protocol sends addressed to an already-crashed vertex; counted in
+    // `messages`/`words` (the sender paid for them) but never delivered.
+    std::uint64_t failed_sends = 0;
+    // Vertices stopped by the crash-stop schedule so far.
+    std::uint64_t crashed_vertices = 0;
+    // True iff the run ended by stall detection (crash-stop graceful
+    // degradation) rather than quiescence; the drivers then harvest a
+    // partial forest instead of asserting completion.
+    bool stalled = false;
 
     // Finalized span trace of the run (obs/trace.h); set by run() when
     // NetConfig::trace.enabled, null otherwise. Shared so RunStats stays
@@ -253,6 +286,19 @@ public:
     const WeightedGraph& graph() const { return graph_; }
     const NetConfig& config() const { return config_; }
     const LinkConditioner& conditioner() const { return cond_; }
+    const LinkFaults& faults() const { return faults_; }
+
+    // Whether v has been stopped by the crash-stop schedule (always false
+    // without configured crashes). Drivers use this to harvest partial
+    // forests around dead vertices.
+    bool crashed(VertexId v) const
+    {
+        return !crashed_.empty() && crashed_[v] != 0;
+    }
+
+    // True once stall detection ended the run (RunStats::stalled mirrors
+    // it); step() refuses to run further rounds.
+    bool stalled() const { return stalled_; }
 
     // Substrate ticks per logical round (1 on the ideal substrate).
     int stride() const { return stride_; }
@@ -368,17 +414,36 @@ protected:
 
     void reset_round_words(VertexId v);
 
-    // ---- conditioner plumbing shared by both engines --------------------
+    // ---- conditioner + fault-shim plumbing shared by both engines -------
+    //
+    // Logical rounds map to absolute tick targets rather than a fixed
+    // modulus: every activation ends with schedule_round(horizon), which
+    // books the next deliver/activation pair `max(horizon, stride)` ticks
+    // out. Without loss the horizon is always stride and this reduces to
+    // the old fixed-stride cadence; under the loss shim a round stretches
+    // to the slowest transmission plan's completion, which is how the
+    // reliable-delivery shim stays invisible to the protocols.
 
     // Whether processes are stepped this tick. Call after ++round_; the
-    // engine must bump logical_round_ exactly when this is true.
-    bool activation_tick() const { return (round_ - 1) % stride_ == 0; }
-    // Whether the inbox read at tick round_+1 (an activation tick) must be
-    // built at the end of this tick. With stride 1 this is every tick.
-    bool deliver_tick() const { return round_ % stride_ == 0; }
+    // engine must bump logical_round_ exactly when this is true and end
+    // the activation with schedule_round().
+    bool activation_tick() const { return round_ == next_activation_; }
+    // Whether the inbox read at the next activation tick must be built at
+    // the end of this tick. On the ideal substrate this is every tick.
+    bool deliver_tick() const { return round_ == next_deliver_; }
+    // Books the next deliver/activation ticks after an activation whose
+    // slowest shim plan completes `horizon` ticks out (pass stride_ when
+    // the loss shim is off).
+    void schedule_round(std::uint64_t horizon)
+    {
+        const std::uint64_t len =
+            std::max<std::uint64_t>(horizon, static_cast<std::uint64_t>(stride_));
+        next_deliver_ = round_ + len - 1;
+        next_activation_ = round_ + len;
+    }
     // Logical round of the inbox built at the end of this tick (the key of
-    // the adversarial permutation). Valid on deliver ticks, where the
-    // logical round counter holds round_ / stride_.
+    // the adversarial permutation). Valid on deliver ticks, which always
+    // precede the activation of logical round logical_round_ + 1.
     std::uint64_t read_logical_round() const { return logical_round_ + 1; }
 
     // Extra latency in ticks of the link behind (from, port); 0 when
@@ -419,6 +484,66 @@ protected:
     // Incoming::port (which would heap-allocate its merge buffer).
     static void sort_span_by_port(Incoming* first, std::size_t n,
                                   SortScratch& scratch);
+
+    // ---- fault-shim plumbing shared by the engines ----------------------
+
+    // Per-activation fault counter deltas. The serial engine keeps one;
+    // the sharded engines keep one per shard and fold them at their merge
+    // barrier, so every counter is a sum over shard-deterministic pieces.
+    struct FaultDelta {
+        std::uint64_t drops = 0;
+        std::uint64_t retransmissions = 0;
+        std::uint64_t acks = 0;
+        std::uint64_t timeouts = 0;
+        std::uint64_t failed_sends = 0;
+        // Max shim completion offset (ticks) over this activation's sends.
+        std::uint64_t horizon = 0;
+        // Vertices whose on_round threw a std::logic_error under graceful
+        // crash faults: a dead neighbor wedged their protocol state, so
+        // they become secondary crashes at the next fold (see
+        // run_process_guarded). Usually empty.
+        std::vector<VertexId> wedged;
+    };
+
+    // Runs the reliable-delivery shim planner for one send from `from` via
+    // `port` (one-way latency = 1 + link_delay, which is 1 on the async
+    // engine where the conditioner is rejected). Returns the delivery
+    // offset in ticks (>= 1), accumulates counters and the round horizon
+    // into `delta`, and attributes retransmission traffic to the sender's
+    // open span. Only the shard stepping `from` may call this (it advances
+    // the per-(vertex, port) burst clock).
+    std::uint64_t plan_fault_delivery(VertexId from, std::size_t port,
+                                      FaultDelta& delta);
+
+    // Folds a delta into stats_ and returns max(stride_, horizon), the
+    // round length it implies; resets the delta. Wedged vertices are
+    // marked crashed here — at the barrier, never mid-activation, so the
+    // serial and parallel engines degrade bit-identically. Coordinator-only.
+    std::uint64_t fold_fault_delta(FaultDelta& delta);
+
+    // Runs processes_[v]->on_round(ctx). Under graceful crash-stop faults
+    // the protocols' internal invariants are no longer invariants: a
+    // round-programmed protocol (e.g. the Controlled-GHS schedule) can
+    // reach states its asserts rule out when a neighbor goes silent
+    // mid-wave. Any std::logic_error thrown there (InvariantViolation, or
+    // an out_of_range from state the cut-off wave never built) is
+    // therefore treated as the vertex wedging — it is recorded in `delta`
+    // and crashes at the
+    // next fold, spreading crash-stop semantics to the vertices the
+    // failure cut off. Without crash faults (or with graceful off) the
+    // exception propagates unchanged.
+    void run_process_guarded(VertexId v, Context& ctx, FaultDelta& delta);
+
+    // Applies due crash points for logical_round_ (call right after
+    // bumping it on an activation tick). Coordinator-only.
+    void apply_crashes();
+
+    // Stall detection, called at the end of every activation tick once
+    // in-flight accounting is settled: a window of consecutive silent
+    // activations (nothing staged or in flight, not quiescent) latches
+    // stalled_ — or throws if FaultConfig::graceful is off. No-op unless
+    // crashes are configured. Coordinator-only.
+    void note_activation();
 
     // Builds the satellite-rich runaway diagnostic and throws.
     [[noreturn]] void throw_round_limit() const;
@@ -466,6 +591,28 @@ protected:
     std::uint64_t round_ = 0;
     std::uint64_t in_flight_ = 0;
     RunStats stats_;
+
+    // ---- fault-injection state (congest/faults.h) -----------------------
+    // The validated fault assignment; disabled-config object otherwise.
+    LinkFaults faults_;
+    // Loss shim armed (drop_rate > 0): the send path plans transmissions.
+    bool faults_on_ = false;
+    bool has_crashes_ = false;
+    // Burst-window clocks, one per (vertex, port); advanced only by the
+    // shard stepping the sender, so sharded engines need no locking and
+    // stay bit-identical across thread counts.
+    std::vector<std::vector<std::uint64_t>> fault_attempts_;
+    // Crash-stop bookkeeping: crashed_[v] != 0 once v stopped; pending
+    // points sorted by (round, vertex) and consumed by apply_crashes().
+    std::vector<std::uint8_t> crashed_;
+    std::vector<CrashPoint> pending_crashes_;
+    std::size_t next_crash_ = 0;
+    std::uint64_t stall_window_ = 0;
+    std::uint64_t idle_activations_ = 0;
+    bool stalled_ = false;
+    // Absolute tick targets of the round scheduler (see schedule_round).
+    std::uint64_t next_activation_ = 1;
+    std::uint64_t next_deliver_ = 0;
 
     // Span trace recorder (obs/trace.h); null unless config.trace.enabled,
     // so the disabled datapath costs one pointer test per send. Engines

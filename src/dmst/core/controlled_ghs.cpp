@@ -668,11 +668,12 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.faults = opts.faults;
     config.record_per_edge = opts.record_per_edge;
     config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner);
+        opts.conditioner, opts.faults);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
@@ -681,12 +682,14 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
 
     MstForestResult result;
     result.stats = stats;
+    result.partial = stats.stalled || stats.crashed_vertices > 0;
     result.fragment_id.resize(n);
     result.parent_port.resize(n);
     result.mst_ports.resize(n);
     for (VertexId v = 0; v < n; ++v) {
         const auto& ghs = static_cast<const GhsProcess&>(net.process(v)).ghs_;
-        DMST_ASSERT(ghs.finished());
+        if (!result.partial)
+            DMST_ASSERT(ghs.finished());
         result.fragment_id[v] = ghs.fragment_id();
         result.parent_port[v] = ghs.parent_port();
         result.mst_ports[v].assign(ghs.mst_ports().begin(), ghs.mst_ports().end());

@@ -235,6 +235,9 @@ struct MstForestResult {
     std::vector<std::size_t> parent_port;     // per vertex; kNoPort at roots
     std::vector<std::vector<std::size_t>> mst_ports;  // per vertex
     RunStats stats;
+    // Crash-stop graceful degradation: the schedule stalled before every
+    // vertex finished; the per-vertex views hold the forest built so far.
+    bool partial = false;
 
     std::size_t fragment_count() const;
 };
@@ -250,6 +253,9 @@ struct GhsOptions {
     // Event-driven engine delay model (Engine::Async only);
     // output-invariant (see sim/async_network.h).
     AsyncConfig async;
+    // Seeded fault injection (congest/faults.h); loss is output-invariant,
+    // crash-stop degrades the run to a partial forest (result.partial).
+    FaultConfig faults;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

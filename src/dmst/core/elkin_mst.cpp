@@ -545,9 +545,10 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.faults = opts.faults;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner);
+        opts.conditioner, opts.faults);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();
@@ -556,13 +557,17 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
 
     DistributedMstResult result;
     result.stats = stats;
+    result.partial = stats.stalled || stats.crashed_vertices > 0;
     result.mst_ports.resize(n);
     for (VertexId v = 0; v < n; ++v) {
         const auto& p = static_cast<const ElkinProcess&>(net.process(v));
-        DMST_ASSERT(p.done());
+        if (!result.partial)
+            DMST_ASSERT(p.done());
         result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
     }
-    result.mst_edges = collect_mst_edges(g, result.mst_ports);
+    result.mst_edges = result.partial
+                           ? collect_claimed_edges(g, result.mst_ports)
+                           : collect_mst_edges(g, result.mst_ports);
 
     const auto& root = static_cast<const ElkinProcess&>(net.process(opts.root));
     result.k_used = root.k_used();

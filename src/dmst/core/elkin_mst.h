@@ -68,6 +68,10 @@ struct ElkinOptions {
     // Event-driven engine delay model (Engine::Async only); the MST
     // output is invariant across every (max_delay, event_seed) point.
     AsyncConfig async;
+    // Seeded fault injection (congest/faults.h). Loss is output-invariant
+    // (the reliable-delivery shim masks it); crash-stop degrades the run
+    // to a partial forest (result.partial) on the lock-step engines.
+    FaultConfig faults;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // the driver scales it by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;
@@ -81,6 +85,11 @@ struct DistributedMstResult {
     // agree, which the runner asserts).
     std::vector<EdgeId> mst_edges;
     RunStats stats;
+    // Crash-stop graceful degradation: the run stalled (or lost vertices)
+    // before completing, and mst_ports/mst_edges hold the partial forest
+    // built so far — a subset of the true MST by the cut property. The
+    // milestone fields below reflect progress at the stall point.
+    bool partial = false;
 
     // Milestones for the experiment harness.
     std::uint64_t k_used = 0;

@@ -31,6 +31,18 @@ std::vector<EdgeId> collect_mst_edges(
     return edges;
 }
 
+std::vector<EdgeId> collect_claimed_edges(
+    const WeightedGraph& g,
+    const std::vector<std::vector<std::size_t>>& mst_ports)
+{
+    DMST_ASSERT(mst_ports.size() == g.vertex_count());
+    std::set<EdgeId> seen;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        for (std::size_t port : mst_ports[v])
+            seen.insert(g.edge_id(v, port));
+    return std::vector<EdgeId>(seen.begin(), seen.end());
+}
+
 std::vector<std::vector<std::size_t>> ports_from_edges(
     const WeightedGraph& g, const std::vector<EdgeId>& edges)
 {

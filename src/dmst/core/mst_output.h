@@ -20,6 +20,15 @@ std::vector<EdgeId> collect_mst_edges(
     const std::vector<std::vector<std::size_t>>& mst_ports,
     bool expect_spanning = true);
 
+// Permissive variant for partial outputs (crash-stop degradation): the
+// set-union of every vertex's marked edges, with no symmetry or spanning
+// validation. A crashed vertex's frozen port view may claim an edge its
+// peer never confirmed; by the cut property every claimed port still names
+// a true MST edge, so the union is a subforest of the (unique) MST.
+std::vector<EdgeId> collect_claimed_edges(
+    const WeightedGraph& g,
+    const std::vector<std::vector<std::size_t>>& mst_ports);
+
 // Inverse of collect_mst_edges: per-vertex marked ports of a global edge
 // list — the claimed-forest input shape of the verification protocol
 // (core/verify_mst.h). Linear in Σ degree of the touched vertices.

@@ -44,6 +44,9 @@ struct PipelineMstOptions {
     // Event-driven engine delay model (Engine::Async only);
     // output-invariant (see sim/async_network.h).
     AsyncConfig async;
+    // Seeded fault injection (congest/faults.h); loss is output-invariant,
+    // crash-stop degrades the run to a partial forest (result.partial).
+    FaultConfig faults;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;
@@ -57,6 +60,9 @@ struct PipelineMstResult {
     std::vector<std::vector<std::size_t>> mst_ports;
     std::vector<EdgeId> mst_edges;
     RunStats stats;
+    // Crash-stop graceful degradation: the run stalled before completing;
+    // mst_edges holds the partial forest (a subset of the true MST).
+    bool partial = false;
     std::uint64_t k_used = 0;
     std::uint64_t pipeline_edges = 0;  // edges that reached the root
     // Everything after the Controlled-GHS schedule ends: the Pipeline

@@ -151,7 +151,6 @@ void SyncBoruvkaProcess::on_round(Context& ctx)
             break;
         }
         case kReport: {
-            DMST_ASSERT(reports_pending_ > 0);
             --reports_pending_;
             auto m = decode<EdgeReportMsg>(in.msg);
             if (m.key < best_key_) {
@@ -226,7 +225,7 @@ void SyncBoruvkaProcess::on_round(Context& ctx)
 
     if (!local_computed_ && fids_received_ == ctx.degree() && phase_ >= 0) {
         local_computed_ = true;
-        reports_pending_ = children_.size();
+        reports_pending_ += static_cast<std::int64_t>(children_.size());
         for (std::size_t port = 0; port < ctx.degree(); ++port) {
             if (neighbor_fid_[port] == fid_)
                 continue;
@@ -257,11 +256,12 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     config.threads = opts.threads;
     config.conditioner = opts.conditioner;
     config.async = opts.async;
+    config.faults = opts.faults;
     config.record_per_edge = opts.record_per_edge;
     config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner);
+        opts.conditioner, opts.faults);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::size_t n = g.vertex_count();
@@ -277,18 +277,34 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
 
     int phases = 0;
     const int phase_guard = ceil_log2(std::max<std::uint64_t>(n, 2)) + 2;
-    while (fragment_count() > 1) {
+    std::size_t fragments = fragment_count();
+    while (fragments > 1) {
         if (opts.max_phases > 0 && phases >= opts.max_phases)
+            break;
+        // Under crash-stop the guard is a degradation point, not an
+        // invariant: dead merge centers slow (or end) convergence.
+        if (opts.faults.crash_enabled() && phases >= phase_guard)
             break;
         DMST_ASSERT_MSG(phases < phase_guard, "Boruvka did not converge");
         for (VertexId v = 0; v < n; ++v)
             static_cast<SyncBoruvkaProcess&>(net.process(v)).kick(phases);
         net.run();
         ++phases;
+        // A crash-stalled network never merges further, and neither does a
+        // quiescent one whose phase merged nothing (the cut at the dead
+        // vertices is permanent); kicking again would spin until the guard.
+        if (net.stats().stalled)
+            break;
+        const std::size_t now = fragment_count();
+        if (opts.faults.crash_enabled() && now == fragments)
+            break;
+        fragments = now;
     }
 
     SyncBoruvkaResult result;
     result.stats = net.stats();
+    result.partial =
+        result.stats.stalled || result.stats.crashed_vertices > 0;
     result.phases = phases;
     result.mst_ports.resize(n);
     result.fragment_id.resize(n);
@@ -299,7 +315,9 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
         result.fragment_id[v] = p.fragment_id();
         result.parent_port[v] = p.parent_port();
     }
-    if (fragment_count() == 1)
+    if (result.partial)
+        result.mst_edges = collect_claimed_edges(g, result.mst_ports);
+    else if (fragment_count() == 1)
         result.mst_edges = collect_mst_edges(g, result.mst_ports);
     return result;
 }

@@ -79,7 +79,11 @@ private:
     EdgeKey best_key_ = kInfiniteEdgeKey;
     std::size_t best_local_port_ = kNoPort;
     std::size_t winner_child_ = kNoPort;
-    std::size_t reports_pending_ = 0;
+    // Signed balance, not a countdown: under crash-stop a vertex whose fid
+    // exchange is cut short by a dead neighbor can receive child reports
+    // before (or without ever) computing its local MWOE, driving the
+    // balance negative until children_.size() is added in.
+    std::int64_t reports_pending_ = 0;
     bool report_sent_ = false;
 
     bool announced_ = false;
@@ -94,6 +98,10 @@ struct SyncBoruvkaResult {
     std::vector<std::vector<std::size_t>> mst_ports;
     std::vector<EdgeId> mst_edges;  // empty unless the run converged
     RunStats stats;
+    // Crash-stop graceful degradation: the run stalled before converging
+    // and mst_edges holds the partial forest (a subset of the true MST by
+    // the cut property) instead of staying empty.
+    bool partial = false;
     int phases = 0;
     // Fragment structure at the end of the run (useful with max_phases,
     // ablation E10a: uncontrolled merging blows fragment heights up).
@@ -114,6 +122,9 @@ struct SyncBoruvkaOptions {
     // Event-driven engine delay model (Engine::Async only);
     // output-invariant (see sim/async_network.h).
     AsyncConfig async;
+    // Seeded fault injection (congest/faults.h); loss is output-invariant,
+    // crash-stop degrades the run to a partial forest (result.partial).
+    FaultConfig faults;
     // Runaway guard in ideal-substrate rounds, summed across all phases
     // (0 = the NetConfig default); scaled by the conditioner stride.
     std::uint64_t max_rounds = 0;

@@ -82,6 +82,12 @@ struct VerifyOptions {
     // Event-driven engine delay model (Engine::Async only); the verdict
     // and witness are invariant (see sim/async_network.h).
     AsyncConfig async;
+    // Seeded fault injection (congest/faults.h). Loss is verdict-invariant
+    // (the reliable-delivery shim masks it). Crash-stop is NOT meaningfully
+    // supported here: a verifier cannot produce a verdict about vertices
+    // that stopped answering, so a crash-stalled run returns
+    // partial = true with accepted = false and an unspecified verdict.
+    FaultConfig faults;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;
@@ -97,6 +103,9 @@ struct VerifyMstResult {
     EdgeKey witness = kInfiniteEdgeKey;   // see the verdict comments above
     EdgeKey offender = kInfiniteEdgeKey;  // RejectNotMinimal only
     RunStats stats;
+    // Crash-stop stalled the protocol before a verdict; accepted is false
+    // and verdict/witness/offender are unspecified (see VerifyOptions).
+    bool partial = false;
 
     // Milestones for the bench budgets.
     std::uint64_t component_size = 0;  // of the root's claimed component

@@ -31,6 +31,8 @@ void SpanCell::merge(const SpanCell& other)
     messages += other.messages;
     words += other.words;
     instants += other.instants;
+    retransmissions += other.retransmissions;
+    drops += other.drops;
     first_round = std::min(first_round, other.first_round);
     last_round = std::max(last_round, other.last_round);
     first_tick = std::min(first_tick, other.first_tick);

@@ -55,6 +55,12 @@ struct SpanCell {
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
     std::uint64_t instants = 0;
+    // Fault-shim traffic attributed to this span (congest/faults.h):
+    // retransmissions and lost transmissions of sends charged here, so
+    // per-phase retransmission overhead is directly readable. Conserve
+    // against RunStats::retransmissions/::drops like messages do.
+    std::uint64_t retransmissions = 0;
+    std::uint64_t drops = 0;
     std::uint64_t first_round = kUnset;  // logical rounds (engine-invariant)
     std::uint64_t last_round = 0;
     std::uint64_t first_tick = kUnset;  // substrate ticks (engine-dependent)

@@ -49,6 +49,17 @@ std::uint64_t get_u64(const std::string& line, const std::string& key)
     return std::stoull(raw);
 }
 
+// Fields added after the format's first release (the fault counters) are
+// read permissively so older trace files stay loadable.
+std::uint64_t get_u64_or(const std::string& line, const std::string& key,
+                         std::uint64_t fallback)
+{
+    std::string raw;
+    if (!find_raw(line, key, raw))
+        return fallback;
+    return std::stoull(raw);
+}
+
 std::string get_string(const std::string& line, const std::string& key)
 {
     std::string raw;
@@ -63,6 +74,8 @@ void span_args_json(std::ostream& out, const TraceSpan& s)
 {
     out << "\"messages\":" << s.messages << ",\"words\":" << s.words
         << ",\"instants\":" << s.instants
+        << ",\"retransmissions\":" << s.retransmissions
+        << ",\"drops\":" << s.drops
         << ",\"first_round\":" << s.first_round
         << ",\"last_round\":" << s.last_round
         << ",\"first_tick\":" << s.first_tick
@@ -79,7 +92,9 @@ void write_trace_jsonl(std::ostream& out, const TraceTable& table)
         << ",\"words\":" << table.total_words
         << ",\"rounds\":" << table.total_rounds
         << ",\"sync_messages\":" << table.sync_messages
-        << ",\"sync_words\":" << table.sync_words << "}\n";
+        << ",\"sync_words\":" << table.sync_words
+        << ",\"retransmissions\":" << table.total_retransmissions
+        << ",\"drops\":" << table.total_drops << "}\n";
     for (const TraceSpan& s : table.spans) {
         out << "{\"type\":\"span\",\"phase\":\"" << trace_phase_name(s.phase)
             << "\",\"level\":" << s.level << ",";
@@ -107,6 +122,8 @@ TraceTable read_trace_jsonl(std::istream& in)
             table.total_rounds = get_u64(line, "rounds");
             table.sync_messages = get_u64(line, "sync_messages");
             table.sync_words = get_u64(line, "sync_words");
+            table.total_retransmissions = get_u64_or(line, "retransmissions", 0);
+            table.total_drops = get_u64_or(line, "drops", 0);
             saw_total = true;
         } else if (type == "span") {
             TraceSpan s;
@@ -115,6 +132,8 @@ TraceTable read_trace_jsonl(std::istream& in)
             s.messages = get_u64(line, "messages");
             s.words = get_u64(line, "words");
             s.instants = get_u64(line, "instants");
+            s.retransmissions = get_u64_or(line, "retransmissions", 0);
+            s.drops = get_u64_or(line, "drops", 0);
             s.first_round = get_u64(line, "first_round");
             s.last_round = get_u64(line, "last_round");
             s.first_tick = get_u64(line, "first_tick");
@@ -200,7 +219,9 @@ void write_chrome_trace(std::ostream& out, const TraceTable& table)
         << table.total_messages << ",\"words\":" << table.total_words
         << ",\"rounds\":" << table.total_rounds
         << ",\"sync_messages\":" << table.sync_messages
-        << ",\"sync_words\":" << table.sync_words << "}}";
+        << ",\"sync_words\":" << table.sync_words
+        << ",\"retransmissions\":" << table.total_retransmissions
+        << ",\"drops\":" << table.total_drops << "}}";
 
     out << "\n]}\n";
 }

@@ -30,9 +30,19 @@ std::uint64_t TraceTable::phase_messages(TracePhase phase) const
 void TraceTable::validate() const
 {
     std::uint64_t span_messages = 0, span_words = 0;
+    std::uint64_t span_retrans = 0, span_drops = 0;
     for (const TraceSpan& s : spans) {
         span_messages += s.messages;
         span_words += s.words;
+        span_retrans += s.retransmissions;
+        span_drops += s.drops;
+    }
+    if (span_retrans != total_retransmissions || span_drops != total_drops) {
+        std::ostringstream oss;
+        oss << "trace fault conservation violated: spans " << span_retrans
+            << " retransmissions / " << span_drops << " drops, RunStats "
+            << total_retransmissions << " / " << total_drops;
+        throw InvariantViolation(oss.str());
     }
     std::uint64_t tag_messages = 0, tag_words = 0;
     for (const TagCount& t : tags) {
@@ -158,6 +168,8 @@ std::shared_ptr<const TraceTable> TraceRecorder::finalize(
         s.messages = cell.messages;
         s.words = cell.words;
         s.instants = cell.instants;
+        s.retransmissions = cell.retransmissions;
+        s.drops = cell.drops;
         s.first_round = cell.first_round == SpanCell::kUnset ? 0 : cell.first_round;
         s.last_round = cell.last_round;
         s.first_tick = cell.first_tick == SpanCell::kUnset ? 0 : cell.first_tick;
@@ -176,6 +188,8 @@ std::shared_ptr<const TraceTable> TraceRecorder::finalize(
     table->total_rounds = stats.rounds;
     table->sync_messages = stats.sync_messages;
     table->sync_words = stats.sync_words;
+    table->total_retransmissions = stats.retransmissions;
+    table->total_drops = stats.drops;
 
     // Every traced run self-checks: attribution that does not conserve is
     // a bug in the instrumentation, not a report-time curiosity.

@@ -52,6 +52,9 @@ struct TraceSpan {
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
     std::uint64_t instants = 0;
+    // Fault-shim traffic of sends attributed here (0 without faults).
+    std::uint64_t retransmissions = 0;
+    std::uint64_t drops = 0;
     // Logical rounds of first/last activity: the parity-bearing fields.
     std::uint64_t first_round = 0;
     std::uint64_t last_round = 0;
@@ -81,6 +84,8 @@ struct TraceTable {
     std::uint64_t total_rounds = 0;  // RunStats::rounds (ticks)
     std::uint64_t sync_messages = 0;  // α-synchronizer control traffic
     std::uint64_t sync_words = 0;
+    std::uint64_t total_retransmissions = 0;  // fault shim (congest/faults.h)
+    std::uint64_t total_drops = 0;
 
     const TraceSpan* find(TracePhase phase, std::int64_t level) const;
     // Sum of span messages over every level of `phase`.
@@ -114,6 +119,17 @@ public:
     virtual void instant(VertexId v, TracePhase phase, std::int64_t level) = 0;
     virtual void on_send(VertexId from, std::uint32_t tag,
                          std::uint64_t words) = 0;
+
+    // Fault-shim traffic of one send (retransmissions and lost
+    // transmissions), reported right after its on_send so it lands in the
+    // same span. Default no-op: sinks predating the fault layer ignore it.
+    virtual void on_fault(VertexId from, std::uint64_t retransmissions,
+                          std::uint64_t drops)
+    {
+        (void)from;
+        (void)retransmissions;
+        (void)drops;
+    }
 
     // Self-verification: the recorded attribution must conserve against
     // the run's totals. Throws InvariantViolation on violation.
@@ -173,6 +189,17 @@ public:
         cell.words += words;
         cell.touch(sh.now_round, sh.now_tick, sh.now_vtime);
         sh.tags.add(tag, words);
+    }
+
+    void on_fault(VertexId from, std::uint64_t retransmissions,
+                  std::uint64_t drops) override
+    {
+        Shard& sh = shards_[shard_index(from)];
+        const std::vector<std::uint32_t>& stack = stack_[from];
+        SpanCell& cell = sh.cells[stack.empty() ? kInitCell : stack.back()];
+        cell.retransmissions += retransmissions;
+        cell.drops += drops;
+        // No touch(): the accompanying on_send already stamped the clock.
     }
 
     // Folds every shard's cells into a sorted immutable table, snapshots

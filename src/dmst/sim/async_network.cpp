@@ -23,6 +23,11 @@ AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
     DMST_ASSERT_MSG(!config_.conditioner.enabled(),
                     "the lock-step conditioner does not compose with the "
                     "async engine (its delay model subsumes the latency axis)");
+    if (config_.faults.crash_enabled())
+        throw std::invalid_argument(
+            "crash-stop faults do not compose with the async engine "
+            "(stall detection is a lock-step device); use --engine=serial "
+            "or --engine=parallel for crash scenarios");
     if (config_.async.max_delay < 1)
         throw std::invalid_argument("async max_delay must be >= 1");
 
@@ -42,9 +47,16 @@ AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
         for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
             shard_of_[v] = s;
 
+    // Queue span: the seeded delay draw plus, under the loss shim, the
+    // worst-case retransmission wait a payload can carry. Auto mode keeps
+    // the timing wheel while the span is small and falls back to the heap
+    // for wide fault backoffs — same ordering contract either way.
+    int queue_span = config_.async.max_delay;
+    if (config_.faults.loss_enabled())
+        queue_span += static_cast<int>(config_.faults.worst_round_ticks(1));
     shard_states_.reserve(static_cast<std::size_t>(shards_));
     for (int s = 0; s < shards_; ++s) {
-        shard_states_.emplace_back(config_.async.max_delay);
+        shard_states_.emplace_back(queue_span);
         ShardState& st = shard_states_.back();
         st.freed.resize(static_cast<std::size_t>(shards_));
         if (config_.record_per_edge)
@@ -123,6 +135,14 @@ void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
     ev.link_seq = send_seq_[from][port]++;
     ev.owner = static_cast<std::uint8_t>(shard_of_[from]);
     ev.payload = st.pool.acquire(std::move(msg));
+    // Loss shim: plan the transmission (one-way latency 1 — the seeded
+    // event delay models the wire) and charge the retransmission wait to
+    // this payload's schedule. The plan is a pure function of (loss_seed,
+    // edge, direction, burst clock), so the schedule stays bit-identical
+    // across shard and thread counts.
+    if (faults_on_)
+        ev.fault_wait = static_cast<std::uint32_t>(
+            plan_fault_delivery(from, port, st.faults) - 1);
 
     if (config_.record_per_edge) {
         const EdgeId e = graph_.edge_id(from, port);
@@ -284,7 +304,8 @@ void AsyncNetwork::epoch_shard(int s)
 void AsyncNetwork::schedule(Event&& ev)
 {
     ev.seq = event_seq_++;
-    ev.time = now_ + static_cast<std::uint64_t>(delay_draw(ev.seq));
+    ev.time = now_ + static_cast<std::uint64_t>(ev.fault_wait) +
+              static_cast<std::uint64_t>(delay_draw(ev.seq));
     shard_states_[static_cast<std::size_t>(shard_of_[ev.target])].queue.push(
         std::move(ev));
 }
@@ -301,6 +322,8 @@ void AsyncNetwork::merge_barrier()
         stats_.events += st.events;
         st.messages = st.words = st.sync_messages = st.sync_words =
             st.events = 0;
+        if (faults_on_)
+            fold_fault_delta(st.faults);  // horizon unused: no round clock
         DMST_ASSERT(st.in_flight >= 0 ||
                     in_flight_ >= static_cast<std::uint64_t>(-st.in_flight));
         in_flight_ = static_cast<std::uint64_t>(

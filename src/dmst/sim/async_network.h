@@ -132,6 +132,11 @@ private:
         VertexId sender = 0;         // Payload: for the ACK return
         std::uint32_t port = 0;      // Payload: arrival port at the target
         std::uint32_t link_seq = 0;  // Payload: send order on the link
+        // Loss-shim wait (congest/faults.h): the retransmission delay the
+        // reliable-delivery shim charges this payload before its final
+        // (successful) hop; added on top of the seeded delay draw at
+        // scheduling. 0 unless NetConfig::faults arms the loss shim.
+        std::uint32_t fault_wait = 0;
         EventKind kind = EventKind::Payload;
         std::uint8_t owner = 0;      // Payload: shard owning the pool slot
     };
@@ -165,6 +170,8 @@ private:
         std::uint64_t events = 0;
         std::int64_t in_flight = 0;
         std::int64_t not_done = 0;
+        // Loss-shim counters of this shard's sends; folded at the barrier.
+        FaultDelta faults;
         std::vector<std::uint64_t> edge_hist;  // only if record_per_edge
         std::vector<EdgeId> touched_edges;     // edges with edge_hist != 0
         std::exception_ptr error;

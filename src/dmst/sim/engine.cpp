@@ -22,6 +22,10 @@ std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
                 throw std::invalid_argument(
                     "the lock-step conditioner does not compose with "
                     "--engine=async (the async delay model subsumes it)");
+            if (config.faults.crash_enabled())
+                throw std::invalid_argument(
+                    "crash-stop faults do not compose with --engine=async "
+                    "(stall detection is a lock-step device)");
             return std::make_unique<AsyncNetwork>(g, config);
     }
     throw std::invalid_argument("make_network: unknown engine");
@@ -103,6 +107,36 @@ AsyncConfig async_from_args(const Args& args)
     if (ac.max_delay < 1)
         throw std::invalid_argument("--max_delay must be >= 1");
     return ac;
+}
+
+void define_fault_flags(Args& args)
+{
+    args.define("drop_rate", "0",
+                "faults: per-transmission loss probability in [0, 1)");
+    args.define("loss_seed", "11", "faults: loss-draw seed");
+    args.define("burst_len", "1",
+                "faults: consecutive transmissions sharing one loss draw");
+    args.define("crash", "none",
+                "faults: crash-stop spec v@r[+v@r...] (lock-step engines "
+                "only), or none");
+}
+
+FaultConfig faults_from_args(const Args& args)
+{
+    FaultConfig fc;
+    try {
+        fc.drop_rate = std::stod(args.get("drop_rate"));
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--drop_rate: not a number");
+    }
+    if (fc.drop_rate < 0.0 || fc.drop_rate >= 1.0)
+        throw std::invalid_argument("--drop_rate must be in [0, 1)");
+    fc.loss_seed = static_cast<std::uint64_t>(args.get_int("loss_seed"));
+    fc.burst_len = static_cast<int>(args.get_int("burst_len"));
+    if (fc.burst_len < 1)
+        throw std::invalid_argument("--burst_len must be >= 1");
+    fc.crashes = parse_crash_spec(args.get("crash"));
+    return fc;
 }
 
 }  // namespace dmst

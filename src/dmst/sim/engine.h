@@ -14,7 +14,9 @@ namespace dmst {
 // α-synchronizer). All honor the NetworkBase contract and produce
 // bit-identical protocol outputs; serial and parallel are additionally
 // bit-identical in RunStats. Throws std::invalid_argument for
-// Engine::Async combined with an enabled lock-step conditioner.
+// Engine::Async combined with an enabled lock-step conditioner or a
+// crash-stop fault schedule (the loss shim composes with every engine),
+// and for an invalid NetConfig::faults.
 std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
                                           const NetConfig& config);
 
@@ -48,6 +50,13 @@ ConditionerConfig conditioner_from_args(const Args& args);
 // Only the async engine reads them.
 void define_async_flags(Args& args);
 AsyncConfig async_from_args(const Args& args);
+
+// The shared --drop_rate/--loss_seed/--burst_len/--crash CLI surface of
+// the bench binaries (single values; the scenario runner sweeps its own
+// comma-list axes). See congest/faults.h for the model; --crash takes the
+// "v@r[+v@r...]" spec grammar, or "none".
+void define_fault_flags(Args& args);
+FaultConfig faults_from_args(const Args& args);
 
 }  // namespace dmst
 

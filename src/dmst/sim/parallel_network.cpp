@@ -75,18 +75,31 @@ void ParallelNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
     VertexId target = graph_.neighbor(from, port);
     if (trace_)
         trace_->on_send(from, msg.tag, size);
-    if (config_.record_per_round)
-        ++st.arrive_hist[link_delay(from, port)];
     if (config_.record_per_edge) {
         EdgeId e = graph_.edge_id(from, port);
         if (st.edge_hist[e]++ == 0)
             st.touched_edges.push_back(e);
     }
+    ++st.messages;
+    st.words += size;
+    if (has_crashes_ && crashed_[target]) {
+        // Same contract as the serial engine: the sender paid, the
+        // message dies on the wire and never enters flight.
+        ++st.faults.failed_sends;
+        return;
+    }
+    std::uint64_t delivery = 1 + static_cast<std::uint64_t>(link_delay(from, port));
+    if (faults_on_)
+        delivery = plan_fault_delivery(from, port, st.faults);
+    if (config_.record_per_round) {
+        const std::size_t idx = static_cast<std::size_t>(delivery - 1);
+        if (st.arrive_hist.size() <= idx)
+            st.arrive_hist.resize(idx + 1, 0);
+        ++st.arrive_hist[idx];
+    }
     st.out[static_cast<std::size_t>(shard_of_[target])].emplace(
         target, static_cast<std::uint32_t>(reverse_port_[from][port]),
         std::move(msg));
-    ++st.messages;
-    st.words += size;
 }
 
 void ParallelNetwork::step_shard(int s)
@@ -95,8 +108,11 @@ void ParallelNetwork::step_shard(int s)
         for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v)
             reset_round_words(v);
         for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+            if (has_crashes_ && crashed_[v])
+                continue;
             Context ctx = context_for(v);
-            processes_[v]->on_round(ctx);
+            run_process_guarded(v, ctx,
+                                shard_states_[static_cast<std::size_t>(s)].faults);
         }
     } catch (...) {
         shard_states_[static_cast<std::size_t>(s)].error =
@@ -175,13 +191,15 @@ void ParallelNetwork::fold_edge_histograms()
 bool ParallelNetwork::step()
 {
     DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
-    if (quiescent())
+    if (stalled_ || quiescent())
         return false;
 
     ++round_;
     std::uint64_t sent = 0;
     if (activation_tick()) {
         ++logical_round_;
+        if (has_crashes_)
+            apply_crashes();
         if (trace_)
             trace_->set_now(logical_round_, round_, 0);
         run_phase([this](int s) { step_shard(s); });
@@ -199,18 +217,27 @@ bool ParallelNetwork::step()
         in_flight_ -= consumed;
 
         // Merge the shard counters on the coordinator, between phases.
+        // Failed sends (dead targets) never enter flight; the shim deltas
+        // fold into stats_ and their max completion stretches the round.
+        std::uint64_t staged = sent;
+        std::uint64_t horizon = static_cast<std::uint64_t>(stride_);
         for (auto& st : shard_states_) {
             sent += st.messages;
+            staged += st.messages - st.faults.failed_sends;
             stats_.messages += st.messages;
             stats_.words += st.words;
             st.messages = 0;
             st.words = 0;
             if (config_.record_per_round)
                 fold_arrivals(st.arrive_hist);
+            if (faults_on_ || has_crashes_)
+                horizon = std::max(horizon, fold_fault_delta(st.faults));
         }
-        in_flight_ += sent;
+        in_flight_ += staged;
+        note_activation();
         if (config_.record_per_edge)
             fold_edge_histograms();
+        schedule_round(horizon);
     }
     // Between activations (stride > 1) the per-shard outboxes ride along
     // unread; the inbox for the next activation is built on the tick just

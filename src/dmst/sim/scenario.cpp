@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dmst/congest/faults.h"
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/core/elkin_mst.h"
 #include "dmst/core/mst_output.h"
@@ -26,12 +27,14 @@ namespace {
 struct AlgoRun {
     std::vector<EdgeId> edges;  // edges the algorithm selected
     RunStats stats;
+    bool partial = false;  // crash-stop degraded the run to a subforest
 };
 
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
                       std::uint64_t ghs_k, const ConditionerConfig& cc,
-                      const AsyncConfig& ac, bool trace, bool record_per_edge)
+                      const AsyncConfig& ac, const FaultConfig& fc, bool trace,
+                      bool record_per_edge)
 {
     AlgoRun out;
     if (algorithm == "elkin") {
@@ -41,10 +44,12 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.faults = fc;
         opts.record_per_edge = record_per_edge;
         auto r = run_elkin_mst(g, opts);  // always records the span trace
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
+        out.partial = r.partial;
     } else if (algorithm == "pipeline") {
         PipelineMstOptions opts;
         opts.bandwidth = bandwidth;
@@ -52,11 +57,13 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.faults = fc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_pipeline_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
+        out.partial = r.partial;
     } else if (algorithm == "boruvka") {
         SyncBoruvkaOptions opts;
         opts.bandwidth = bandwidth;
@@ -64,11 +71,13 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.faults = fc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_sync_boruvka(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
+        out.partial = r.partial;
     } else if (algorithm == "ghs") {
         GhsOptions opts;
         opts.k = ghs_k;
@@ -77,6 +86,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.threads = threads;
         opts.conditioner = cc;
         opts.async = ac;
+        opts.faults = fc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_controlled_ghs(g, opts);
@@ -88,6 +98,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                 edges.insert(g.edge_id(v, p));
         out.edges.assign(edges.begin(), edges.end());
         out.stats = std::move(r.stats);
+        out.partial = r.partial;
     } else {
         throw std::invalid_argument(
             "unknown algorithm '" + algorithm +
@@ -304,7 +315,9 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
         spec.bandwidths.empty() || spec.engines.empty() ||
         spec.thread_counts.empty() || spec.latencies.empty() ||
         spec.hetero_bs.empty() || spec.adversarial_orders.empty() ||
-        spec.max_delays.empty() || spec.event_seeds.empty())
+        spec.max_delays.empty() || spec.event_seeds.empty() ||
+        spec.drop_rates.empty() || spec.loss_seeds.empty() ||
+        spec.crash_specs.empty())
         throw std::invalid_argument("run_scenarios: empty sweep dimension");
 
     std::vector<ScenarioCell> cells;
@@ -324,6 +337,18 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
             for (int adversarial : spec.adversarial_orders) {
             for (int max_delay : spec.max_delays) {
             for (std::uint64_t event_seed : spec.event_seeds) {
+            for (double drop_rate : spec.drop_rates) {
+            for (std::uint64_t loss_seed : spec.loss_seeds) {
+                // Without loss the seed never enters a draw; sweeping it
+                // would duplicate the clean cell.
+                if (drop_rate == 0.0 && loss_seed != spec.loss_seeds.front())
+                    continue;
+            for (const std::string& crash_spec : spec.crash_specs) {
+                FaultConfig fc;
+                fc.drop_rate = drop_rate;
+                fc.loss_seed = loss_seed;
+                fc.burst_len = spec.fault_burst;
+                fc.crashes = parse_crash_spec(crash_spec);
                 ConditionerConfig cc;
                 cc.max_latency = latency;
                 cc.hetero_bandwidth = hetero != 0;
@@ -343,6 +368,10 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                     // engines do not read the async axes; the async
                     // engine rejects the lock-step conditioner.
                     if (is_async ? !ideal_conditioner : !first_async_point)
+                        continue;
+                    // Crash-stop is a lock-step device (the α-synchronizer
+                    // has no global round barrier to crash at).
+                    if (is_async && fc.crash_enabled())
                         continue;
                     const std::vector<int> single_run = {1};
                     // Both multi-worker engines sweep the thread axis; the
@@ -366,6 +395,10 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             cell.max_delay = max_delay;
                             cell.event_seed = event_seed;
                         }
+                        cell.drop_rate = drop_rate;
+                        if (drop_rate > 0)
+                            cell.loss_seed = loss_seed;
+                        cell.crash = crash_spec;
                         cell.engine = engine;
                         cell.threads =
                             threaded_engine ? resolve_threads(threads) : 1;
@@ -373,12 +406,13 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         auto t0 = std::chrono::steady_clock::now();
                         AlgoRun run = run_algorithm(
                             spec.algorithm, g, bandwidth, engine, threads,
-                            spec.ghs_k, cc, ac, spec.trace,
+                            spec.ghs_k, cc, ac, fc, spec.trace,
                             spec.record_per_edge);
                         auto t1 = std::chrono::steady_clock::now();
                         cell.wall_ms =
                             std::chrono::duration<double, std::milli>(t1 - t0)
                                 .count();
+                        cell.partial = run.partial;
                         cell.stats = std::move(run.stats);
                         // Elkin records a trace unconditionally (its phase
                         // split needs it); only surface it when asked.
@@ -392,21 +426,27 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
 
                         if (spec.verify) {
                             cell.verify_ran = true;
-                            if (spec.algorithm == "ghs") {
-                                // A Controlled-GHS forest is a subforest of
-                                // the unique MST.
+                            if (spec.algorithm == "ghs" || run.partial) {
+                                // A Controlled-GHS forest — and any
+                                // crash-degraded partial forest — is a
+                                // subforest of the unique MST (cut
+                                // property); containment is the bar.
                                 cell.verified = std::all_of(
                                     run.edges.begin(), run.edges.end(),
                                     [&](EdgeId e) {
                                         return reference_set.count(e) > 0;
                                     });
                             } else {
+                                // Loss cells included: the shim is
+                                // transparent, so the bar stays exact
+                                // equality with the clean oracle.
                                 cell.verified =
                                     run.edges == reference.edges;
                             }
                         }
 
-                        if (spec.model_verify && spec.algorithm != "ghs") {
+                        if (spec.model_verify && spec.algorithm != "ghs" &&
+                            !fc.crash_enabled() && !run.partial) {
                             // Self-check inside the model: the constructed
                             // forest must be accepted, every mutation of it
                             // rejected with a correct witness — under the
@@ -418,6 +458,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             vo.threads = threads;
                             vo.conditioner = cc;
                             vo.async = ac;
+                            vo.faults = fc;  // crash-free here by the gate
                             auto claimed = ports_from_edges(g, run.edges);
                             auto vr = run_verify_mst(g, claimed, vo);
                             cell.model_verified = vr.accepted;
@@ -438,6 +479,9 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         cells.push_back(std::move(cell));
                     }
                 }
+            }
+            }
+            }
             }
             }
             }
@@ -474,6 +518,20 @@ std::string cell_json(const ScenarioCell& cell)
             << ",\"virtual_time\":" << cell.stats.virtual_time
             << ",\"sync_messages\":" << cell.stats.sync_messages
             << ",\"sync_words\":" << cell.stats.sync_words;
+    // Fault fields appear only on cells where the axis is active, so
+    // clean-grid JSONL stays byte-identical to the pre-fault format.
+    if (cell.drop_rate > 0)
+        oss << ",\"drop_rate\":" << cell.drop_rate
+            << ",\"loss_seed\":" << cell.loss_seed
+            << ",\"drops\":" << cell.stats.drops
+            << ",\"retransmissions\":" << cell.stats.retransmissions
+            << ",\"acks\":" << cell.stats.acks
+            << ",\"timeouts\":" << cell.stats.timeouts;
+    if (!cell.crash.empty())
+        oss << ",\"crash\":\"" << cell.crash << "\""
+            << ",\"crashed_vertices\":" << cell.stats.crashed_vertices
+            << ",\"failed_sends\":" << cell.stats.failed_sends
+            << ",\"partial\":" << (cell.partial ? "true" : "false");
     if (cell.verify_ran)
         oss << ",\"verified\":" << (cell.verified ? "true" : "false");
     if (cell.model_verify_ran)

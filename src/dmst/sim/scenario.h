@@ -44,6 +44,19 @@ struct ScenarioSpec {
     // lock-step engines run at the first point of each axis only.
     std::vector<int> max_delays = {4};
     std::vector<std::uint64_t> event_seeds = {1};
+    // Fault-injection axes (congest/faults.h): per-link drop probability,
+    // loss-stream seed, and crash-stop schedule (parse_crash_spec grammar,
+    // "" = none). The loss shim is transparent — every lossy cell must
+    // verify exactly like its clean twin — so the loss_seed axis collapses
+    // to its first point at drop_rate 0. Crash schedules are lock-step
+    // only (async cells skip them); a crash cell verifies by containment
+    // of the partial forest in the reference MST and skips model_verify
+    // (the verifier's input contract is a spanning forest).
+    std::vector<double> drop_rates = {0.0};
+    std::vector<std::uint64_t> loss_seeds = {11};
+    std::vector<std::string> crash_specs = {""};
+    // Burst length of the loss shim's drop windows (scalar, not swept).
+    int fault_burst = 1;
     std::uint64_t seed = 1;
     // Cross-check the distributed output against sequential Kruskal. For
     // ghs (a partial forest, not a full MST) the check is containment of
@@ -91,6 +104,14 @@ struct ScenarioCell {
     // (zero otherwise, and absent from their JSON).
     int max_delay = 0;
     std::uint64_t event_seed = 0;
+    // The cell's fault point: loss-shim drop rate and seed (loss_seed is
+    // meaningful only when drop_rate > 0) and the crash schedule ("" =
+    // none). `partial` reports crash-stop degradation (stats.stalled or
+    // crashed vertices); always false on loss-only and clean cells.
+    double drop_rate = 0;
+    std::uint64_t loss_seed = 0;
+    std::string crash;
+    bool partial = false;
     Engine engine = Engine::Serial;
     int threads = 1;
     RunStats stats;
@@ -165,12 +186,13 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 // Runs the full grid; throws std::invalid_argument on an unknown
 // algorithm, family, or empty dimension. Cells are produced in
 // (family, n, bandwidth, latency, hetero_b, adversarial_order, max_delay,
-// event_seed, engine, threads) lexicographic grid order. Cells whose axes
-// do not apply to their engine are skipped rather than duplicated:
-// lock-step engines run only at the first (max_delay, event_seed) point,
-// the async engine only at the ideal conditioner point; the serial engine
-// runs a single (threads = 1) cell while parallel and async sweep the
-// thread axis.
+// event_seed, drop_rate, loss_seed, crash, engine, threads) lexicographic
+// grid order. Cells whose axes do not apply to their engine are skipped
+// rather than duplicated: lock-step engines run only at the first
+// (max_delay, event_seed) point, the async engine only at the ideal
+// conditioner point and never on crash cells; loss seeds beyond the first
+// are skipped at drop_rate 0; the serial engine runs a single
+// (threads = 1) cell while parallel and async sweep the thread axis.
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell = {});
 

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dmst/congest/faults.h"
+#include "dmst/core/controlled_ghs.h"
+#include "dmst/core/elkin_mst.h"
+#include "dmst/core/mst_output.h"
+#include "dmst/core/pipeline_mst.h"
+#include "dmst/core/sync_boruvka.h"
+#include "dmst/core/verify_mst.h"
+#include "dmst/graph/generators.h"
+#include "dmst/seq/mst.h"
+#include "dmst/sim/engine.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+// The E15 invariance bar: every driver, on every engine, must produce
+// bit-identical outputs at every (drop_rate, loss_seed) grid point — the
+// loss shim is transparent to the protocols by construction — and the
+// fault counters themselves must be engine-independent and replay-exact.
+
+constexpr double kDropRates[] = {0.0, 0.05, 0.2};
+constexpr std::uint64_t kLossSeeds[] = {11, 12, 13};
+constexpr Engine kEngines[] = {Engine::Serial, Engine::Parallel, Engine::Async};
+
+std::vector<WeightedGraph> fuzz_graphs()
+{
+    std::vector<WeightedGraph> gs;
+    Rng rng(1701);
+    gs.push_back(gen_erdos_renyi(24, 60, rng));
+    gs.push_back(gen_grid(4, 6, rng));
+    gs.push_back(gen_cycle(18, rng));
+    gs.push_back(gen_lollipop(6, 10, rng));
+    return gs;
+}
+
+struct FaultCounters {
+    std::uint64_t drops, retransmissions, acks, timeouts;
+    bool operator==(const FaultCounters& o) const
+    {
+        return drops == o.drops && retransmissions == o.retransmissions &&
+               acks == o.acks && timeouts == o.timeouts;
+    }
+};
+
+FaultCounters counters(const RunStats& s)
+{
+    return FaultCounters{s.drops, s.retransmissions, s.acks, s.timeouts};
+}
+
+template <typename Opts, typename Run>
+void sweep_loss_grid(const WeightedGraph& g, Run run,
+                     const std::vector<EdgeId>& oracle)
+{
+    for (double rate : kDropRates) {
+        // The counters of the serial reference pin every other engine at
+        // the same grid point; at rate 0 extra seeds are no-ops.
+        for (std::uint64_t seed : kLossSeeds) {
+            FaultCounters serial_counters{};
+            for (Engine engine : kEngines) {
+                Opts opts;
+                opts.engine = engine;
+                opts.faults.drop_rate = rate;
+                opts.faults.loss_seed = seed;
+                const auto r = run(g, opts);
+                EXPECT_EQ(r.mst_edges, oracle)
+                    << "engine=" << engine_name(engine) << " rate=" << rate
+                    << " seed=" << seed;
+                const FaultCounters c = counters(r.stats);
+                if (rate == 0.0) {
+                    EXPECT_EQ(c, (FaultCounters{0, 0, 0, 0}));
+                } else if (engine == Engine::Serial) {
+                    serial_counters = c;
+                    EXPECT_GT(c.acks, 0u);
+                    // Replay-exact: an identical run reproduces the
+                    // counters bit-for-bit.
+                    const auto r2 = run(g, opts);
+                    EXPECT_EQ(counters(r2.stats), c);
+                    EXPECT_EQ(r2.stats.rounds, r.stats.rounds);
+                } else {
+                    EXPECT_EQ(c, serial_counters)
+                        << "engine=" << engine_name(engine) << " rate=" << rate
+                        << " seed=" << seed;
+                }
+            }
+            if (rate == 0.0)
+                break;  // seeds are indistinguishable without loss
+        }
+    }
+}
+
+TEST(FaultFuzz, ElkinInvariantAcrossLossGrid)
+{
+    for (const auto& g : fuzz_graphs()) {
+        const MstResult oracle = mst_kruskal(g);
+        sweep_loss_grid<ElkinOptions>(
+            g, [](const WeightedGraph& gr, const ElkinOptions& o) {
+                return run_elkin_mst(gr, o);
+            },
+            oracle.edges);
+    }
+}
+
+TEST(FaultFuzz, BoruvkaInvariantAcrossLossGrid)
+{
+    for (const auto& g : fuzz_graphs()) {
+        const MstResult oracle = mst_kruskal(g);
+        sweep_loss_grid<SyncBoruvkaOptions>(
+            g, [](const WeightedGraph& gr, const SyncBoruvkaOptions& o) {
+                return run_sync_boruvka(gr, o);
+            },
+            oracle.edges);
+    }
+}
+
+TEST(FaultFuzz, PipelineInvariantAcrossLossGrid)
+{
+    for (const auto& g : fuzz_graphs()) {
+        const MstResult oracle = mst_kruskal(g);
+        sweep_loss_grid<PipelineMstOptions>(
+            g, [](const WeightedGraph& gr, const PipelineMstOptions& o) {
+                return run_pipeline_mst(gr, o);
+            },
+            oracle.edges);
+    }
+}
+
+TEST(FaultFuzz, ControlledGhsForestInvariantAcrossLossGrid)
+{
+    // The forest driver has no mst_edges; its per-vertex views are the
+    // output that must stay invariant.
+    for (const auto& g : fuzz_graphs()) {
+        GhsOptions clean;
+        clean.k = 4;
+        const MstForestResult base = run_controlled_ghs(g, clean);
+        for (double rate : kDropRates) {
+            for (std::uint64_t seed : kLossSeeds) {
+                for (Engine engine : kEngines) {
+                    GhsOptions opts;
+                    opts.k = 4;
+                    opts.engine = engine;
+                    opts.faults.drop_rate = rate;
+                    opts.faults.loss_seed = seed;
+                    const MstForestResult r = run_controlled_ghs(g, opts);
+                    EXPECT_EQ(r.fragment_id, base.fragment_id)
+                        << "engine=" << engine_name(engine) << " rate=" << rate
+                        << " seed=" << seed;
+                    EXPECT_EQ(r.mst_ports, base.mst_ports);
+                    EXPECT_EQ(r.parent_port, base.parent_port);
+                }
+                if (rate == 0.0)
+                    break;
+            }
+        }
+    }
+}
+
+TEST(FaultFuzz, VerifierVerdictInvariantAcrossLossGrid)
+{
+    for (const auto& g : fuzz_graphs()) {
+        const MstResult oracle = mst_kruskal(g);
+        const auto good = ports_from_edges(g, oracle.edges);
+        auto mutated_edges = oracle.edges;
+        mutated_edges.pop_back();  // not spanning -> rejected
+        const auto bad = ports_from_edges(g, mutated_edges);
+
+        VerifyOptions clean;
+        const VerifyMstResult good_base = run_verify_mst(g, good, clean);
+        const VerifyMstResult bad_base = run_verify_mst(g, bad, clean);
+        ASSERT_TRUE(good_base.accepted);
+        ASSERT_FALSE(bad_base.accepted);
+
+        for (double rate : kDropRates) {
+            for (std::uint64_t seed : kLossSeeds) {
+                for (Engine engine : kEngines) {
+                    VerifyOptions opts;
+                    opts.engine = engine;
+                    opts.faults.drop_rate = rate;
+                    opts.faults.loss_seed = seed;
+                    const VerifyMstResult a = run_verify_mst(g, good, opts);
+                    EXPECT_TRUE(a.accepted)
+                        << "engine=" << engine_name(engine) << " rate=" << rate
+                        << " seed=" << seed;
+                    const VerifyMstResult b = run_verify_mst(g, bad, opts);
+                    EXPECT_EQ(b.verdict, bad_base.verdict);
+                    EXPECT_EQ(b.witness, bad_base.witness);
+                }
+                if (rate == 0.0)
+                    break;
+            }
+        }
+    }
+}
+
+TEST(FaultFuzz, SeededCrashesDegradeToSubforestsEverywhere)
+{
+    // Crash-stop is lock-step only; every seeded schedule must end in a
+    // graceful partial forest contained in the true MST, bit-identically
+    // across serial/parallel and across replays.
+    for (const auto& g : fuzz_graphs()) {
+        const MstResult oracle = mst_kruskal(g);
+        const std::set<EdgeId> oracle_set(oracle.edges.begin(),
+                                          oracle.edges.end());
+        for (std::uint64_t crash_seed : {1ull, 2ull, 3ull}) {
+            const auto crashes =
+                seeded_crashes(g.vertex_count(), 2, 24, crash_seed);
+            ElkinOptions serial;
+            serial.faults.crashes = crashes;
+            const DistributedMstResult s = run_elkin_mst(g, serial);
+            EXPECT_EQ(s.partial, s.stats.stalled ||
+                                     s.stats.crashed_vertices > 0);
+            for (EdgeId e : s.mst_edges)
+                EXPECT_TRUE(oracle_set.count(e))
+                    << "crash_seed=" << crash_seed << " edge=" << e;
+
+            ElkinOptions par = serial;
+            par.engine = Engine::Parallel;
+            par.threads = 3;
+            const DistributedMstResult p = run_elkin_mst(g, par);
+            EXPECT_EQ(p.mst_edges, s.mst_edges);
+            EXPECT_EQ(p.partial, s.partial);
+            EXPECT_EQ(p.stats.failed_sends, s.stats.failed_sends);
+            EXPECT_EQ(p.stats.crashed_vertices, s.stats.crashed_vertices);
+
+            SyncBoruvkaOptions bo;
+            bo.faults.crashes = crashes;
+            const SyncBoruvkaResult b = run_sync_boruvka(g, bo);
+            for (EdgeId e : b.mst_edges)
+                EXPECT_TRUE(oracle_set.count(e));
+
+            GhsOptions go;
+            go.k = 4;
+            go.faults.crashes = crashes;
+            const MstForestResult f = run_controlled_ghs(g, go);
+            const auto forest_edges = collect_claimed_edges(g, f.mst_ports);
+            for (EdgeId e : forest_edges)
+                EXPECT_TRUE(oracle_set.count(e));
+
+            PipelineMstOptions po;
+            po.faults.crashes = crashes;
+            const PipelineMstResult pl = run_pipeline_mst(g, po);
+            for (EdgeId e : pl.mst_edges)
+                EXPECT_TRUE(oracle_set.count(e));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dmst

@@ -296,6 +296,87 @@ TEST(Scenario, AsyncAxesSweepInvariantCellsAtIdealConditionerOnly)
     EXPECT_EQ(cell_json(cells[0]).find("max_delay"), std::string::npos);
 }
 
+TEST(Scenario, FaultAxesSweepLossAndCrashCells)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "boruvka";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.engines = {Engine::Serial, Engine::Parallel, Engine::Async};
+    spec.thread_counts = {2};
+    spec.drop_rates = {0.0, 0.1};
+    spec.loss_seeds = {11, 12};
+    spec.crash_specs = {"", "5@3"};
+
+    auto cells = run_scenarios(spec);
+    // Fault grid per engine slice: (drop 0, first seed) + 2 lossy seeds =
+    // 3 loss points, each crossed with {clean, crash} — but async skips
+    // the 3 crash cells. 3 engines x 6 - 3 = 15.
+    ASSERT_EQ(cells.size(), 15u);
+    for (const auto& cell : cells) {
+        EXPECT_TRUE(cell.verified)
+            << cell_json(cell);  // loss exact, crash containment
+        if (cell.engine == Engine::Async)
+            EXPECT_TRUE(cell.crash.empty());
+        if (cell.drop_rate == 0.0) {
+            EXPECT_EQ(cell.stats.drops, 0u);
+            EXPECT_EQ(cell.stats.retransmissions, 0u);
+            EXPECT_EQ(cell.stats.acks, 0u);
+        } else {
+            EXPECT_GT(cell.stats.acks, 0u);
+        }
+        if (!cell.crash.empty()) {
+            EXPECT_TRUE(cell.partial);
+            EXPECT_GT(cell.stats.crashed_vertices, 0u);
+        } else {
+            EXPECT_FALSE(cell.partial);
+        }
+    }
+    // Grid order is (drop_rate, loss_seed, crash, engine): within every
+    // fault point the engines must agree counter for counter.
+    for (std::size_t i = 0; i < cells.size();) {
+        const auto& base = cells[i];
+        std::size_t span = base.crash.empty() ? 3 : 2;  // async skipped
+        for (std::size_t j = 1; j < span; ++j) {
+            EXPECT_EQ(cells[i + j].stats.drops, base.stats.drops);
+            EXPECT_EQ(cells[i + j].stats.retransmissions,
+                      base.stats.retransmissions);
+            EXPECT_EQ(cells[i + j].stats.acks, base.stats.acks);
+            EXPECT_EQ(cells[i + j].mst_weight, base.mst_weight);
+            EXPECT_EQ(cells[i + j].partial, base.partial);
+        }
+        i += span;
+    }
+}
+
+TEST(Scenario, CellJsonEmitsFaultFieldsOnlyWhenActive)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "boruvka";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.drop_rates = {0.0, 0.1};
+    spec.crash_specs = {"", "5@3"};
+    auto cells = run_scenarios(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    for (const auto& cell : cells) {
+        const std::string json = cell_json(cell);
+        EXPECT_EQ(json.find("\"drop_rate\"") != std::string::npos,
+                  cell.drop_rate > 0)
+            << json;
+        EXPECT_EQ(json.find("\"loss_seed\"") != std::string::npos,
+                  cell.drop_rate > 0);
+        EXPECT_EQ(json.find("\"retransmissions\"") != std::string::npos,
+                  cell.drop_rate > 0);
+        EXPECT_EQ(json.find("\"crash\"") != std::string::npos,
+                  !cell.crash.empty());
+        EXPECT_EQ(json.find("\"partial\"") != std::string::npos,
+                  !cell.crash.empty());
+        EXPECT_EQ(json.find("\"crashed_vertices\"") != std::string::npos,
+                  !cell.crash.empty());
+    }
+}
+
 TEST(Scenario, SplitListParsesFlagValues)
 {
     EXPECT_EQ(split_list("er,grid,path"),
