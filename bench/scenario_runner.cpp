@@ -35,6 +35,20 @@
 // verify by containment of the partial forest in the reference MST;
 // model verification is skipped on crash cells.
 //
+// Socket-backend flags (scalars, not sweep axes; Engine::Socket cells
+// only — see src/dmst/net/ and docs/TRANSPORT.md):
+//   --procs=N            processes in the launch (vertex blocks)
+//   --rank=R             this process's rank in [0, N)
+//   --transport=udp|tcp  datagrams + ACK/retransmission, or a stream mesh
+//   --host=ADDR          IPv4 address every rank binds/dials (localhost)
+//   --base_port=P        rank r binds P+r; 0 only for single-process runs
+//   --round_timeout_ms=T abort a round blocked longer than T
+// One process is one rank: bench/dmst_launcher spawns all N ranks with
+// identical flags (except --rank/--json) and merges their JSONL; with
+// --procs > 1 the engine list must be exactly `socket`. Per-rank rows
+// report the owned slice (see sim/scenario.h); scripts/parity_diff.py
+// merges them against the serial oracle.
+//
 // Verification modes (--verify):
 //   oracle  cross-check the output against sequential Kruskal (default)
 //   model   additionally run the in-model verification protocol on the
@@ -72,7 +86,8 @@ int main(int argc, char** argv)
     args.define("families", "er", "comma list of workload families");
     args.define("sizes", "256", "comma list of graph sizes");
     args.define("bandwidths", "1", "comma list of CONGEST bandwidths");
-    args.define("engines", "serial", "comma list: serial,parallel,async");
+    args.define("engines", "serial",
+                "comma list: serial,parallel,async,socket");
     args.define("threads", "0",
                 "comma list of parallel/async worker counts (0 = hardware)");
     args.define("seed", "1", "workload seed");
@@ -105,6 +120,11 @@ int main(int argc, char** argv)
     args.define("record_per_edge", "0",
                 "record per-edge message counts and report each cell's "
                 "top-5 hottest edges (bare flag = 1)");
+    // Socket-backend flags (--procs, --rank, --transport, --host,
+    // --base_port, --round_timeout_ms), read by Engine::Socket cells only.
+    // One process is one rank: dmst_launcher spawns the full launch and
+    // fills --rank/--base_port per child.
+    define_socket_flags(args);
 
     // A bare trailing/valueless `--verify` (or `--record_per_edge`) means
     // "on": rewrite it before the --key=value parser sees it.
@@ -209,6 +229,18 @@ int main(int argc, char** argv)
             throw std::invalid_argument("--verify must be oracle|model|none");
         }
         spec.record_per_edge = args.get_int("record_per_edge") != 0;
+        spec.socket = socket_from_args(args);
+        if (spec.socket.procs > 1) {
+            // A multi-process launch runs this binary once per rank; any
+            // in-process engine in the list would execute identically on
+            // every rank and duplicate its rows in the merged JSONL.
+            for (Engine e : spec.engines)
+                if (e != Engine::Socket)
+                    throw std::invalid_argument(
+                        "--procs > 1 requires --engines=socket only (run "
+                        "the in-process engines in a separate, "
+                        "single-process sweep)");
+        }
     } catch (const std::exception& e) {
         std::cerr << "bad flag value: " << e.what() << "\n";
         return 1;

@@ -18,7 +18,19 @@ conditioner axes) and enforces the engines' equivalence contracts:
     async-only ones (rounds, events, virtual_time, sync_messages,
     sync_words): the sharded engine's determinism contract says threading
     never changes the schedule, so any drift here is an engine bug even
-    when the serial comparison above still passes.
+    when the serial comparison above still passes;
+  - socket-engine rows (one per rank of a dmst_launcher launch, grouped
+    by transport x procs within the scenario point) merge against the
+    point's serial row: every rank 0..procs-1 must appear exactly once
+    and be verified; the per-round counters (rounds, verify_rounds) and
+    the verdict block must be bit-identical on every rank to the serial
+    row; the sender-charged counters (messages, words, mst_weight,
+    verify_messages, verify_words) must SUM across the ranks to exactly
+    the serial value — each rank reports the slice it owns, and the
+    slices partition the run. malformed_frames is deliberately not
+    compared: it counts datagrams the receive path dropped (stray
+    traffic from outside the run), an environment fact rather than a
+    protocol counter.
 
 Reads one or more JSONL files (e.g. one per algorithm from the nightly
 grid). Exit status: 0 parity holds, 1 mismatch, 2 bad input.
@@ -40,6 +52,12 @@ ASYNC_COMPARE = ("messages", "words", "mst_weight", "verified",
 ASYNC_THREAD_COMPARE = ASYNC_COMPARE + (
     "rounds", "events", "virtual_time", "sync_messages", "sync_words",
     "verify_rounds")
+# Socket-rank merge: fields every rank must match the serial row on
+# exactly, and fields whose per-rank values must sum to the serial value.
+SOCKET_EQUAL = ("rounds", "verified", "model_verified", "mutations_passed",
+                "mutations_run", "verify_rounds")
+SOCKET_SUM = ("messages", "words", "mst_weight", "verify_messages",
+              "verify_words")
 
 
 def describe(row):
@@ -48,6 +66,9 @@ def describe(row):
     if row.get("engine") == "async":
         extra += (f" max_delay={row.get('max_delay')}"
                   f" event_seed={row.get('event_seed')}")
+    if row.get("engine") == "socket":
+        extra += (f" transport={row.get('transport')}"
+                  f" procs={row.get('procs')} rank={row.get('rank')}")
     return where + extra
 
 
@@ -82,6 +103,7 @@ def main(argv):
     lockstep_pairs = 0
     async_rows = 0
     async_thread_pairs = 0
+    socket_launches = 0
 
     def check(reference, row, fields, kind):
         nonlocal mismatches
@@ -92,11 +114,44 @@ def main(argv):
                     f"{row.get(field)}\n    ref: {describe(reference)}\n"
                     f"    row: {describe(row)}")
 
+    def check_socket_launch(serial, launch_rows, key):
+        nonlocal mismatches
+        (transport, procs), rows = launch_rows
+        where = f"{key} transport={transport} procs={procs}"
+        if serial is None:
+            mismatches.append(f"socket rows without a serial reference at "
+                              f"{where}")
+            return
+        ranks = sorted(r.get("rank") for r in rows)
+        if ranks != list(range(procs)):
+            mismatches.append(f"socket ranks {ranks} != 0..{procs - 1} at "
+                              f"{where}")
+            return
+        for row in rows:
+            if row.get("verified") is False:
+                mismatches.append(
+                    f"socket rank not verified\n    row: {describe(row)}")
+            for field in SOCKET_EQUAL:
+                if serial.get(field) != row.get(field):
+                    mismatches.append(
+                        f"socket {field}: {serial.get(field)} != "
+                        f"{row.get(field)}\n    ref: {describe(serial)}\n"
+                        f"    row: {describe(row)}")
+        for field in SOCKET_SUM:
+            if serial.get(field) is None:
+                continue
+            total = sum(r.get(field, 0) for r in rows)
+            if total != serial.get(field):
+                mismatches.append(
+                    f"socket sum({field}): {total} over {procs} ranks != "
+                    f"serial {serial.get(field)} at {where}")
+
     for key in sorted(groups, key=str):
         group = groups[key]
         lockstep = [r for r in group if r.get("engine") in ("serial",
                                                             "parallel")]
         asyncs = [r for r in group if r.get("engine") == "async"]
+        sockets = [r for r in group if r.get("engine") == "socket"]
         serial = next((r for r in group if r.get("engine") == "serial"),
                       None)
 
@@ -129,10 +184,20 @@ def main(argv):
                 async_thread_pairs += 1
                 check(ref, row, ASYNC_THREAD_COMPARE, "async-threads")
 
+        # Socket-rank merge: one launch per (transport, procs); the ranks'
+        # owned slices must partition the serial row exactly.
+        by_launch = {}
+        for row in sockets:
+            launch = (row.get("transport"), row.get("procs"))
+            by_launch.setdefault(launch, []).append(row)
+        for launch_rows in sorted(by_launch.items(), key=str):
+            socket_launches += 1
+            check_socket_launch(serial, launch_rows, key)
+
     print(f"parity_diff: {rows} rows, {len(groups)} scenario points, "
           f"{lockstep_pairs} lock-step comparisons, {async_rows} async "
           f"comparisons, {async_thread_pairs} async thread-invariance "
-          f"comparisons")
+          f"comparisons, {socket_launches} socket launch merges")
     if mismatches:
         for m in mismatches:
             print(f"PARITY MISMATCH: {m}", file=sys.stderr)

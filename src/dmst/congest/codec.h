@@ -21,6 +21,15 @@ namespace dmst {
 // length mismatch between sender and receiver is a protocol bug, caught at
 // the boundary instead of surfacing as a garbage field three hops later.
 //
+// Two trust levels share this layout:
+//   - decode<P>() — for the in-process engines, where every message was
+//     produced by encode() in the same address space. A length mismatch is
+//     a protocol bug and aborts via DMST_ASSERT.
+//   - try_decode<P>() — for bytes that crossed a process boundary (the
+//     socket backend). Truncated or over-long payloads come back as a
+//     routable DecodeStatus instead of an abort; the reader saturates on
+//     underrun (no .at() throw, no out-of-bounds read).
+//
 // Word layout conventions (shared by every struct below):
 //   - one u64 per field, in declaration order;
 //   - a vertex-id pair packs as (hi << 32) | lo into one word;
@@ -53,11 +62,21 @@ private:
     WordBuf& words_;
 };
 
+// Checked reader: reading past the end of the payload yields 0 and latches
+// a sticky underrun flag instead of throwing. The caller decides whether an
+// underrun is fatal (decode: assert) or routable (try_decode: status).
 class WordReader {
 public:
     explicit WordReader(const Message& m) : words_(m.words) {}
 
-    std::uint64_t u64() { return words_.at(cursor_++); }
+    std::uint64_t u64()
+    {
+        if (cursor_ >= words_.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return words_[cursor_++];
+    }
     std::uint32_t u32() { return static_cast<std::uint32_t>(u64()); }
     bool flag() { return u64() != 0; }
 
@@ -80,9 +99,13 @@ public:
 
     bool exhausted() const { return cursor_ == words_.size(); }
 
+    // False once any read ran past the end of the payload.
+    bool ok() const { return ok_; }
+
 private:
     const WordBuf& words_;
     std::size_t cursor_ = 0;
+    bool ok_ = true;
 };
 
 // ----------------------------------------------------------- entry points
@@ -104,15 +127,74 @@ P decode(const Message& m)
 {
     WordReader r(m);
     P payload = P::read(r);
+    DMST_ASSERT_MSG(r.ok(), "codec: message shorter than its payload type");
     DMST_ASSERT_MSG(r.exhausted(), "codec: message longer than its payload type");
     return payload;
 }
 
+// Outcome of a checked decode of untrusted bytes.
+enum class DecodeStatus : std::uint8_t {
+    Ok = 0,
+    Truncated,  // payload ended before the struct's last field
+    Overlong,   // trailing words after the struct's last field
+};
+
+inline const char* decode_status_name(DecodeStatus s)
+{
+    switch (s) {
+    case DecodeStatus::Ok:
+        return "ok";
+    case DecodeStatus::Truncated:
+        return "truncated";
+    case DecodeStatus::Overlong:
+        return "overlong";
+    }
+    return "?";
+}
+
+template <typename P>
+struct DecodeResult {
+    DecodeStatus status = DecodeStatus::Ok;
+    P payload{};
+
+    bool ok() const { return status == DecodeStatus::Ok; }
+};
+
+// Checked decode for bytes from outside the process: never asserts, never
+// throws, never reads out of bounds. On Truncated/Overlong the payload is
+// whatever the struct read before the mismatch (missing fields are 0) and
+// must not be acted on.
+template <typename P>
+DecodeResult<P> try_decode(const Message& m)
+{
+    DecodeResult<P> out;
+    WordReader r(m);
+    out.payload = P::read(r);
+    if (!r.ok())
+        out.status = DecodeStatus::Truncated;
+    else if (!r.exhausted())
+        out.status = DecodeStatus::Overlong;
+    return out;
+}
+
 // Word 0 of every phase-scheduled driver message is the phase index; the
 // drivers peek it to route stragglers before committing to a payload type.
+// Checked variant for untrusted input: false iff the message is empty.
+inline bool try_peek_phase(const Message& m, std::uint64_t& phase)
+{
+    if (m.words.empty())
+        return false;
+    phase = m.words[0];
+    return true;
+}
+
+// In-process peek: an empty message here is a protocol bug and aborts with
+// a codec-level diagnostic instead of an opaque .at(0) throw.
 inline std::uint64_t peek_phase(const Message& m)
 {
-    return m.words.at(0);
+    std::uint64_t phase = 0;
+    DMST_ASSERT_MSG(try_peek_phase(m, phase), "codec: peek_phase on empty message");
+    return phase;
 }
 
 // ------------------------------------------------------- payload structs

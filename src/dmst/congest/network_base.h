@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dmst/congest/conditioner.h"
@@ -34,7 +35,29 @@ enum class Knowledge { KT0, KT1 };
 // (sim/synchronizer.h) re-creates the synchronous round abstraction on
 // top, so protocol outputs (MST edges, verification verdicts, per-level
 // message counts) are bit-identical to the serial engine.
-enum class Engine { Serial, Parallel, Async };
+// Socket is the real-network backend (src/dmst/net/): vertices are sharded
+// over separate processes and messages travel as UDP/TCP datagrams; each
+// rank steps its local vertex block with exactly the serial engine's
+// semantics and a per-round barrier datagram keeps the ranks lock-step,
+// so the union of the ranks' outputs is bit-identical to serial.
+enum class Engine { Serial, Parallel, Async, Socket };
+
+// Parameters of the socket backend (Engine::Socket); ignored by the
+// in-process engines. A run is launched as `procs` cooperating processes
+// (ranks), each owning a contiguous block of vertices (net/peer_table.h);
+// rank r binds base_port + r on `host`. The dmst_launcher binary forks the
+// ranks and fills these in per child.
+struct SocketConfig {
+    enum class Transport { Udp, Tcp };
+
+    int procs = 1;  // total ranks in the run
+    int rank = 0;   // this process's rank, in [0, procs)
+    Transport transport = Transport::Udp;
+    std::string host = "127.0.0.1";  // peer host (single-host for now)
+    int base_port = 0;               // rank r listens on base_port + r
+    int handshake_timeout_ms = 15'000;  // TCP mesh connect budget
+    int round_timeout_ms = 60'000;      // barrier wait budget per round
+};
 
 // Parameters of the event-driven engine (Engine::Async); ignored by the
 // lock-step engines. Both feed the seeded delay draw only — protocol
@@ -77,6 +100,11 @@ struct NetConfig {
     FaultConfig faults;
     // Event-driven engine parameters; ignored by Serial and Parallel.
     AsyncConfig async;
+    // Socket backend parameters; ignored by the in-process engines. The
+    // socket backend is a real transport: it rejects composition with the
+    // conditioner, the loss shim, and crash-stop (make_network enforces) —
+    // its loss handling is real retransmission, not a simulated draw.
+    SocketConfig socket;
     // Span-based tracing (src/dmst/obs/): off by default, in which case
     // the send datapath pays one null-pointer test and nothing else.
     TraceConfig trace;
@@ -136,6 +164,29 @@ struct RunStats {
     // degradation) rather than quiescence; the drivers then harvest a
     // partial forest instead of asserting completion.
     bool stalled = false;
+
+    // ---- socket-backend metrics (Engine::Socket; zero elsewhere) --------
+    // Datagrams/frames dropped by the hardened receive path: failed
+    // structural validation (bad magic/version/length, out-of-range vertex
+    // or port, oversized payload) or arrived for a stale round/session.
+    // Dropping-and-counting mirrors the fault layer's wedged-vertex
+    // containment: a malformed frame never wedges the vertex it addressed.
+    std::uint64_t malformed_frames = 0;
+    // Transport volume, counted at the packet layer (headers included).
+    std::uint64_t net_packets_out = 0;
+    std::uint64_t net_packets_in = 0;
+    std::uint64_t net_bytes_out = 0;
+    std::uint64_t net_bytes_in = 0;
+    // UDP reliability-layer activity. Deliberately NOT folded into the
+    // `retransmissions`/`timeouts`/`acks` shim columns above even though
+    // the backoff schedule is shared (congest/faults.h): the shim's
+    // counters are deterministic model-level facts audited by the trace
+    // layer's fault-conservation check, while a real datagram retransmit
+    // depends on kernel scheduling — an environment fact, like
+    // `malformed_frames`, reported but never compared across runs.
+    std::uint64_t net_retransmissions = 0;
+    std::uint64_t net_timeouts = 0;
+    std::uint64_t net_acks = 0;
 
     // Finalized span trace of the run (obs/trace.h); set by run() when
     // NetConfig::trace.enabled, null otherwise. Shared so RunStats stays
@@ -277,10 +328,47 @@ public:
     // the message reports the round count and which processes are not done.
     RunStats run();
 
-    bool quiescent() const;
+    // Whether the network has nothing left to do. In-process engines see
+    // every vertex; the socket backend overrides this with the barrier-
+    // agreed global predicate (its remote processes are never stepped
+    // locally, so the base scan over processes_ would be wrong there).
+    virtual bool quiescent() const;
 
     Process& process(VertexId v);
     const Process& process(VertexId v) const;
+
+    // Vertex-ownership span of this engine instance: [local_begin,
+    // local_end) are the vertices this process steps and whose final state
+    // is locally meaningful. In-process engines own every vertex; the
+    // socket backend owns its rank's block. Drivers iterate this span when
+    // harvesting results instead of assuming [0, n).
+    virtual VertexId local_begin() const { return 0; }
+    virtual VertexId local_end() const
+    {
+        return static_cast<VertexId>(graph_.vertex_count());
+    }
+    // True when this instance holds only a shard of the vertices (socket
+    // backend with procs > 1): drivers must then harvest permissively
+    // (claimed edges, no spanning assertion) and skip root-only milestones
+    // when the root is remote.
+    bool rank_sharded() const
+    {
+        return local_begin() != 0 ||
+               local_end() != static_cast<VertexId>(graph_.vertex_count());
+    }
+    bool owns(VertexId v) const { return v >= local_begin() && v < local_end(); }
+
+    // Bitwise-OR allreduce over all ranks of the run, for multi-epoch
+    // drivers that branch on global state between run() calls (e.g. the
+    // Boruvka fragment-count loop). Identity on the in-process engines. On
+    // the socket backend this is a collective: every rank must call it the
+    // same number of times with the same `count`, which the deterministic
+    // symmetric drivers guarantee.
+    virtual void allreduce_or(std::uint64_t* words, std::size_t count)
+    {
+        (void)words;
+        (void)count;
+    }
 
     const RunStats& stats() const { return stats_; }
     const WeightedGraph& graph() const { return graph_; }

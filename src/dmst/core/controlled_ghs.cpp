@@ -669,6 +669,7 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     config.conditioner = opts.conditioner;
     config.async = opts.async;
     config.faults = opts.faults;
+    config.socket = opts.socket;
     config.record_per_edge = opts.record_per_edge;
     config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
@@ -686,7 +687,9 @@ MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opt
     result.fragment_id.resize(n);
     result.parent_port.resize(n);
     result.mst_ports.resize(n);
-    for (VertexId v = 0; v < n; ++v) {
+    // A sharded engine (Engine::Socket) fills the local span only; remote
+    // vertices keep the zero defaults and the caller merges across ranks.
+    for (VertexId v = net.local_begin(); v < net.local_end(); ++v) {
         const auto& ghs = static_cast<const GhsProcess&>(net.process(v)).ghs_;
         if (!result.partial)
             DMST_ASSERT(ghs.finished());

@@ -256,6 +256,9 @@ struct GhsOptions {
     // Seeded fault injection (congest/faults.h); loss is output-invariant,
     // crash-stop degrades the run to a partial forest (result.partial).
     FaultConfig faults;
+    // Socket backend parameters (Engine::Socket only). A sharded run fills
+    // fragment_id/parent_port/mst_ports on [local_begin, local_end) only.
+    SocketConfig socket;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

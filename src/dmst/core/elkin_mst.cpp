@@ -546,6 +546,7 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     config.conditioner = opts.conditioner;
     config.async = opts.async;
     config.faults = opts.faults;
+    config.socket = opts.socket;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner, opts.faults);
@@ -559,23 +560,31 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     result.stats = stats;
     result.partial = stats.stalled || stats.crashed_vertices > 0;
     result.mst_ports.resize(n);
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = net.local_begin(); v < net.local_end(); ++v) {
         const auto& p = static_cast<const ElkinProcess&>(net.process(v));
         if (!result.partial)
             DMST_ASSERT(p.done());
         result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
     }
-    result.mst_edges = result.partial
+    // A shard harvests permissively (the edges its vertices claim; the
+    // cross-rank union is the MST) — remote vertices' port sets are empty
+    // here, so the spanning-tree assertion of collect_mst_edges cannot hold.
+    result.mst_edges = result.partial || net.rank_sharded()
                            ? collect_claimed_edges(g, result.mst_ports)
                            : collect_mst_edges(g, result.mst_ports);
 
-    const auto& root = static_cast<const ElkinProcess&>(net.process(opts.root));
-    result.k_used = root.k_used();
-    result.bfs_ecc = root.bfs_ecc();
-    result.base_fragments = root.base_fragments();
-    result.boruvka_phases = root.boruvka_phases() + 1;
-    result.bfs_rounds = root.bfs_rounds();
-    result.ghs_rounds = root.ghs_rounds();
+    // Root milestones live in the root's process state; a shard that does
+    // not own the root reports the zero defaults.
+    if (net.owns(opts.root)) {
+        const auto& root =
+            static_cast<const ElkinProcess&>(net.process(opts.root));
+        result.k_used = root.k_used();
+        result.bfs_ecc = root.bfs_ecc();
+        result.base_fragments = root.base_fragments();
+        result.boruvka_phases = root.boruvka_phases() + 1;
+        result.bfs_rounds = root.bfs_rounds();
+        result.ghs_rounds = root.ghs_rounds();
+    }
 
     // Phase split, derived from the span trace: phase 2 is everything the
     // registration handoff triggers — the Registration window, the Boruvka

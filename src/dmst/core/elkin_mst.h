@@ -72,6 +72,12 @@ struct ElkinOptions {
     // (the reliable-delivery shim masks it); crash-stop degrades the run
     // to a partial forest (result.partial) on the lock-step engines.
     FaultConfig faults;
+    // Socket backend parameters (Engine::Socket only). A sharded run
+    // returns the local shard's view: mst_ports filled on [local_begin,
+    // local_end), mst_edges holding the locally claimed edges (union
+    // across ranks = the MST), and root milestones only on the rank that
+    // owns the root.
+    SocketConfig socket;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // the driver scales it by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

@@ -209,6 +209,7 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     config.conditioner = opts.conditioner;
     config.async = opts.async;
     config.faults = opts.faults;
+    config.socket = opts.socket;
     config.max_rounds = scaled_round_budget(
         opts.max_rounds ? opts.max_rounds : config.max_rounds,
         opts.conditioner, opts.faults);
@@ -224,26 +225,33 @@ PipelineMstResult run_pipeline_mst(const WeightedGraph& g,
     result.stats = stats;
     result.partial = stats.stalled || stats.crashed_vertices > 0;
     result.mst_ports.resize(n);
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = net.local_begin(); v < net.local_end(); ++v) {
         const auto& p = static_cast<const PipelineMstProcess&>(net.process(v));
         if (!result.partial)
             DMST_ASSERT(p.done());
         result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
     }
-    result.mst_edges = result.partial
+    // A shard harvests permissively (locally claimed edges; the cross-rank
+    // union is the MST) — remote vertices' port sets are empty here.
+    result.mst_edges = result.partial || net.rank_sharded()
                            ? collect_claimed_edges(g, result.mst_ports)
                            : collect_mst_edges(g, result.mst_ports);
 
-    const auto& root = static_cast<const PipelineMstProcess&>(net.process(opts.root));
-    result.k_used = root.k_used();
-    result.pipeline_edges = root.pipeline_edges();
-    // ghs_end_round() is a logical round; the trace and stats.rounds are
-    // tick-indexed, stride ticks per logical round.
-    std::uint64_t ghs_end = std::min<std::uint64_t>(
-        root.ghs_end_round() * opts.conditioner.stride(), stats.rounds);
-    result.phase2_rounds = stats.rounds - ghs_end;
-    for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)
-        result.phase2_messages += stats.messages_per_round[r];
+    // Root milestones (and the phase split derived from them) live in the
+    // root's process state; a shard without the root reports the defaults.
+    if (net.owns(opts.root)) {
+        const auto& root =
+            static_cast<const PipelineMstProcess&>(net.process(opts.root));
+        result.k_used = root.k_used();
+        result.pipeline_edges = root.pipeline_edges();
+        // ghs_end_round() is a logical round; the trace and stats.rounds
+        // are tick-indexed, stride ticks per logical round.
+        std::uint64_t ghs_end = std::min<std::uint64_t>(
+            root.ghs_end_round() * opts.conditioner.stride(), stats.rounds);
+        result.phase2_rounds = stats.rounds - ghs_end;
+        for (std::uint64_t r = ghs_end; r < stats.messages_per_round.size(); ++r)
+            result.phase2_messages += stats.messages_per_round[r];
+    }
     return result;
 }
 

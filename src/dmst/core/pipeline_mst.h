@@ -47,6 +47,11 @@ struct PipelineMstOptions {
     // Seeded fault injection (congest/faults.h); loss is output-invariant,
     // crash-stop degrades the run to a partial forest (result.partial).
     FaultConfig faults;
+    // Socket backend parameters (Engine::Socket only). A sharded run
+    // returns the local shard's view: mst_ports filled on [local_begin,
+    // local_end), mst_edges holding the locally claimed edges, and
+    // root-derived milestones only on the rank that owns the root.
+    SocketConfig socket;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

@@ -257,6 +257,7 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     config.conditioner = opts.conditioner;
     config.async = opts.async;
     config.faults = opts.faults;
+    config.socket = opts.socket;
     config.record_per_edge = opts.record_per_edge;
     config.trace.enabled = opts.trace;
     config.max_rounds = scaled_round_budget(
@@ -275,10 +276,41 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
         return ids.size();
     };
 
+    // Global "more than one fragment left?" predicate that also works when
+    // the engine only owns a shard of the vertices: a local scan plus one
+    // 3-word OR-allreduce. Converged iff no rank saw two distinct local
+    // fids (word 0) and the global ORs of fid and ~fid admit one value —
+    // two distinct fids anywhere differ in some bit, which then lands in
+    // both ORs. A collective: every rank calls it at the same points,
+    // which the deterministic phase loop guarantees.
+    auto multiple_fragments = [&] {
+        std::uint64_t words[3] = {0, 0, 0};
+        bool first = true;
+        std::uint64_t first_fid = 0;
+        for (VertexId v = net.local_begin(); v < net.local_end(); ++v) {
+            const std::uint64_t fid =
+                static_cast<const SyncBoruvkaProcess&>(net.process(v))
+                    .fragment_id();
+            words[1] |= fid;
+            words[2] |= ~fid;
+            if (first) {
+                first_fid = fid;
+                first = false;
+            } else if (fid != first_fid) {
+                words[0] = 1;
+            }
+        }
+        net.allreduce_or(words, 3);
+        return words[0] != 0 || (words[1] & words[2]) != 0;
+    };
+
     int phases = 0;
     const int phase_guard = ceil_log2(std::max<std::uint64_t>(n, 2)) + 2;
-    std::size_t fragments = fragment_count();
-    while (fragments > 1) {
+    // The no-progress detector below is crash-only, and crash-stop never
+    // composes with a sharded engine, so the global count stays valid.
+    std::size_t fragments =
+        opts.faults.crash_enabled() ? fragment_count() : 0;
+    while (multiple_fragments()) {
         if (opts.max_phases > 0 && phases >= opts.max_phases)
             break;
         // Under crash-stop the guard is a degradation point, not an
@@ -286,7 +318,7 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
         if (opts.faults.crash_enabled() && phases >= phase_guard)
             break;
         DMST_ASSERT_MSG(phases < phase_guard, "Boruvka did not converge");
-        for (VertexId v = 0; v < n; ++v)
+        for (VertexId v = net.local_begin(); v < net.local_end(); ++v)
             static_cast<SyncBoruvkaProcess&>(net.process(v)).kick(phases);
         net.run();
         ++phases;
@@ -295,10 +327,12 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
         // vertices is permanent); kicking again would spin until the guard.
         if (net.stats().stalled)
             break;
-        const std::size_t now = fragment_count();
-        if (opts.faults.crash_enabled() && now == fragments)
-            break;
-        fragments = now;
+        if (opts.faults.crash_enabled()) {
+            const std::size_t now = fragment_count();
+            if (now == fragments)
+                break;
+            fragments = now;
+        }
     }
 
     SyncBoruvkaResult result;
@@ -309,16 +343,20 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     result.mst_ports.resize(n);
     result.fragment_id.resize(n);
     result.parent_port.resize(n);
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = net.local_begin(); v < net.local_end(); ++v) {
         const auto& p = static_cast<const SyncBoruvkaProcess&>(net.process(v));
         result.mst_ports[v].assign(p.mst_ports().begin(), p.mst_ports().end());
         result.fragment_id[v] = p.fragment_id();
         result.parent_port[v] = p.parent_port();
     }
-    if (result.partial)
+    if (result.partial || net.rank_sharded()) {
+        // A shard harvests permissively: the edges its own vertices claim,
+        // with the cross-rank union (and dedup) left to the caller merging
+        // the ranks' results.
         result.mst_edges = collect_claimed_edges(g, result.mst_ports);
-    else if (fragment_count() == 1)
+    } else if (fragment_count() == 1) {
         result.mst_edges = collect_mst_edges(g, result.mst_ports);
+    }
     return result;
 }
 

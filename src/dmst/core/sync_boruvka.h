@@ -125,6 +125,11 @@ struct SyncBoruvkaOptions {
     // Seeded fault injection (congest/faults.h); loss is output-invariant,
     // crash-stop degrades the run to a partial forest (result.partial).
     FaultConfig faults;
+    // Socket backend parameters (Engine::Socket only). A sharded run
+    // returns the local shard's view: mst_ports/fragment_id/parent_port
+    // filled on [local_begin, local_end) and mst_edges holding the locally
+    // claimed edges, to be unioned across ranks.
+    SocketConfig socket;
     // Runaway guard in ideal-substrate rounds, summed across all phases
     // (0 = the NetConfig default); scaled by the conditioner stride.
     std::uint64_t max_rounds = 0;

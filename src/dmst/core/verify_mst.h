@@ -88,6 +88,11 @@ struct VerifyOptions {
     // that stopped answering, so a crash-stalled run returns
     // partial = true with accepted = false and an unspecified verdict.
     FaultConfig faults;
+    // Socket backend parameters (Engine::Socket only). The verdict is
+    // flooded to every vertex, so a sharded run still reports it (read
+    // from a local vertex); the root-only milestone fields are filled only
+    // on the rank that owns the root.
+    SocketConfig socket;
     // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
     // scaled by the conditioner stride into ticks.
     std::uint64_t max_rounds = 0;

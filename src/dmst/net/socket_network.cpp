@@ -1,0 +1,590 @@
+#include "dmst/net/socket_network.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "dmst/obs/trace.h"
+#include "dmst/util/assert.h"
+
+namespace dmst {
+
+namespace {
+
+std::int64_t now_ms()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// How far ahead of the last consumed epoch an incoming probe/reduce frame
+// may claim to be. Honest peers are at most one exchange ahead; anything
+// further is forged or corrupt and must not grow the stash unboundedly.
+constexpr std::uint64_t kEpochWindow = 64;
+
+}  // namespace
+
+std::uint64_t SocketNetwork::session_counter_ = 0;
+
+SocketNetwork::SocketNetwork(const WeightedGraph& g, NetConfig config)
+    : NetworkBase(g, config), procs_(config.socket.procs),
+      rank_(config.socket.rank),
+      table_(g.vertex_count(), config.socket.procs)
+{
+    if (procs_ < 1)
+        throw std::invalid_argument("socket engine: procs must be >= 1");
+    if (rank_ < 0 || rank_ >= procs_)
+        throw std::invalid_argument("socket engine: rank out of [0, procs)");
+    if (static_cast<std::size_t>(procs_) > g.vertex_count())
+        throw std::invalid_argument(
+            "socket engine: procs must not exceed the vertex count (every "
+            "rank needs a non-empty block; drivers read local state)");
+    if (config_.conditioner.enabled())
+        throw std::invalid_argument(
+            "socket engine: the link conditioner does not compose with a "
+            "real transport");
+    if (config_.faults.enabled())
+        throw std::invalid_argument(
+            "socket engine: fault injection does not compose with a real "
+            "transport (its loss is real loss)");
+    lo_ = table_.block_begin(rank_);
+    hi_ = table_.block_end(rank_);
+    peer_cur_.assign(static_cast<std::size_t>(procs_), PeerRound{});
+    peer_next_.assign(static_cast<std::size_t>(procs_), PeerRound{});
+    out_frames_.resize(static_cast<std::size_t>(procs_));
+    out_count_.assign(static_cast<std::size_t>(procs_), 0);
+    data_sent_.assign(static_cast<std::size_t>(procs_), 0);
+    session_ = ++session_counter_;
+    if (procs_ > 1) {
+        transport_ = make_transport(config_.socket, session_);
+        sink_ = [this](const PacketHeader& h, const std::uint8_t* frames,
+                       std::size_t len) { on_packet(h, frames, len); };
+    }
+}
+
+SocketNetwork::~SocketNetwork()
+{
+    if (!transport_)
+        return;
+    try {
+        // Discard frames that race the teardown; the run is over.
+        transport_->shutdown(
+            250, [](const PacketHeader&, const std::uint8_t*, std::size_t) {});
+    } catch (...) {
+        // A destructor must not throw; a failed goodbye only costs peers
+        // their retransmission tail.
+    }
+}
+
+bool SocketNetwork::quiescent() const
+{
+    if (!transport_)
+        return NetworkBase::quiescent();
+    return global_state_valid_ && global_quiescent_;
+}
+
+template <typename Pred>
+void SocketNetwork::poll_until(const Pred& pred, const char* what)
+{
+    if (pred())
+        return;
+    const std::int64_t deadline =
+        now_ms() + config_.socket.round_timeout_ms;
+    for (;;) {
+        transport_->poll(20, sink_);
+        if (pred())
+            return;
+        if (now_ms() >= deadline) {
+            std::ostringstream oss;
+            oss << "socket engine: rank " << rank_ << " timed out after "
+                << config_.socket.round_timeout_ms << " ms waiting for "
+                << what << " at round " << round_ << " (peer process dead?)";
+            throw std::runtime_error(oss.str());
+        }
+    }
+}
+
+void SocketNetwork::flush_peer(int peer)
+{
+    auto& buf = out_frames_[static_cast<std::size_t>(peer)];
+    if (buf.empty())
+        return;
+    transport_->send_frames(peer, buf.data(), buf.size(),
+                            out_count_[static_cast<std::size_t>(peer)]);
+    buf.clear();
+    out_count_[static_cast<std::size_t>(peer)] = 0;
+}
+
+void SocketNetwork::send_single_frame(int peer, FrameKind kind,
+                                      std::uint64_t epoch,
+                                      const std::uint64_t* words,
+                                      std::size_t nwords)
+{
+    std::vector<std::uint8_t> buf;
+    append_frame(buf, kind, 0, epoch, 0, 0, words, nwords);
+    transport_->send_frames(peer, buf.data(), buf.size(), 1);
+}
+
+void SocketNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
+{
+    const std::size_t size = msg.size_words();
+    charge_bandwidth(from, port, size);
+
+    const VertexId target = graph_.neighbor(from, port);
+    const std::size_t arrival_port = reverse_port(from, port);
+    if (trace_)
+        trace_->on_send(from, msg.tag, size);
+    if (config_.record_per_edge)
+        ++stats_.messages_per_edge[graph_.edge_id(from, port)];
+    ++round_messages_;
+    stats_.messages += 1;
+    stats_.words += size;
+
+    if (owns(target)) {
+        // The serial engine's staging path, verbatim.
+        ++inbox_count_[target];
+        staged_.emplace(target, static_cast<std::uint32_t>(arrival_port),
+                        std::move(msg));
+        ++in_flight_;
+        return;
+    }
+    // Cross-rank: one Data frame in the owner's coalescing buffer, tagged
+    // with the current round so the receiver can place it exactly.
+    const int peer = table_.owner(target);
+    auto& buf = out_frames_[static_cast<std::size_t>(peer)];
+    append_frame(buf, FrameKind::Data, msg.tag, round_, target,
+                 static_cast<std::uint32_t>(arrival_port), msg.words.data(),
+                 msg.words.size());
+    ++out_count_[static_cast<std::size_t>(peer)];
+    ++data_sent_[static_cast<std::size_t>(peer)];
+    ++remote_staged_round_;
+    if (buf.size() >= kPacketPayloadBudget)
+        flush_peer(peer);
+}
+
+bool SocketNetwork::step()
+{
+    DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
+    // Entering with the global state unknown (fresh network) or last known
+    // quiescent (the driver may have kicked vertices since): probe.
+    if (!global_state_valid_ || global_quiescent_) {
+        if (probe_quiescent())
+            return false;
+    }
+
+    ++round_;
+    ++logical_round_;
+    in_round_ = true;
+    round_messages_ = 0;
+    remote_staged_round_ = 0;
+    std::fill(data_sent_.begin(), data_sent_.end(), 0);
+    // Rotate the ledgers: what accumulated as "next" while we finished the
+    // previous round is this round's state.
+    peer_cur_.swap(peer_next_);
+    std::fill(peer_next_.begin(), peer_next_.end(), PeerRound{});
+    DMST_ASSERT(remote_cur_.empty());
+    remote_cur_.swap(remote_next_);
+
+    if (trace_)
+        trace_->set_now(logical_round_, round_, 0);
+    for (VertexId v = lo_; v < hi_; ++v)
+        reset_round_words(v);
+    for (VertexId v = lo_; v < hi_; ++v) {
+        Context ctx = context_for(v);
+        processes_[v]->on_round(ctx);
+    }
+    DMST_ASSERT(live_ <= in_flight_);
+    in_flight_ -= live_;
+    live_ = 0;
+
+    local_done_ = true;
+    for (VertexId v = lo_; v < hi_; ++v) {
+        if (!processes_[v]->done()) {
+            local_done_ = false;
+            break;
+        }
+    }
+    const std::uint64_t staged_out = staged_.size() + remote_staged_round_;
+
+    if (transport_) {
+        // The barrier rides the same in-order channel as the data, after
+        // all of it — its receipt implies the round's data is complete.
+        for (int p = 0; p < procs_; ++p) {
+            if (p == rank_)
+                continue;
+            const std::uint64_t words[kBarrierWords] = {
+                data_sent_[static_cast<std::size_t>(p)],
+                local_done_ ? kBarrierFlagDone : 0, staged_out};
+            append_frame(out_frames_[static_cast<std::size_t>(p)],
+                         FrameKind::Barrier, 0, round_, 0, 0, words,
+                         kBarrierWords);
+            ++out_count_[static_cast<std::size_t>(p)];
+            flush_peer(p);
+        }
+        wait_for_round_barrier();
+    }
+
+    // Global quiescence falls out of the barrier ledger: everyone done and
+    // nothing staged anywhere (each rank counts its own sends, so the sum
+    // counts every staged message exactly once).
+    bool all_done = local_done_;
+    std::uint64_t global_staged = staged_out;
+    for (int p = 0; p < procs_; ++p) {
+        if (p == rank_)
+            continue;
+        const PeerRound& pr = peer_cur_[static_cast<std::size_t>(p)];
+        all_done = all_done && pr.peer_done;
+        global_staged += pr.peer_staged;
+    }
+    global_quiescent_ = all_done && global_staged == 0;
+    global_state_valid_ = true;
+    in_round_ = false;
+
+    deliver_round();
+
+    stats_.rounds = round_;
+    if (config_.record_per_round)
+        stats_.messages_per_round.push_back(round_messages_);
+    fold_transport_stats();
+    return true;
+}
+
+void SocketNetwork::wait_for_round_barrier()
+{
+    poll_until(
+        [this] {
+            for (int p = 0; p < procs_; ++p) {
+                if (p == rank_)
+                    continue;
+                const PeerRound& pr = peer_cur_[static_cast<std::size_t>(p)];
+                if (!pr.barrier_seen ||
+                    pr.frames_received < pr.frames_expected)
+                    return false;
+            }
+            return true;
+        },
+        "round barrier");
+    for (int p = 0; p < procs_; ++p) {
+        if (p == rank_)
+            continue;
+        const PeerRound& pr = peer_cur_[static_cast<std::size_t>(p)];
+        if (pr.frames_received != pr.frames_expected) {
+            std::ostringstream oss;
+            oss << "socket engine: rank " << rank_ << " accepted "
+                << pr.frames_received << " data frames from rank " << p
+                << " at round " << round_ << " but its barrier counted "
+                << pr.frames_expected
+                << " (frames were dropped as malformed, or forged)";
+            throw std::runtime_error(oss.str());
+        }
+    }
+}
+
+bool SocketNetwork::probe_quiescent()
+{
+    local_done_ = true;
+    for (VertexId v = lo_; v < hi_; ++v) {
+        if (!processes_[v]->done()) {
+            local_done_ = false;
+            break;
+        }
+    }
+    if (!transport_) {
+        // Nothing can be in flight between run() epochs; done is all there
+        // is to know.
+        global_quiescent_ = local_done_;
+        global_state_valid_ = true;
+        return global_quiescent_;
+    }
+    const std::uint64_t epoch = ++probe_epoch_;
+    const std::uint64_t words[1] = {local_done_ ? 1u : 0u};
+    for (int p = 0; p < procs_; ++p) {
+        if (p != rank_)
+            send_single_frame(p, FrameKind::Probe, epoch, words, 1);
+    }
+    poll_until(
+        [this, epoch] {
+            const auto it = probe_stash_.find(epoch);
+            if (it == probe_stash_.end())
+                return false;
+            for (int p = 0; p < procs_; ++p) {
+                if (p != rank_ && it->second[static_cast<std::size_t>(p)] < 0)
+                    return false;
+            }
+            return true;
+        },
+        "quiescence probe");
+    bool all_done = local_done_;
+    const auto& slots = probe_stash_[epoch];
+    for (int p = 0; p < procs_; ++p) {
+        if (p != rank_)
+            all_done = all_done && slots[static_cast<std::size_t>(p)] == 1;
+    }
+    probe_consumed_ = epoch;
+    probe_stash_.erase(probe_stash_.begin(),
+                       probe_stash_.upper_bound(epoch));
+    global_quiescent_ = all_done;
+    global_state_valid_ = true;
+    fold_transport_stats();
+    return global_quiescent_;
+}
+
+void SocketNetwork::allreduce_or(std::uint64_t* words, std::size_t count)
+{
+    if (!transport_)
+        return;
+    DMST_ASSERT_MSG(count >= 1 && count <= kMaxFrameWords,
+                    "allreduce_or: word count out of range");
+    const std::uint64_t epoch = ++reduce_epoch_;
+    for (int p = 0; p < procs_; ++p) {
+        if (p != rank_)
+            send_single_frame(p, FrameKind::Reduce, epoch, words, count);
+    }
+    poll_until(
+        [this, epoch] {
+            const auto it = reduce_stash_.find(epoch);
+            if (it == reduce_stash_.end())
+                return false;
+            for (int p = 0; p < procs_; ++p) {
+                if (p != rank_ &&
+                    !it->second[static_cast<std::size_t>(p)].seen)
+                    return false;
+            }
+            return true;
+        },
+        "allreduce exchange");
+    const auto& slots = reduce_stash_[epoch];
+    for (int p = 0; p < procs_; ++p) {
+        if (p == rank_)
+            continue;
+        const ReduceSlot& slot = slots[static_cast<std::size_t>(p)];
+        if (slot.words.size() != count) {
+            std::ostringstream oss;
+            oss << "socket engine: allreduce width mismatch with rank " << p
+                << " (" << slot.words.size() << " vs " << count
+                << " words) — drivers must issue collectives symmetrically";
+            throw std::runtime_error(oss.str());
+        }
+        for (std::size_t i = 0; i < count; ++i)
+            words[i] |= slot.words[i];
+    }
+    reduce_consumed_ = epoch;
+    reduce_stash_.erase(reduce_stash_.begin(),
+                        reduce_stash_.upper_bound(epoch));
+    fold_transport_stats();
+}
+
+void SocketNetwork::deliver_round()
+{
+    // Remote arrivals enter local flight here (local sends entered at
+    // send_from); both leave when the next activation consumes the arena.
+    in_flight_ += remote_cur_.size();
+    for (const RemoteMsg& rm : remote_cur_)
+        ++inbox_count_[rm.dst];
+
+    const std::size_t total = staged_.size() + remote_cur_.size();
+    if (slab_.size() < total)
+        slab_.resize(std::max(total, 2 * slab_.size()));
+    live_ = total;
+
+    // Stable counting scatter, exactly the serial engine's: local staged
+    // messages first (already in (sender id, send order)), then remote
+    // frames in arrival order. Messages tie on arrival port only if they
+    // crossed the same edge direction — one sender, one in-order channel —
+    // so the stable per-span port sort reproduces the serial inbox.
+    Incoming* base = slab_.data();
+    std::size_t cursor = 0;
+    for (VertexId v = lo_; v < hi_; ++v) {
+        inbox_span_[v] = InboxSpan{base + cursor, inbox_count_[v]};
+        scatter_off_[v] = cursor;
+        cursor += inbox_count_[v];
+        inbox_count_[v] = 0;
+    }
+    staged_.for_each([&](Staged& s) {
+        Incoming& slot = base[scatter_off_[s.target]++];
+        slot.port = s.port;
+        slot.msg = std::move(s.msg);
+    });
+    staged_.clear();
+    for (RemoteMsg& rm : remote_cur_) {
+        Incoming& slot = base[scatter_off_[rm.dst]++];
+        slot.port = rm.port;
+        slot.msg = std::move(rm.msg);
+    }
+    remote_cur_.clear();
+
+    for (VertexId v = lo_; v < hi_; ++v) {
+        const InboxSpan& span = inbox_span_[v];
+        sort_span_by_port(span.data, span.len, sort_scratch_);
+    }
+}
+
+// --------------------------------------------------- hardened receive path
+
+void SocketNetwork::on_packet(const PacketHeader& h,
+                              const std::uint8_t* frames, std::size_t len)
+{
+    const int src = h.src_rank;
+    if (src < 0 || src >= procs_ || src == rank_) {
+        ++frame_malformed_;
+        return;
+    }
+    FrameCursor c = frame_cursor(frames, len, h);
+    WireFrame f;
+    while (!c.done()) {
+        if (next_frame(c, f) != WireError::Ok) {
+            // Frame boundaries can no longer be trusted; the rest of the
+            // packet is discarded with it.
+            ++frame_malformed_;
+            return;
+        }
+        switch (f.kind) {
+        case FrameKind::Data:
+            handle_data(src, f);
+            break;
+        case FrameKind::Barrier:
+            handle_barrier(src, f);
+            break;
+        case FrameKind::Probe:
+            handle_probe(src, f);
+            break;
+        case FrameKind::Reduce:
+            handle_reduce(src, f);
+            break;
+        }
+    }
+    if (finish_frames(c) != WireError::Ok)
+        ++frame_malformed_;
+}
+
+void SocketNetwork::handle_data(int src, const WireFrame& f)
+{
+    // Structural validation before anything touches engine state: the
+    // vertex must be ours, the port must exist, the claimed sender must
+    // actually sit behind that port on the claiming rank, and the payload
+    // must fit the CONGEST per-message budget.
+    const VertexId dst = f.dst_vertex;
+    if (!owns(dst) || f.port >= graph_.degree(dst)) {
+        ++frame_malformed_;
+        return;
+    }
+    const VertexId sender = graph_.neighbor(dst, f.port);
+    if (table_.owner(sender) != src) {
+        ++frame_malformed_;
+        return;
+    }
+    if (1 + static_cast<std::size_t>(f.nwords) >
+        kWordsPerUnit * static_cast<std::size_t>(config_.bandwidth)) {
+        ++frame_malformed_;
+        return;
+    }
+    std::vector<RemoteMsg>* bucket = nullptr;
+    PeerRound* slot = nullptr;
+    if (in_round_ && f.round == round_) {
+        bucket = &remote_cur_;
+        slot = &peer_cur_[static_cast<std::size_t>(src)];
+    } else if (f.round == round_ + 1) {
+        bucket = &remote_next_;
+        slot = &peer_next_[static_cast<std::size_t>(src)];
+    } else {
+        ++frame_malformed_;  // stale or far-future round
+        return;
+    }
+    RemoteMsg rm;
+    rm.dst = dst;
+    rm.port = f.port;
+    rm.msg.tag = f.tag;
+    for (std::size_t i = 0; i < f.nwords; ++i)
+        rm.msg.words.push_back(f.word(i));
+    bucket->push_back(std::move(rm));
+    ++slot->frames_received;
+}
+
+void SocketNetwork::handle_barrier(int src, const WireFrame& f)
+{
+    if (f.nwords != kBarrierWords) {
+        ++frame_malformed_;
+        return;
+    }
+    PeerRound* slot = nullptr;
+    if (in_round_ && f.round == round_)
+        slot = &peer_cur_[static_cast<std::size_t>(src)];
+    else if (f.round == round_ + 1)
+        slot = &peer_next_[static_cast<std::size_t>(src)];
+    else {
+        ++frame_malformed_;
+        return;
+    }
+    if (slot->barrier_seen) {
+        ++frame_malformed_;  // the transport dedups; a second one is forged
+        return;
+    }
+    slot->barrier_seen = true;
+    slot->frames_expected = f.word(0);
+    slot->peer_done = (f.word(1) & kBarrierFlagDone) != 0;
+    slot->peer_staged = f.word(2);
+}
+
+void SocketNetwork::handle_probe(int src, const WireFrame& f)
+{
+    const std::uint64_t epoch = f.round;
+    if (f.nwords != 1 || epoch <= probe_consumed_ ||
+        epoch > probe_consumed_ + kEpochWindow) {
+        ++frame_malformed_;
+        return;
+    }
+    auto& slots = probe_stash_[epoch];
+    if (slots.empty())
+        slots.assign(static_cast<std::size_t>(procs_), -1);
+    int& slot = slots[static_cast<std::size_t>(src)];
+    if (slot >= 0) {
+        ++frame_malformed_;
+        return;
+    }
+    slot = static_cast<int>(f.word(0) & 1);
+}
+
+void SocketNetwork::handle_reduce(int src, const WireFrame& f)
+{
+    const std::uint64_t epoch = f.round;
+    if (f.nwords < 1 || epoch <= reduce_consumed_ ||
+        epoch > reduce_consumed_ + kEpochWindow) {
+        ++frame_malformed_;
+        return;
+    }
+    auto& slots = reduce_stash_[epoch];
+    if (slots.empty())
+        slots.assign(static_cast<std::size_t>(procs_), ReduceSlot{});
+    ReduceSlot& slot = slots[static_cast<std::size_t>(src)];
+    if (slot.seen) {
+        ++frame_malformed_;
+        return;
+    }
+    slot.seen = true;
+    slot.words.resize(f.nwords);
+    for (std::size_t i = 0; i < f.nwords; ++i)
+        slot.words[i] = f.word(i);
+}
+
+void SocketNetwork::fold_transport_stats()
+{
+    stats_.malformed_frames = frame_malformed_;
+    if (!transport_)
+        return;
+    const TransportStats& t = transport_->stats();
+    stats_.malformed_frames += t.malformed;
+    stats_.net_packets_out = t.packets_out;
+    stats_.net_packets_in = t.packets_in;
+    stats_.net_bytes_out = t.bytes_out;
+    stats_.net_bytes_in = t.bytes_in;
+    // Kept out of the shim's retransmissions/timeouts/acks columns: those
+    // are deterministic model counters under trace fault-conservation;
+    // real datagram retransmits are environment noise (see RunStats).
+    stats_.net_retransmissions = t.retransmissions;
+    stats_.net_timeouts = t.timeouts;
+    stats_.net_acks = t.acks;
+}
+
+}  // namespace dmst

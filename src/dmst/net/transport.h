@@ -1,0 +1,80 @@
+#ifndef DMST_NET_TRANSPORT_H
+#define DMST_NET_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "dmst/congest/network_base.h"
+#include "dmst/net/wire.h"
+
+namespace dmst {
+
+// Packet-level counters of one transport instance; folded into RunStats'
+// net_* columns by the socket engine. UDP reliability reuses the fault
+// shim's capped-exponential-backoff schedule (FaultConfig::rto), but its
+// counters stay separate from the shim's `retransmissions`/`timeouts`/
+// `acks`: those are deterministic model facts under trace conservation,
+// while a real datagram retransmit depends on kernel timing.
+struct TransportStats {
+    std::uint64_t packets_out = 0;
+    std::uint64_t packets_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t retransmissions = 0;  // UDP data packets resent
+    std::uint64_t timeouts = 0;         // UDP retransmission timer expiries
+    std::uint64_t acks = 0;             // UDP ack-only packets sent
+    std::uint64_t duplicates = 0;       // UDP packets below the cumulative ack
+    std::uint64_t malformed = 0;        // packets failing header validation
+};
+
+// Reliable, in-order, per-peer packet channel over a real socket — the
+// only layer that touches file descriptors. Single-threaded: everything
+// happens inside the caller's poll() calls.
+//
+// Delivery contract (both transports): for each peer, Frames packets are
+// handed to the sink exactly once, in send order. UDP gets there with a
+// per-peer sequence number, a cumulative ack, an out-of-order reorder
+// buffer and retransmission on FaultConfig::rto backoff; TCP gets it from
+// the stream, with packets delimited by a u32 length prefix.
+class Transport {
+public:
+    // Called for each delivered Frames packet: validated header + the
+    // frame bytes (valid only during the call).
+    using PacketSink = std::function<void(const PacketHeader&,
+                                          const std::uint8_t*, std::size_t)>;
+
+    virtual ~Transport() = default;
+
+    // Queues one Frames packet (`frame_count` frames in `len` bytes) to
+    // `peer`, reliably and in order.
+    virtual void send_frames(int peer, const std::uint8_t* frames,
+                             std::size_t len, std::uint16_t frame_count) = 0;
+
+    // Services the socket for up to `timeout_ms`: receives, delivers
+    // in-order packets to `sink`, sends pending acks, runs retransmission
+    // timers. Returns true if at least one Frames packet was delivered.
+    virtual bool poll(int timeout_ms, const PacketSink& sink) = 0;
+
+    // Best-effort teardown: announces Bye, then keeps servicing acks and
+    // retransmissions for up to `linger_ms` so peers still waiting on our
+    // acks are not forced into timeout tails. Idempotent.
+    virtual void shutdown(int linger_ms, const PacketSink& sink) = 0;
+
+    const TransportStats& stats() const { return stats_; }
+
+protected:
+    TransportStats stats_;
+};
+
+// Builds the transport selected by cfg.transport, binds/connects it (TCP
+// performs the full mesh handshake here, within cfg.handshake_timeout_ms),
+// and stamps `session` into every outgoing packet header. Requires
+// cfg.procs >= 2; cfg.host must be an IPv4 literal. Throws
+// std::runtime_error on socket failures.
+std::unique_ptr<Transport> make_transport(const SocketConfig& cfg,
+                                          std::uint64_t session);
+
+}  // namespace dmst
+
+#endif  // DMST_NET_TRANSPORT_H

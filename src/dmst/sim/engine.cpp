@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dmst/congest/network.h"
+#include "dmst/net/socket_network.h"
 #include "dmst/sim/async_network.h"
 #include "dmst/sim/parallel_network.h"
 #include "dmst/util/cli.h"
@@ -27,6 +28,27 @@ std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
                     "crash-stop faults do not compose with --engine=async "
                     "(stall detection is a lock-step device)");
             return std::make_unique<AsyncNetwork>(g, config);
+        case Engine::Socket:
+            if (config.conditioner.enabled())
+                throw std::invalid_argument(
+                    "the link conditioner does not compose with "
+                    "--engine=socket (a real transport has real links)");
+            if (config.faults.enabled())
+                throw std::invalid_argument(
+                    "fault injection does not compose with --engine=socket "
+                    "(its loss is real loss, handled by retransmission)");
+            if (config.socket.procs < 1)
+                throw std::invalid_argument("--procs must be >= 1");
+            if (config.socket.rank < 0 ||
+                config.socket.rank >= config.socket.procs)
+                throw std::invalid_argument("--rank must be in [0, procs)");
+            if (config.socket.procs > 1 &&
+                (config.socket.base_port < 1024 ||
+                 config.socket.base_port + config.socket.procs > 65536))
+                throw std::invalid_argument(
+                    "--base_port must leave [base_port, base_port + procs) "
+                    "within [1024, 65536)");
+            return std::make_unique<SocketNetwork>(g, config);
     }
     throw std::invalid_argument("make_network: unknown engine");
 }
@@ -39,8 +61,10 @@ Engine parse_engine(const std::string& name)
         return Engine::Parallel;
     if (name == "async")
         return Engine::Async;
+    if (name == "socket")
+        return Engine::Socket;
     throw std::invalid_argument("unknown engine '" + name +
-                                "' (expected serial|parallel|async)");
+                                "' (expected serial|parallel|async|socket)");
 }
 
 const char* engine_name(Engine engine)
@@ -49,6 +73,7 @@ const char* engine_name(Engine engine)
         case Engine::Serial: return "serial";
         case Engine::Parallel: return "parallel";
         case Engine::Async: return "async";
+        case Engine::Socket: return "socket";
     }
     return "unknown";
 }
@@ -56,7 +81,7 @@ const char* engine_name(Engine engine)
 void define_engine_flags(Args& args)
 {
     args.define("engine", "serial",
-                "simulation engine: serial|parallel|async");
+                "simulation engine: serial|parallel|async|socket");
     args.define("threads", "0",
                 "parallel/async engine workers (0 = hardware concurrency)");
 }
@@ -137,6 +162,45 @@ FaultConfig faults_from_args(const Args& args)
         throw std::invalid_argument("--burst_len must be >= 1");
     fc.crashes = parse_crash_spec(args.get("crash"));
     return fc;
+}
+
+void define_socket_flags(Args& args)
+{
+    args.define("procs", "1", "socket engine: total ranks in the run");
+    args.define("rank", "0", "socket engine: this process's rank");
+    args.define("transport", "udp", "socket engine: udp|tcp");
+    args.define("host", "127.0.0.1",
+                "socket engine: peer host (IPv4 literal)");
+    args.define("base_port", "0",
+                "socket engine: rank r listens on base_port + r "
+                "(required when procs > 1)");
+    args.define("round_timeout_ms", "60000",
+                "socket engine: barrier wait budget per round");
+}
+
+SocketConfig socket_from_args(const Args& args)
+{
+    SocketConfig sc;
+    sc.procs = static_cast<int>(args.get_int("procs"));
+    sc.rank = static_cast<int>(args.get_int("rank"));
+    const std::string transport = args.get("transport");
+    if (transport == "udp")
+        sc.transport = SocketConfig::Transport::Udp;
+    else if (transport == "tcp")
+        sc.transport = SocketConfig::Transport::Tcp;
+    else
+        throw std::invalid_argument("--transport must be udp or tcp");
+    sc.host = args.get("host");
+    sc.base_port = static_cast<int>(args.get_int("base_port"));
+    sc.round_timeout_ms = static_cast<int>(args.get_int("round_timeout_ms"));
+    if (sc.round_timeout_ms < 1)
+        throw std::invalid_argument("--round_timeout_ms must be >= 1");
+    return sc;
+}
+
+const char* transport_name(SocketConfig::Transport transport)
+{
+    return transport == SocketConfig::Transport::Udp ? "udp" : "tcp";
 }
 
 }  // namespace dmst

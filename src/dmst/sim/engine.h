@@ -9,18 +9,21 @@
 namespace dmst {
 
 // Builds the engine selected by config.engine: the serial reference
-// Network, the sharded ParallelNetwork (config.threads workers), or the
+// Network, the sharded ParallelNetwork (config.threads workers), the
 // event-driven AsyncNetwork (config.async delay model under an
-// α-synchronizer). All honor the NetworkBase contract and produce
+// α-synchronizer), or the real-network SocketNetwork (config.socket; see
+// src/dmst/net/). All honor the NetworkBase contract and produce
 // bit-identical protocol outputs; serial and parallel are additionally
 // bit-identical in RunStats. Throws std::invalid_argument for
 // Engine::Async combined with an enabled lock-step conditioner or a
-// crash-stop fault schedule (the loss shim composes with every engine),
-// and for an invalid NetConfig::faults.
+// crash-stop fault schedule (the loss shim composes with every in-process
+// engine), for Engine::Socket combined with the conditioner or any fault
+// injection (a real transport has real links and real loss), and for an
+// invalid NetConfig::faults or NetConfig::socket.
 std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
                                           const NetConfig& config);
 
-// "serial" | "parallel" | "async" (case-sensitive); throws
+// "serial" | "parallel" | "async" | "socket" (case-sensitive); throws
 // std::invalid_argument on anything else. The inverse of engine_name,
 // for CLI flags.
 Engine parse_engine(const std::string& name);
@@ -57,6 +60,16 @@ AsyncConfig async_from_args(const Args& args);
 // "v@r[+v@r...]" spec grammar, or "none".
 void define_fault_flags(Args& args);
 FaultConfig faults_from_args(const Args& args);
+
+// The shared --procs/--rank/--transport/--host/--base_port/
+// --round_timeout_ms CLI surface of the bench binaries. Only the socket
+// engine reads them; dmst_launcher forks a driver once per rank and fills
+// --rank/--base_port in per child (see docs/TRANSPORT.md).
+void define_socket_flags(Args& args);
+SocketConfig socket_from_args(const Args& args);
+
+// "udp" | "tcp", for logs and JSONL fields.
+const char* transport_name(SocketConfig::Transport transport);
 
 }  // namespace dmst
 

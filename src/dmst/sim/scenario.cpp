@@ -14,6 +14,7 @@
 #include "dmst/core/pipeline_mst.h"
 #include "dmst/core/sync_boruvka.h"
 #include "dmst/exp/workloads.h"
+#include "dmst/net/peer_table.h"
 #include "dmst/obs/trace.h"
 #include "dmst/seq/mst.h"
 #include "dmst/sim/engine.h"
@@ -33,8 +34,8 @@ struct AlgoRun {
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
                       std::uint64_t ghs_k, const ConditionerConfig& cc,
-                      const AsyncConfig& ac, const FaultConfig& fc, bool trace,
-                      bool record_per_edge)
+                      const AsyncConfig& ac, const FaultConfig& fc,
+                      const SocketConfig& sc, bool trace, bool record_per_edge)
 {
     AlgoRun out;
     if (algorithm == "elkin") {
@@ -45,6 +46,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.conditioner = cc;
         opts.async = ac;
         opts.faults = fc;
+        opts.socket = sc;
         opts.record_per_edge = record_per_edge;
         auto r = run_elkin_mst(g, opts);  // always records the span trace
         out.edges = std::move(r.mst_edges);
@@ -58,6 +60,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.conditioner = cc;
         opts.async = ac;
         opts.faults = fc;
+        opts.socket = sc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_pipeline_mst(g, opts);
@@ -72,6 +75,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.conditioner = cc;
         opts.async = ac;
         opts.faults = fc;
+        opts.socket = sc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_sync_boruvka(g, opts);
@@ -87,6 +91,7 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
         opts.conditioner = cc;
         opts.async = ac;
         opts.faults = fc;
+        opts.socket = sc;
         opts.trace = trace;
         opts.record_per_edge = record_per_edge;
         auto r = run_controlled_ghs(g, opts);
@@ -363,6 +368,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                 ac.event_seed = event_seed;
                 for (Engine engine : spec.engines) {
                     const bool is_async = engine == Engine::Async;
+                    const bool is_socket = engine == Engine::Socket;
                     // Skip axis points that do not apply to the engine,
                     // so each configuration runs exactly once: lock-step
                     // engines do not read the async axes; the async
@@ -372,6 +378,15 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                     // Crash-stop is a lock-step device (the α-synchronizer
                     // has no global round barrier to crash at).
                     if (is_async && fc.crash_enabled())
+                        continue;
+                    // The socket backend is a real transport: it rejects
+                    // the simulated conditioner and fault shims outright
+                    // (see make_network), and every rank needs a
+                    // non-empty vertex block.
+                    if (is_socket &&
+                        (!ideal_conditioner || fc.enabled() ||
+                         static_cast<std::size_t>(spec.socket.procs) >
+                             g.vertex_count()))
                         continue;
                     const std::vector<int> single_run = {1};
                     // Both multi-worker engines sweep the thread axis; the
@@ -402,11 +417,19 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         cell.engine = engine;
                         cell.threads =
                             threaded_engine ? resolve_threads(threads) : 1;
+                        const bool sharded =
+                            is_socket && spec.socket.procs > 1;
+                        if (is_socket) {
+                            cell.transport =
+                                transport_name(spec.socket.transport);
+                            cell.procs = spec.socket.procs;
+                            cell.rank = spec.socket.rank;
+                        }
 
                         auto t0 = std::chrono::steady_clock::now();
                         AlgoRun run = run_algorithm(
                             spec.algorithm, g, bandwidth, engine, threads,
-                            spec.ghs_k, cc, ac, fc, spec.trace,
+                            spec.ghs_k, cc, ac, fc, spec.socket, spec.trace,
                             spec.record_per_edge);
                         auto t1 = std::chrono::steady_clock::now();
                         cell.wall_ms =
@@ -418,7 +441,27 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         // split needs it); only surface it when asked.
                         if (!spec.trace)
                             cell.stats.trace.reset();
-                        for (EdgeId e : run.edges)
+                        // A sharded rank harvests the edges incident to
+                        // its vertex block; boundary edges appear on both
+                        // ranks. Count an edge on the rank owning its
+                        // lower endpoint so the ranks' weights partition
+                        // the total: Σ_rank mst_weight == the serial cell.
+                        std::vector<EdgeId> owned = run.edges;
+                        if (sharded) {
+                            PeerTable table(g.vertex_count(),
+                                            spec.socket.procs);
+                            owned.erase(
+                                std::remove_if(
+                                    owned.begin(), owned.end(),
+                                    [&](EdgeId e) {
+                                        VertexId lo = std::min(g.edge(e).u,
+                                                               g.edge(e).v);
+                                        return table.owner(lo) !=
+                                               spec.socket.rank;
+                                    }),
+                                owned.end());
+                        }
+                        for (EdgeId e : owned)
                             cell.mst_weight += g.edge(e).w;
                         if (spec.record_per_edge)
                             cell.top_edges = hottest_edges(
@@ -426,16 +469,39 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
 
                         if (spec.verify) {
                             cell.verify_ran = true;
-                            if (spec.algorithm == "ghs" || run.partial) {
+                            if (spec.algorithm == "ghs" || run.partial ||
+                                sharded) {
                                 // A Controlled-GHS forest — and any
                                 // crash-degraded partial forest — is a
                                 // subforest of the unique MST (cut
-                                // property); containment is the bar.
+                                // property); containment is the bar. A
+                                // sharded rank additionally owns exactly
+                                // the reference edges whose lower endpoint
+                                // falls in its block.
                                 cell.verified = std::all_of(
                                     run.edges.begin(), run.edges.end(),
                                     [&](EdgeId e) {
                                         return reference_set.count(e) > 0;
                                     });
+                                if (sharded && spec.algorithm != "ghs" &&
+                                    !run.partial) {
+                                    PeerTable table(g.vertex_count(),
+                                                    spec.socket.procs);
+                                    std::vector<EdgeId> ref_owned;
+                                    for (EdgeId e : reference.edges) {
+                                        VertexId lo = std::min(g.edge(e).u,
+                                                               g.edge(e).v);
+                                        if (table.owner(lo) ==
+                                            spec.socket.rank)
+                                            ref_owned.push_back(e);
+                                    }
+                                    std::vector<EdgeId> got = owned;
+                                    std::sort(got.begin(), got.end());
+                                    std::sort(ref_owned.begin(),
+                                              ref_owned.end());
+                                    cell.verified =
+                                        cell.verified && got == ref_owned;
+                                }
                             } else {
                                 // Loss cells included: the shim is
                                 // transparent, so the bar stays exact
@@ -446,7 +512,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         }
 
                         if (spec.model_verify && spec.algorithm != "ghs" &&
-                            !fc.crash_enabled() && !run.partial) {
+                            !fc.crash_enabled() && !run.partial &&
+                            (!sharded || spec.verify)) {
                             // Self-check inside the model: the constructed
                             // forest must be accepted, every mutation of it
                             // rejected with a correct witness — under the
@@ -459,13 +526,22 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             vo.conditioner = cc;
                             vo.async = ac;
                             vo.faults = fc;  // crash-free here by the gate
-                            auto claimed = ports_from_edges(g, run.edges);
+                            vo.socket = spec.socket;
+                            // A sharded rank only harvested its slice of
+                            // the forest; the verifier needs the whole
+                            // claim as input, so sharded cells verify the
+                            // oracle's reference MST instead — the same
+                            // edge set on every rank, which also keeps
+                            // the collective schedules symmetric.
+                            const std::vector<EdgeId>& base_edges =
+                                sharded ? reference.edges : run.edges;
+                            auto claimed = ports_from_edges(g, base_edges);
                             auto vr = run_verify_mst(g, claimed, vo);
                             cell.model_verified = vr.accepted;
                             cell.verify_stats = std::move(vr.stats);
                             for (ForestMutation m : forest_mutations()) {
                                 auto mc =
-                                    run_forest_mutation(g, run.edges, m, vo);
+                                    run_forest_mutation(g, base_edges, m, vo);
                                 if (!mc.applicable)
                                     continue;
                                 ++cell.mutations_run;
@@ -518,6 +594,20 @@ std::string cell_json(const ScenarioCell& cell)
             << ",\"virtual_time\":" << cell.stats.virtual_time
             << ",\"sync_messages\":" << cell.stats.sync_messages
             << ",\"sync_words\":" << cell.stats.sync_words;
+    // Socket fields only on socket cells, so the other engines' JSONL is
+    // unchanged. malformed_frames is an environment counter (stray
+    // datagrams from outside the run), reported but never compared.
+    if (cell.engine == Engine::Socket)
+        oss << ",\"transport\":\"" << cell.transport << "\""
+            << ",\"procs\":" << cell.procs << ",\"rank\":" << cell.rank
+            << ",\"malformed_frames\":" << cell.stats.malformed_frames
+            << ",\"net_packets_out\":" << cell.stats.net_packets_out
+            << ",\"net_packets_in\":" << cell.stats.net_packets_in
+            << ",\"net_bytes_out\":" << cell.stats.net_bytes_out
+            << ",\"net_bytes_in\":" << cell.stats.net_bytes_in
+            << ",\"net_retransmissions\":" << cell.stats.net_retransmissions
+            << ",\"net_timeouts\":" << cell.stats.net_timeouts
+            << ",\"net_acks\":" << cell.stats.net_acks;
     // Fault fields appear only on cells where the axis is active, so
     // clean-grid JSONL stays byte-identical to the pre-fault format.
     if (cell.drop_rate > 0)

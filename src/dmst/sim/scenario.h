@@ -71,6 +71,16 @@ struct ScenarioSpec {
     bool model_verify = false;
     // ghs only: the k of Controlled-GHS (fragment diameter budget).
     std::uint64_t ghs_k = 8;
+    // Socket backend parameters (Engine::Socket cells only). Not a sweep
+    // axis: one scenario_runner process is one rank of one launch, and
+    // dmst_launcher fills procs/rank per child. Socket cells run only at
+    // the ideal conditioner point with clean faults and a single thread;
+    // they are skipped elsewhere (a real transport has real links and
+    // real loss). With procs > 1 each rank reports the cell slice it
+    // owns: mst_weight counts an edge on the rank owning its lower
+    // endpoint (so the ranks' weights sum exactly to the serial cell),
+    // and verification checks the owned slice against the reference MST.
+    SocketConfig socket;
     // Record the per-phase span trace (obs/trace.h) of the construction
     // run; cells carry it in stats.trace and cell_json emits a per-phase
     // breakdown. Elkin records it regardless (its phase split needs it);
@@ -114,6 +124,13 @@ struct ScenarioCell {
     bool partial = false;
     Engine engine = Engine::Serial;
     int threads = 1;
+    // Socket-engine cells: the launch shape this rank ran in (procs = 1,
+    // rank = 0, transport empty on every other engine). stats carries the
+    // receive-path hardening and transport counters (malformed_frames,
+    // net_packets_*, net_bytes_*).
+    std::string transport;
+    int procs = 1;
+    int rank = 0;
     RunStats stats;
     double wall_ms = 0;          // wall-clock of the simulated run
     bool verify_ran = false;
@@ -192,7 +209,10 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 // (max_delay, event_seed) point, the async engine only at the ideal
 // conditioner point and never on crash cells; loss seeds beyond the first
 // are skipped at drop_rate 0; the serial engine runs a single
-// (threads = 1) cell while parallel and async sweep the thread axis.
+// (threads = 1) cell while parallel and async sweep the thread axis. The
+// socket engine runs single-threaded cells at the ideal conditioner,
+// first async point and clean fault point only, and skips sizes smaller
+// than its process count (every rank needs a non-empty vertex block).
 std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                                         const ScenarioCallback& on_cell = {});
 

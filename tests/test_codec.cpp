@@ -260,7 +260,7 @@ TEST(Codec, DecodeRejectsTrailingWords)
 TEST(Codec, DecodeRejectsTruncatedMessage)
 {
     Message m = encode(1, PhaseOnlyMsg{5});  // one payload word
-    EXPECT_THROW(decode<FidMsg>(m), std::out_of_range);  // needs three
+    EXPECT_THROW(decode<FidMsg>(m), InvariantViolation);  // needs three
 }
 
 TEST(Codec, PeekPhaseReadsWordZero)

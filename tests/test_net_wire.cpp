@@ -1,0 +1,360 @@
+// Hardened untrusted-input path of the socket backend (net/wire.h +
+// congest/codec.h try_decode): every byte string — truncated, extended,
+// bit-flipped, or fully random — must come back as a clean WireError /
+// DecodeStatus, with zero out-of-bounds reads and zero aborts. The suite
+// runs under ASan/UBSan in CI, which is what turns "did not crash" into
+// "no UB". Also pins the PeerTable sharding contract the owned-slice
+// parity merge (scripts/parity_diff.py) depends on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dmst/congest/codec.h"
+#include "dmst/net/peer_table.h"
+#include "dmst/net/wire.h"
+#include "dmst/util/rng.h"
+
+namespace dmst {
+namespace {
+
+// ------------------------------------------------------------ peer table
+
+TEST(PeerTable, BlocksPartitionAndBalance)
+{
+    for (std::size_t n : {1u, 2u, 7u, 64u, 65u, 1000u}) {
+        for (int procs : {1, 2, 3, 8, 13}) {
+            PeerTable t(n, procs);
+            // Blocks tile [0, n) contiguously...
+            EXPECT_EQ(t.block_begin(0), 0u);
+            EXPECT_EQ(t.block_end(procs - 1), n);
+            for (int r = 0; r + 1 < procs; ++r)
+                EXPECT_EQ(t.block_end(r), t.block_begin(r + 1));
+            // ...within one vertex of even...
+            const std::size_t lo = n / static_cast<std::size_t>(procs);
+            for (int r = 0; r < procs; ++r) {
+                const std::size_t sz = t.block_end(r) - t.block_begin(r);
+                EXPECT_GE(sz, lo);
+                EXPECT_LE(sz, lo + 1);
+            }
+            // ...and owner() agrees with the block bounds everywhere.
+            for (VertexId v = 0; v < n; ++v) {
+                const int r = t.owner(v);
+                EXPECT_GE(v, t.block_begin(r));
+                EXPECT_LT(v, t.block_end(r));
+            }
+        }
+    }
+}
+
+TEST(PeerTable, PortOf)
+{
+    EXPECT_EQ(PeerTable::port_of(9000, 0), 9000);
+    EXPECT_EQ(PeerTable::port_of(9000, 7), 9007);
+}
+
+// ------------------------------------------------------------- wire walk
+
+// Full structural parse of one packet, touching every payload word so a
+// bad bounds computation is an ASan hit, not a silent over-read.
+WireError walk_packet(const std::uint8_t* data, std::size_t len)
+{
+    PacketHeader h;
+    WireError e = parse_packet_header(data, len, h);
+    if (e != WireError::Ok)
+        return e;
+    FrameCursor c =
+        frame_cursor(data + kPacketHeaderBytes, len - kPacketHeaderBytes, h);
+    WireFrame f;
+    while (!c.done()) {
+        e = next_frame(c, f);
+        if (e != WireError::Ok)
+            return e;
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < f.nwords; ++i)
+            sink ^= f.word(i);
+        (void)sink;
+    }
+    return finish_frames(c);
+}
+
+std::vector<std::uint8_t> sample_packet(std::uint16_t frame_count)
+{
+    std::vector<std::uint8_t> buf;
+    PacketHeader h;
+    h.kind = PacketKind::Frames;
+    h.src_rank = 3;
+    h.frame_count = frame_count;
+    h.session = 0x1122334455667788ULL;
+    h.seq = 42;
+    h.ack = 41;
+    append_packet_header(buf, h);
+    const std::uint64_t words[3] = {7, 8, 9};
+    if (frame_count >= 1)
+        append_frame(buf, FrameKind::Data, 5, 12, 100, 2, words, 3);
+    if (frame_count >= 2)
+        append_frame(buf, FrameKind::Barrier, 0, 12, 101, 0, words,
+                     kBarrierWords);
+    if (frame_count >= 3)
+        append_frame(buf, FrameKind::Probe, 0, 2, 0, 0, words, 1);
+    return buf;
+}
+
+TEST(Wire, HeaderRoundTrip)
+{
+    for (PacketKind kind : {PacketKind::Frames, PacketKind::Hello,
+                            PacketKind::AckOnly, PacketKind::Bye}) {
+        std::vector<std::uint8_t> buf;
+        PacketHeader in;
+        in.kind = kind;
+        in.src_rank = 65535;
+        in.frame_count = 7;
+        in.session = ~0ULL;
+        in.seq = 1ULL << 63;
+        in.ack = 12345;
+        append_packet_header(buf, in);
+        ASSERT_EQ(buf.size(), kPacketHeaderBytes);
+        PacketHeader out;
+        ASSERT_EQ(parse_packet_header(buf.data(), buf.size(), out),
+                  WireError::Ok);
+        EXPECT_EQ(out.kind, in.kind);
+        EXPECT_EQ(out.src_rank, in.src_rank);
+        EXPECT_EQ(out.frame_count, in.frame_count);
+        EXPECT_EQ(out.session, in.session);
+        EXPECT_EQ(out.seq, in.seq);
+        EXPECT_EQ(out.ack, in.ack);
+    }
+}
+
+TEST(Wire, PatchedHeaderFieldsReparse)
+{
+    std::vector<std::uint8_t> buf;
+    append_packet_header(buf, PacketHeader{});
+    patch_packet_header(buf, 0, 9, 77, 76);
+    PacketHeader out;
+    ASSERT_EQ(parse_packet_header(buf.data(), buf.size(), out), WireError::Ok);
+    EXPECT_EQ(out.frame_count, 9);
+    EXPECT_EQ(out.seq, 77u);
+    EXPECT_EQ(out.ack, 76u);
+}
+
+TEST(Wire, HeaderRejectsEveryTruncation)
+{
+    std::vector<std::uint8_t> buf = sample_packet(0);
+    PacketHeader out;
+    for (std::size_t len = 0; len < kPacketHeaderBytes; ++len)
+        EXPECT_EQ(parse_packet_header(buf.data(), len, out), WireError::Short);
+}
+
+TEST(Wire, HeaderRejectsBadFields)
+{
+    std::vector<std::uint8_t> buf = sample_packet(0);
+    PacketHeader out;
+    std::vector<std::uint8_t> bad = buf;
+    bad[0] ^= 0xFF;  // magic
+    EXPECT_EQ(parse_packet_header(bad.data(), bad.size(), out),
+              WireError::BadMagic);
+    bad = buf;
+    bad[4] = kWireVersion + 1;
+    EXPECT_EQ(parse_packet_header(bad.data(), bad.size(), out),
+              WireError::BadVersion);
+    for (int kind : {0, 5, 200}) {
+        bad = buf;
+        bad[5] = static_cast<std::uint8_t>(kind);
+        EXPECT_EQ(parse_packet_header(bad.data(), bad.size(), out),
+                  WireError::BadPacketKind);
+    }
+}
+
+TEST(Wire, FrameWalkRoundTrip)
+{
+    std::vector<std::uint8_t> buf = sample_packet(3);
+    PacketHeader h;
+    ASSERT_EQ(parse_packet_header(buf.data(), buf.size(), h), WireError::Ok);
+    FrameCursor c = frame_cursor(buf.data() + kPacketHeaderBytes,
+                                 buf.size() - kPacketHeaderBytes, h);
+    WireFrame f;
+    ASSERT_EQ(next_frame(c, f), WireError::Ok);
+    EXPECT_EQ(f.kind, FrameKind::Data);
+    EXPECT_EQ(f.nwords, 3);
+    EXPECT_EQ(f.tag, 5u);
+    EXPECT_EQ(f.round, 12u);
+    EXPECT_EQ(f.dst_vertex, 100u);
+    EXPECT_EQ(f.port, 2u);
+    EXPECT_EQ(f.word(0), 7u);
+    EXPECT_EQ(f.word(2), 9u);
+    ASSERT_EQ(next_frame(c, f), WireError::Ok);
+    EXPECT_EQ(f.kind, FrameKind::Barrier);
+    EXPECT_EQ(f.nwords, kBarrierWords);
+    ASSERT_EQ(next_frame(c, f), WireError::Ok);
+    EXPECT_EQ(f.kind, FrameKind::Probe);
+    EXPECT_TRUE(c.done());
+    EXPECT_EQ(finish_frames(c), WireError::Ok);
+}
+
+TEST(Wire, PacketRejectsEveryTruncation)
+{
+    std::vector<std::uint8_t> buf = sample_packet(3);
+    ASSERT_EQ(walk_packet(buf.data(), buf.size()), WireError::Ok);
+    for (std::size_t len = 0; len < buf.size(); ++len)
+        EXPECT_NE(walk_packet(buf.data(), len), WireError::Ok) << len;
+}
+
+TEST(Wire, RejectsTrailingBytesAndCountMismatch)
+{
+    std::vector<std::uint8_t> buf = sample_packet(2);
+    buf.push_back(0xAB);
+    EXPECT_EQ(walk_packet(buf.data(), buf.size()), WireError::TrailingBytes);
+
+    // Declared one more frame than the payload holds.
+    buf = sample_packet(2);
+    patch_packet_header(buf, 0, 3, 42, 41);
+    EXPECT_EQ(walk_packet(buf.data(), buf.size()), WireError::Short);
+
+    // Declared one fewer: the stray frame's bytes become trailing garbage.
+    buf = sample_packet(2);
+    patch_packet_header(buf, 0, 1, 42, 41);
+    EXPECT_EQ(walk_packet(buf.data(), buf.size()), WireError::TrailingBytes);
+}
+
+TEST(Wire, RejectsOversizedFrame)
+{
+    std::vector<std::uint8_t> buf = sample_packet(1);
+    // nwords lives at frame offset 2 (u16 LE).
+    const std::size_t off = kPacketHeaderBytes + 2;
+    const std::uint16_t huge = kMaxFrameWords + 1;
+    buf[off] = static_cast<std::uint8_t>(huge);
+    buf[off + 1] = static_cast<std::uint8_t>(huge >> 8);
+    EXPECT_EQ(walk_packet(buf.data(), buf.size()), WireError::Oversized);
+}
+
+TEST(Wire, BadFrameKindRejected)
+{
+    std::vector<std::uint8_t> buf = sample_packet(1);
+    for (int kind : {0, 5, 250}) {
+        std::vector<std::uint8_t> bad = buf;
+        bad[kPacketHeaderBytes] = static_cast<std::uint8_t>(kind);
+        EXPECT_EQ(walk_packet(bad.data(), bad.size()), WireError::BadFrameKind);
+    }
+}
+
+TEST(Wire, SurvivesEveryBitFlip)
+{
+    std::vector<std::uint8_t> buf = sample_packet(3);
+    for (std::size_t bit = 0; bit < buf.size() * 8; ++bit) {
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        // Any verdict is acceptable; the walk itself must stay in bounds
+        // (the sanitizer leg is the judge).
+        (void)walk_packet(buf.data(), buf.size());
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    EXPECT_EQ(walk_packet(buf.data(), buf.size()), WireError::Ok);
+}
+
+TEST(Wire, SurvivesRandomBytes)
+{
+    Rng rng(2024);
+    std::vector<std::uint8_t> buf;
+    for (int iter = 0; iter < 20000; ++iter) {
+        buf.resize(rng.next() % 160);
+        for (std::uint8_t& b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+        if (iter % 3 == 0 && buf.size() >= 6) {
+            // Bias a third of the corpus past the magic/version gate so the
+            // frame walker sees real traffic, not just BadMagic exits.
+            buf[0] = 0x44; buf[1] = 0x4D; buf[2] = 0x53; buf[3] = 0x54;
+            buf[4] = kWireVersion;
+            buf[5] = static_cast<std::uint8_t>(1 + rng.next() % 4);
+        }
+        (void)walk_packet(buf.data(), buf.size());
+    }
+}
+
+// --------------------------------------------------------- codec hardening
+
+// Every payload struct is a fixed word width, so the checked decode has a
+// closed-form contract: Truncated below it, Ok at it, Overlong above it —
+// for any field values.
+template <typename P>
+void sweep_widths(const char* name)
+{
+    Rng rng(11);
+    const std::size_t width = encode(1, P{}).words.size();
+    for (std::size_t len = 0; len <= width + 3; ++len) {
+        for (int trial = 0; trial < 16; ++trial) {
+            Message m;
+            m.tag = 1;
+            for (std::size_t i = 0; i < len; ++i)
+                m.words.push_back(rng.next());
+            const auto r = try_decode<P>(m);
+            const DecodeStatus expect = len < width    ? DecodeStatus::Truncated
+                                        : len == width ? DecodeStatus::Ok
+                                                       : DecodeStatus::Overlong;
+            EXPECT_EQ(r.status, expect)
+                << name << " len=" << len << " width=" << width;
+            EXPECT_EQ(r.ok(), expect == DecodeStatus::Ok);
+        }
+    }
+}
+
+TEST(CodecHardening, TryDecodeEveryPayloadStruct)
+{
+    sweep_widths<EmptyMsg>("EmptyMsg");
+    sweep_widths<BfsExploreMsg>("BfsExploreMsg");
+    sweep_widths<BfsEchoMsg>("BfsEchoMsg");
+    sweep_widths<IntervalAssignMsg>("IntervalAssignMsg");
+    sweep_widths<DownRecordMsg>("DownRecordMsg");
+    sweep_widths<PipeRecordMsg>("PipeRecordMsg");
+    sweep_widths<PhaseOnlyMsg>("PhaseOnlyMsg");
+    sweep_widths<FidMsg>("FidMsg");
+    sweep_widths<PhaseFlagMsg>("PhaseFlagMsg");
+    sweep_widths<PhaseValueMsg>("PhaseValueMsg");
+    sweep_widths<ColorMsg>("ColorMsg");
+    sweep_widths<StepValueMsg>("StepValueMsg");
+    sweep_widths<StepMsg>("StepMsg");
+    sweep_widths<StatusCrossMsg>("StatusCrossMsg");
+    sweep_widths<MwoeReportMsg>("MwoeReportMsg");
+    sweep_widths<EdgeReportMsg>("EdgeReportMsg");
+    sweep_widths<FragReportMsg>("FragReportMsg");
+    sweep_widths<AckPropMsg>("AckPropMsg");
+    sweep_widths<NewCoarseMsg>("NewCoarseMsg");
+    sweep_widths<StartGhsMsg>("StartGhsMsg");
+    sweep_widths<IdExchangeMsg>("IdExchangeMsg");
+    sweep_widths<WordMsg>("WordMsg");
+    sweep_widths<HelloMsg>("HelloMsg");
+    sweep_widths<VerifySnapshotMsg>("VerifySnapshotMsg");
+    sweep_widths<PathTokenMsg>("PathTokenMsg");
+    sweep_widths<VerifyCountMsg>("VerifyCountMsg");
+    sweep_widths<VerdictMsg>("VerdictMsg");
+    sweep_widths<EdgeKeyMsg>("EdgeKeyMsg");
+    sweep_widths<FlagMsg>("FlagMsg");
+    sweep_widths<FloodMsg>("FloodMsg");
+}
+
+TEST(CodecHardening, TryDecodeFieldOrderPinned)
+{
+    Message m;
+    m.tag = 3;
+    m.words.push_back(4);   // phase
+    m.words.push_back(17);  // fid
+    m.words.push_back(9);   // vid
+    const auto r = try_decode<FidMsg>(m);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.payload.phase, 4u);
+    EXPECT_EQ(r.payload.fid, 17u);
+    EXPECT_EQ(r.payload.vid, 9u);
+}
+
+TEST(CodecHardening, TryPeekPhase)
+{
+    Message m;
+    std::uint64_t phase = 99;
+    EXPECT_FALSE(try_peek_phase(m, phase));
+    m.words.push_back(6);
+    ASSERT_TRUE(try_peek_phase(m, phase));
+    EXPECT_EQ(phase, 6u);
+}
+
+}  // namespace
+}  // namespace dmst
