@@ -73,9 +73,16 @@ int main(int argc, char** argv)
         auto g = make_workload(family, n, seed);
         for (std::uint64_t k : {16ull, 64ull}) {
             const int phases = ceil_log2(k);
-            auto ghs = run_controlled_ghs(g, GhsOptions{.k = k, .engine = eng, .threads = threads});
-            auto wild = run_sync_boruvka(
-                g, SyncBoruvkaOptions{.max_phases = phases, .engine = eng, .threads = threads});
+            GhsOptions ghs_opts;
+            ghs_opts.k = k;
+            ghs_opts.engine = eng;
+            ghs_opts.threads = threads;
+            auto ghs = run_controlled_ghs(g, ghs_opts);
+            SyncBoruvkaOptions wild_opts;
+            wild_opts.max_phases = phases;
+            wild_opts.engine = eng;
+            wild_opts.threads = threads;
+            auto wild = run_sync_boruvka(g, wild_opts);
             a.new_row()
                 .add(std::string(family))
                 .add(k)
@@ -95,12 +102,14 @@ int main(int argc, char** argv)
         // Fix k = sqrt(n) so both variants answer the same sizable set of
         // base fragments each phase; only the delivery mechanism differs.
         const std::uint64_t k = isqrt(g.vertex_count());
-        auto routed = run_elkin_mst(g, ElkinOptions{.k_override = k, .engine = eng, .threads = threads});
-        auto flooded = run_elkin_mst(
-            g, ElkinOptions{.k_override = k,
-                             .broadcast_downcast = true,
-                             .engine = eng,
-                             .threads = threads});
+        ElkinOptions routed_opts;
+        routed_opts.k_override = k;
+        routed_opts.engine = eng;
+        routed_opts.threads = threads;
+        auto routed = run_elkin_mst(g, routed_opts);
+        ElkinOptions flooded_opts = routed_opts;
+        flooded_opts.broadcast_downcast = true;
+        auto flooded = run_elkin_mst(g, flooded_opts);
         if (routed.mst_edges != flooded.mst_edges) {
             std::cerr << "FATAL: ablation changed the MST\n";
             return 1;

@@ -41,7 +41,11 @@ int main(int argc, char** argv)
     for (const char* family : {"er", "grid"}) {
         auto g = make_workload(family, n, seed);
         for (std::uint64_t k = 2; k <= 256 && k <= n / 4; k *= 4) {
-            auto r = run_controlled_ghs(g, GhsOptions{.k = k, .engine = eng, .threads = threads});
+            GhsOptions opts;
+            opts.k = k;
+            opts.engine = eng;
+            opts.threads = threads;
+            auto r = run_controlled_ghs(g, opts);
             auto stats = analyze_forest(g, r.parent_port, r.fragment_id);
             std::uint64_t frag_bound = std::max<std::uint64_t>(1, 2 * n / k);
             std::uint64_t height_bound =

@@ -54,8 +54,10 @@ int main(int argc, char** argv)
 
         auto elkin = run_elkin_mst(g, elkin_opts);
         auto gkp = run_pipeline_mst(g, gkp_opts);
-        auto boruvka = run_sync_boruvka(
-            g, SyncBoruvkaOptions{.engine = eng, .threads = threads});
+        SyncBoruvkaOptions boruvka_opts;
+        boruvka_opts.engine = eng;
+        boruvka_opts.threads = threads;
+        auto boruvka = run_sync_boruvka(g, boruvka_opts);
         if (elkin.mst_edges != gkp.mst_edges ||
             elkin.mst_edges != boruvka.mst_edges) {
             std::cerr << "FATAL: algorithms disagree on " << family << "\n";

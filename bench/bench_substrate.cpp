@@ -276,15 +276,20 @@ void BM_SynchronizerPulse(benchmark::State& state)
     AlphaSynchronizer sync(g);
     sync.start_epoch(0);
     std::vector<AsyncIncoming> scratch;
+    std::vector<SyncEmit> emits;
     for (auto _ : state) {
         for (VertexId v = 0; v < n; ++v) {
             sync.begin_pulse(v, scratch);
-            sync.note_pulse_sends_done(v);  // no sends: safe immediately
+            emits.clear();
+            sync.note_pulse_sends_done(v, emits);  // no sends: safe at once
             benchmark::DoNotOptimize(scratch.size());
+            benchmark::DoNotOptimize(emits.size());
         }
         for (VertexId v = 0; v < n; ++v)
-            for (std::size_t p = 0; p < g.degree(v); ++p)
-                sync.note_safe(g.neighbor(v, p), sync.pulse(v));
+            for (std::size_t p = 0; p < g.degree(v); ++p) {
+                emits.clear();
+                sync.on_control(g.neighbor(v, p), 0, sync.pulse(v), emits);
+            }
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n));

@@ -17,6 +17,9 @@
 // async-engine cells only; lock-step cells run at the first point:
 //   --max_delay=1,4      per-message delay bound in virtual-time units
 //   --event_seed=1,2,3   delay-stream seeds
+//   --sync=alpha,beta    synchronizer axis; `none` adds native per-event
+//                        dispatch cells (algo=ghs_native only — the
+//                        round-programmed algorithms are skipped there)
 // Async cells skip conditioned grid points (the conditioner is a
 // lock-step device) and must produce the same MST and verdicts as the
 // serial engine; --verify enforces that per cell. Async cells also sweep
@@ -82,7 +85,8 @@ using namespace dmst;
 int main(int argc, char** argv)
 {
     Args args;
-    args.define("algo", "elkin", "algorithm: elkin|pipeline|boruvka|ghs");
+    args.define("algo", "elkin",
+                "algorithm: elkin|pipeline|boruvka|ghs|ghs_native");
     args.define("families", "er", "comma list of workload families");
     args.define("sizes", "256", "comma list of graph sizes");
     args.define("bandwidths", "1", "comma list of CONGEST bandwidths");
@@ -101,6 +105,9 @@ int main(int argc, char** argv)
     args.define("max_delay", "4",
                 "comma list of async per-message delay bounds (>= 1)");
     args.define("event_seed", "1", "comma list of async delay-stream seeds");
+    args.define("sync", "alpha",
+                "comma list of async synchronizers: alpha,beta,none (none = "
+                "native message-driven dispatch, algo=ghs_native only)");
     args.define("drop_rate", "0",
                 "comma list of per-link drop probabilities in [0, 1)");
     args.define("loss_seed", "11", "comma list of loss-stream seeds");
@@ -190,6 +197,9 @@ int main(int argc, char** argv)
         spec.event_seeds.clear();
         for (std::int64_t s : split_int_list(args.get("event_seed")))
             spec.event_seeds.push_back(static_cast<std::uint64_t>(s));
+        spec.syncs.clear();
+        for (const std::string& name : split_list(args.get("sync")))
+            spec.syncs.push_back(parse_sync(name));
         spec.drop_rates.clear();
         for (const std::string& item : split_list(args.get("drop_rate"))) {
             std::size_t pos = 0;

@@ -33,7 +33,9 @@ int main(int argc, char** argv)
 
     Table t({"b", "k", "rounds", "messages"});
     for (int b : {1, 2, 4, 8, 16, 32}) {
-        auto r = run_elkin_mst(g, ElkinOptions{.bandwidth = b});
+        ElkinOptions opts;
+        opts.bandwidth = b;
+        auto r = run_elkin_mst(g, opts);
         t.new_row()
             .add(static_cast<std::int64_t>(b))
             .add(r.k_used)

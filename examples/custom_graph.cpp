@@ -42,8 +42,9 @@ int main(int argc, char** argv)
         return 1;
     }
 
-    auto r = run_elkin_mst(
-        g, ElkinOptions{.bandwidth = static_cast<int>(args.get_int("bandwidth"))});
+    ElkinOptions opts;
+    opts.bandwidth = static_cast<int>(args.get_int("bandwidth"));
+    auto r = run_elkin_mst(g, opts);
     std::cout << "MST (" << r.mst_edges.size() << " edges, rounds "
               << r.stats.rounds << ", messages " << r.stats.messages << "):\n";
     for (EdgeId e : r.mst_edges) {

@@ -7,18 +7,27 @@ conditioner axes) and enforces the engines' equivalence contracts:
   - lock-step engines (serial, parallel at every thread count) must be
     bit-identical per point: rounds, messages, words, mst_weight, the
     oracle verdict, and the in-model verification block;
-  - async-engine rows (every max_delay x event_seed point) must match the
-    point's serial row on mst_weight, verdicts, and the payload counters
-    (messages/words, verify_messages/verify_words). rounds are excluded:
-    async pulse levels may exceed the serial count by the documented
-    endgame skew, and the synchronizer metrics (events, virtual_time,
-    sync_*) are async-only;
-  - async rows at the same (max_delay, event_seed) point but different
-    worker counts must be bit-identical on EVERY counter, including the
-    async-only ones (rounds, events, virtual_time, sync_messages,
-    sync_words): the sharded engine's determinism contract says threading
-    never changes the schedule, so any drift here is an engine bug even
-    when the serial comparison above still passes;
+  - async-engine rows behind a synchronizer (sync alpha or beta; the
+    "sync" field defaults to alpha when absent, for pre-sync-axis JSONL)
+    must match the point's serial row on mst_weight, verdicts, and the
+    payload counters (messages/words, verify_messages/verify_words) at
+    every max_delay x event_seed point. rounds are excluded: async pulse
+    levels may exceed the serial count by the documented endgame skew,
+    and the synchronizer metrics (events, virtual_time, sync_*) are
+    async-only;
+  - natively-dispatched rows (sync == "none": a message-driven driver,
+    no synchronizer) must match the serial row on mst_weight and the
+    verdict block and carry exactly zero synchronizer traffic
+    (sync_messages == sync_words == 0). The payload counters are NOT
+    compared: a natively asynchronous protocol's message schedule is
+    delay-dependent by design — only its output is invariant;
+  - async rows at the same (max_delay, event_seed, sync) point but
+    different worker counts must be bit-identical on EVERY counter,
+    including the async-only ones (rounds, events, virtual_time,
+    sync_messages, sync_words): the sharded engine's determinism
+    contract says threading never changes the schedule, so any drift
+    here is an engine bug even when the serial comparison above still
+    passes;
   - socket-engine rows (one per rank of a dmst_launcher launch, grouped
     by transport x procs within the scenario point) merge against the
     point's serial row: every rank 0..procs-1 must appear exactly once
@@ -49,6 +58,10 @@ LOCKSTEP_COMPARE = ("rounds", "messages", "words", "mst_weight", "verified",
 ASYNC_COMPARE = ("messages", "words", "mst_weight", "verified",
                  "model_verified", "mutations_passed", "mutations_run",
                  "verify_messages", "verify_words")
+# Native dispatch (sync == "none"): only the output and the verdict block
+# are schedule-invariant; payload counters vary with the delay draw.
+NATIVE_COMPARE = ("mst_weight", "verified", "model_verified",
+                  "mutations_passed", "mutations_run")
 ASYNC_THREAD_COMPARE = ASYNC_COMPARE + (
     "rounds", "events", "virtual_time", "sync_messages", "sync_words",
     "verify_rounds")
@@ -65,7 +78,8 @@ def describe(row):
     extra = f" engine={row.get('engine')} threads={row.get('threads')}"
     if row.get("engine") == "async":
         extra += (f" max_delay={row.get('max_delay')}"
-                  f" event_seed={row.get('event_seed')}")
+                  f" event_seed={row.get('event_seed')}"
+                  f" sync={row.get('sync', 'alpha')}")
     if row.get("engine") == "socket":
         extra += (f" transport={row.get('transport')}"
                   f" procs={row.get('procs')} rank={row.get('rank')}")
@@ -168,13 +182,23 @@ def main(argv):
             continue
         for row in asyncs:
             async_rows += 1
-            check(serial, row, ASYNC_COMPARE, "async")
+            if row.get("sync", "alpha") == "none":
+                check(serial, row, NATIVE_COMPARE, "native")
+                for field in ("sync_messages", "sync_words"):
+                    if row.get(field, 0) != 0:
+                        mismatches.append(
+                            f"native {field}: expected 0, got "
+                            f"{row.get(field)}\n    row: {describe(row)}")
+            else:
+                check(serial, row, ASYNC_COMPARE, "async")
 
-        # Thread-invariance: async rows sharing a delay point are the same
-        # schedule run by different worker counts — exact on everything.
+        # Thread-invariance: async rows sharing a (delay, sync) point are
+        # the same schedule run by different worker counts — exact on
+        # everything.
         by_point = {}
         for row in asyncs:
-            point = (row.get("max_delay"), row.get("event_seed"))
+            point = (row.get("max_delay"), row.get("event_seed"),
+                     row.get("sync", "alpha"))
             by_point.setdefault(point, []).append(row)
         for point_rows in by_point.values():
             ref = min(point_rows, key=lambda r: r.get("threads", 0))

@@ -66,6 +66,11 @@ void Context::send(std::size_t port, Message msg)
     net_->send_from(vertex_, port, std::move(msg));
 }
 
+void Context::set_timer(std::uint64_t delay, std::uint64_t timer_id)
+{
+    net_->schedule_timer(vertex_, std::max<std::uint64_t>(delay, 1), timer_id);
+}
+
 bool Context::tracing() const
 {
     return net_->trace_ != nullptr;
@@ -87,6 +92,27 @@ void Context::trace_instant(TracePhase phase, std::int64_t level)
 {
     if (TraceRecorder* t = net_->trace_)
         t->instant(vertex_, phase, level);
+}
+
+// --------------------------------------------------------- MessageProcess
+
+void MessageProcess::on_round(Context& ctx)
+{
+    if (!started_) {
+        started_ = true;
+        on_start(ctx);
+    }
+    due_scratch_.clear();
+    ctx.net_->take_due_timers(ctx.vertex_, ctx.round(), due_scratch_);
+    for (std::uint64_t id : due_scratch_)
+        on_wakeup(ctx, id);
+    for (const Incoming& in : ctx.inbox()) {
+        // The handler owns its message; the inbox arena slot stays intact
+        // for the rest of the round (payloads are inline, so this copy
+        // never allocates — congest/message.h).
+        Message msg = in.msg;
+        on_message(ctx, in.port, std::move(msg));
+    }
 }
 
 // ------------------------------------------------------------ NetworkBase
@@ -124,6 +150,7 @@ NetworkBase::NetworkBase(const WeightedGraph& g, NetConfig config)
         trace_ = trace_owned_.get();
     }
     const std::size_t n = graph_.vertex_count();
+    timers_.resize(n);
     inbox_span_.resize(n);
     inbox_count_.assign(n, 0);
     scatter_off_.assign(n, 0);
@@ -219,6 +246,30 @@ void NetworkBase::fold_arrivals(std::vector<std::uint64_t>& hist)
         stats_.arrivals_per_round[idx] += hist[d];
         hist[d] = 0;
     }
+}
+
+void NetworkBase::schedule_timer(VertexId v, std::uint64_t delay,
+                                 std::uint64_t timer_id)
+{
+    const std::uint64_t now =
+        round_by_vertex_ ? round_by_vertex_[v] : logical_round_;
+    timers_[v].push_back(PendingTimer{now + delay, timer_id});
+}
+
+void NetworkBase::take_due_timers(VertexId v, std::uint64_t now,
+                                  std::vector<std::uint64_t>& out)
+{
+    if (timers_.empty() || timers_[v].empty())
+        return;
+    std::vector<PendingTimer>& pending = timers_[v];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].due <= now)
+            out.push_back(pending[i].id);
+        else
+            pending[kept++] = pending[i];
+    }
+    pending.resize(kept);
 }
 
 void NetworkBase::reset_round_words(VertexId v)

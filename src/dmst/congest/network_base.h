@@ -59,18 +59,41 @@ struct SocketConfig {
     int round_timeout_ms = 60'000;      // barrier wait budget per round
 };
 
+// How the event-driven engine re-creates (or drops) the synchronous round
+// abstraction for the processes it hosts (sim/synchronizer.h):
+//
+//   Alpha — acknowledgment-based α-synchronizer [Awerbuch 85]: every
+//           payload is ACKed and a safe vertex announces SAFE to all
+//           neighbors; ~2m control messages per pulse level. Hosts any
+//           round-programmed (on_round) driver.
+//   Beta  — spanning-tree β-synchronizer [Awerbuch 85]: safety still rides
+//           per-payload ACKs, but readiness convergecasts READY up a BFS
+//           spanning tree and broadcasts GO back down; ~2n control
+//           messages per pulse level. Same drivers, same bit-identical
+//           outputs, cheaper control plane (bench_e14_async gates it).
+//   None  — no synchronizer: payloads dispatch straight to the process's
+//           on_message handler at arrival, timers to on_wakeup. Requires
+//           every process to be a MessageProcess (the message-driven
+//           surface below); sync_messages stays exactly 0.
+enum class SyncMode : std::uint8_t { Alpha, Beta, None };
+
 // Parameters of the event-driven engine (Engine::Async); ignored by the
-// lock-step engines. Both feed the seeded delay draw only — protocol
-// outputs are invariant across every (max_delay, event_seed) point, which
-// the async invariance fuzz and the nightly parity job enforce.
+// lock-step engines. The delay knobs feed the seeded delay draw only —
+// protocol outputs are invariant across every (max_delay, event_seed)
+// point, which the async invariance fuzz and the nightly parity job
+// enforce. The sync mode selects the synchronizer (or none).
 struct AsyncConfig {
-    // Every message (payload, ACK, SAFE) is delivered after an independent
-    // integer delay hashed uniformly from [1, max_delay] virtual-time
-    // units. 1 = uniform unit delays (ordering still event-driven).
+    // Every message (payload, ACK, synchronizer control) is delivered
+    // after an independent integer delay hashed uniformly from
+    // [1, max_delay] virtual-time units. 1 = uniform unit delays
+    // (ordering still event-driven).
     int max_delay = 4;
     // Seed of the per-message delay stream. Distinct seeds yield distinct
     // interleavings and virtual times but identical protocol outputs.
     std::uint64_t event_seed = 1;
+    // Synchronizer behind the round abstraction; SyncMode::None runs
+    // message-driven drivers natively (per-link FIFO, no control traffic).
+    SyncMode sync = SyncMode::Alpha;
 };
 
 struct NetConfig {
@@ -253,6 +276,15 @@ public:
     // round is exceeded.
     void send(std::size_t port, Message msg);
 
+    // Arms a local timer: a MessageProcess's on_wakeup(timer_id) fires once
+    // at least `delay` time units later (logical rounds on the lock-step
+    // engines, virtual-time units on the event-driven engine). delay < 1 is
+    // clamped to 1 — a timer never fires within the activation that set it.
+    // Timers are local bookkeeping, not messages: they move no words and
+    // charge no bandwidth. Multiple timers may share an id; each firing
+    // reports the id it was armed with.
+    void set_timer(std::uint64_t delay, std::uint64_t timer_id);
+
     // ---- tracing hooks (src/dmst/obs/trace.h) --------------------------
     // No-ops (one pointer test) unless NetConfig::trace.enabled. Drivers
     // normally use the TraceScope RAII helper instead of begin/end pairs.
@@ -266,6 +298,7 @@ public:
 
 private:
     friend class NetworkBase;
+    friend class MessageProcess;  // on_round adapter pops due timers
     Context(NetworkBase& net, VertexId vertex) : net_(&net), vertex_(vertex) {}
 
     NetworkBase* net_;
@@ -280,6 +313,55 @@ public:
     virtual ~Process() = default;
     virtual void on_round(Context& ctx) = 0;
     virtual bool done() const = 0;
+};
+
+// The message-driven driver surface: the second half of the two-surface
+// contract. A MessageProcess is programmed against arrivals, not rounds —
+// on_start() once at wakeup, on_message() per delivered message, and
+// on_wakeup() per expired Context::set_timer timer. It still IS a Process:
+// the final on_round() adapter below replays an activation's due timers and
+// inbox through the handlers, so a message-driven driver runs unmodified on
+// every engine (serial, parallel, async behind a synchronizer, socket) —
+// the lock-step schedule is just one particular FIFO unit-delay execution.
+// Under Engine::Async with AsyncConfig::sync == SyncMode::None the adapter
+// is bypassed entirely: the engine dispatches each event straight to the
+// handler at its arrival time, with per-link FIFO delivery and zero
+// synchronizer traffic (sync_messages == 0).
+//
+// Handler rules (the asynchronous CONGEST model):
+//   - handlers see only local state plus the one arriving message/timer;
+//   - sends go out with Context::send exactly as from on_round; on the
+//     native path the bandwidth budget is per activation, and each send is
+//     delivered after its own independent seeded delay, FIFO per link;
+//   - Context::round() reports the activation count of this vertex, and
+//     Context::virtual_time() the engine clock (0 on lock-step engines);
+//   - termination is still done(): a run ends when every process reports
+//     done and no events are in flight.
+class MessageProcess : public Process {
+public:
+    // Called once per vertex before any message is delivered (spontaneous
+    // wakeup; every vertex wakes in this substrate). Initial sends go here.
+    virtual void on_start(Context& ctx) { (void)ctx; }
+
+    // Called once per arriving message, in delivery order.
+    virtual void on_message(Context& ctx, std::size_t port, Message&& msg) = 0;
+
+    // Called when a Context::set_timer timer expires.
+    virtual void on_wakeup(Context& ctx, std::uint64_t timer_id)
+    {
+        (void)ctx;
+        (void)timer_id;
+    }
+
+    // Lock-step adapter: first activation runs on_start, then every
+    // activation fires due timers (in arming order) and dispatches the
+    // inbox (in inbox order) through the handlers. Final — a
+    // message-driven driver has no per-round logic by definition.
+    void on_round(Context& ctx) final;
+
+private:
+    bool started_ = false;
+    std::vector<std::uint64_t> due_scratch_;
 };
 
 // Synchronous message-passing network over a weighted graph: the engine
@@ -502,6 +584,20 @@ protected:
 
     void reset_round_words(VertexId v);
 
+    // ---- timer plumbing (Context::set_timer) ----------------------------
+    // Engine hook behind Context::set_timer. The base implementation books
+    // the timer against the vertex's logical-round clock (due at
+    // round + max(1, delay)); the MessageProcess adapter pops due entries
+    // at each activation. The event-driven engine overrides this in native
+    // mode to stage a Timer event on the virtual clock instead.
+    virtual void schedule_timer(VertexId v, std::uint64_t delay,
+                                std::uint64_t timer_id);
+
+    // Moves every timer of `v` due at or before `now` into `out`, in arming
+    // order. Used by the MessageProcess lock-step adapter only.
+    void take_due_timers(VertexId v, std::uint64_t now,
+                         std::vector<std::uint64_t>& out);
+
     // ---- conditioner + fault-shim plumbing shared by both engines -------
     //
     // Logical rounds map to absolute tick targets rather than a fixed
@@ -708,8 +804,17 @@ protected:
     std::unique_ptr<TraceRecorder> trace_owned_;
     TraceRecorder* trace_ = nullptr;
 
+    // Pending Context::set_timer timers per vertex (lock-step path; sized
+    // to n at construction). Only the shard stepping `v` touches row v.
+    struct PendingTimer {
+        std::uint64_t due;
+        std::uint64_t id;
+    };
+    std::vector<std::vector<PendingTimer>> timers_;
+
 private:
     friend class Context;
+    friend class MessageProcess;
 };
 
 }  // namespace dmst

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dmst/congest/network.h"
+#include "dmst/core/driver_options.h"
 #include "dmst/graph/graph.h"
 #include "dmst/proto/bfs.h"
 
@@ -242,30 +243,11 @@ struct MstForestResult {
     std::size_t fragment_count() const;
 };
 
-struct GhsOptions {
+// Substrate knobs (bandwidth/engine/conditioner/faults/...) are inherited
+// from DriverOptions. A sharded run (Engine::Socket) fills fragment_id/
+// parent_port/mst_ports on [local_begin, local_end) only.
+struct GhsOptions : DriverOptions {
     std::uint64_t k = 2;
-    int bandwidth = 1;
-    Engine engine = Engine::Serial;
-    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
-    // Adversarial network conditioning; output-invariant (see
-    // congest/conditioner.h).
-    ConditionerConfig conditioner;
-    // Event-driven engine delay model (Engine::Async only);
-    // output-invariant (see sim/async_network.h).
-    AsyncConfig async;
-    // Seeded fault injection (congest/faults.h); loss is output-invariant,
-    // crash-stop degrades the run to a partial forest (result.partial).
-    FaultConfig faults;
-    // Socket backend parameters (Engine::Socket only). A sharded run fills
-    // fragment_id/parent_port/mst_ports on [local_begin, local_end) only.
-    SocketConfig socket;
-    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
-    // scaled by the conditioner stride into ticks.
-    std::uint64_t max_rounds = 0;
-    // Record per-edge message counts in stats.messages_per_edge.
-    bool record_per_edge = false;
-    // Record the per-phase span trace in stats.trace.
-    bool trace = false;
 };
 
 MstForestResult run_controlled_ghs(const WeightedGraph& g, const GhsOptions& opts);

@@ -534,22 +534,11 @@ DistributedMstResult run_elkin_mst(const WeightedGraph& g, const ElkinOptions& o
     if (!is_connected(g))
         throw std::invalid_argument("MST requires a connected graph");
 
-    NetConfig config;
-    config.bandwidth = opts.bandwidth;
+    NetConfig config = opts.to_net_config();
     config.record_per_round = true;  // per-round trace for tests and sweeps
-    config.record_per_edge = opts.record_per_edge;
     // The span trace drives the phase-1/phase-2 split; external callers can
     // also request it for export, but the driver always needs it.
     config.trace.enabled = true;
-    config.engine = opts.engine;
-    config.threads = opts.threads;
-    config.conditioner = opts.conditioner;
-    config.async = opts.async;
-    config.faults = opts.faults;
-    config.socket = opts.socket;
-    config.max_rounds = scaled_round_budget(
-        opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner, opts.faults);
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::uint64_t n = g.vertex_count();

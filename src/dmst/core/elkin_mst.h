@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dmst/congest/network.h"
+#include "dmst/core/driver_options.h"
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/graph/graph.h"
 #include "dmst/proto/bfs.h"
@@ -43,8 +44,14 @@ namespace dmst {
 // Documented deviations (DESIGN.md §3): designated root instead of leader
 // election; k from ecc(rt) instead of the unknown D.
 
-struct ElkinOptions {
-    int bandwidth = 1;          // the b of CONGEST(b log n)
+// Substrate knobs are inherited from DriverOptions. The MST output is
+// invariant across engines, conditioners, and async delay points; a
+// sharded run (Engine::Socket) returns the local shard's view (mst_ports
+// on [local_begin, local_end), locally claimed mst_edges, root milestones
+// only on the rank owning the root). Note the driver enables the span
+// trace unconditionally — it drives the phase-1/phase-2 split — so the
+// inherited `trace` flag is effectively always on here.
+struct ElkinOptions : DriverOptions {
     VertexId root = 0;          // designated BFS root
     std::optional<std::uint64_t> k_override;  // force the base-forest k
     // Ablation E10b: deliver the per-fragment phase results by flooding
@@ -54,33 +61,6 @@ struct ElkinOptions {
     // broadcasting it to the entire graph"). Costs Theta(n) messages per
     // record instead of Theta(D).
     bool broadcast_downcast = false;
-    // Record the per-edge message histogram (stats.messages_per_edge);
-    // used by the congestion experiment E11.
-    bool record_per_edge = false;
-    // Simulation engine (serial reference or sharded parallel) and, for the
-    // parallel engine, the worker count (0 = hardware concurrency). The
-    // choice affects wall-clock only; results are bit-identical.
-    Engine engine = Engine::Serial;
-    int threads = 0;
-    // Adversarial network conditioning (congest/conditioner.h). The MST
-    // output is invariant; rounds inflate by the conditioner stride.
-    ConditionerConfig conditioner;
-    // Event-driven engine delay model (Engine::Async only); the MST
-    // output is invariant across every (max_delay, event_seed) point.
-    AsyncConfig async;
-    // Seeded fault injection (congest/faults.h). Loss is output-invariant
-    // (the reliable-delivery shim masks it); crash-stop degrades the run
-    // to a partial forest (result.partial) on the lock-step engines.
-    FaultConfig faults;
-    // Socket backend parameters (Engine::Socket only). A sharded run
-    // returns the local shard's view: mst_ports filled on [local_begin,
-    // local_end), mst_edges holding the locally claimed edges (union
-    // across ranks = the MST), and root milestones only on the rank that
-    // owns the root.
-    SocketConfig socket;
-    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
-    // the driver scales it by the conditioner stride into ticks.
-    std::uint64_t max_rounds = 0;
 };
 
 struct DistributedMstResult {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dmst/congest/network.h"
+#include "dmst/core/driver_options.h"
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/graph/graph.h"
 #include "dmst/proto/bfs.h"
@@ -32,33 +33,13 @@ namespace dmst {
 // edges, and the final broadcast costs O(n sqrt(n)) more. Experiment E6
 // contrasts this with the near-linear message count of the Elkin algorithm.
 
-struct PipelineMstOptions {
-    int bandwidth = 1;
+// Substrate knobs are inherited from DriverOptions. A sharded run
+// (Engine::Socket) returns the local shard's view: mst_ports filled on
+// [local_begin, local_end), mst_edges holding the locally claimed edges,
+// and root-derived milestones only on the rank that owns the root.
+struct PipelineMstOptions : DriverOptions {
     VertexId root = 0;
     std::optional<std::uint64_t> k_override;
-    Engine engine = Engine::Serial;
-    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
-    // Adversarial network conditioning; output-invariant (see
-    // congest/conditioner.h).
-    ConditionerConfig conditioner;
-    // Event-driven engine delay model (Engine::Async only);
-    // output-invariant (see sim/async_network.h).
-    AsyncConfig async;
-    // Seeded fault injection (congest/faults.h); loss is output-invariant,
-    // crash-stop degrades the run to a partial forest (result.partial).
-    FaultConfig faults;
-    // Socket backend parameters (Engine::Socket only). A sharded run
-    // returns the local shard's view: mst_ports filled on [local_begin,
-    // local_end), mst_edges holding the locally claimed edges, and
-    // root-derived milestones only on the rank that owns the root.
-    SocketConfig socket;
-    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
-    // scaled by the conditioner stride into ticks.
-    std::uint64_t max_rounds = 0;
-    // Record per-edge message counts in stats.messages_per_edge.
-    bool record_per_edge = false;
-    // Record the per-phase span trace in stats.trace.
-    bool trace = false;
 };
 
 struct PipelineMstResult {

@@ -250,19 +250,7 @@ SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,
     if (!is_connected(g))
         throw std::invalid_argument("MST requires a connected graph");
 
-    NetConfig config;
-    config.bandwidth = opts.bandwidth;
-    config.engine = opts.engine;
-    config.threads = opts.threads;
-    config.conditioner = opts.conditioner;
-    config.async = opts.async;
-    config.faults = opts.faults;
-    config.socket = opts.socket;
-    config.record_per_edge = opts.record_per_edge;
-    config.trace.enabled = opts.trace;
-    config.max_rounds = scaled_round_budget(
-        opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner, opts.faults);
+    const NetConfig config = opts.to_net_config();
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     const std::size_t n = g.vertex_count();

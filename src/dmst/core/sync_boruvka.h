@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dmst/congest/network.h"
+#include "dmst/core/driver_options.h"
 #include "dmst/graph/graph.h"
 #include "dmst/proto/bfs.h"
 
@@ -109,34 +110,15 @@ struct SyncBoruvkaResult {
     std::vector<std::size_t> parent_port;
 };
 
-struct SyncBoruvkaOptions {
-    int bandwidth = 1;
+// Substrate knobs are inherited from DriverOptions (max_rounds is the
+// budget summed across all phases). A sharded run (Engine::Socket)
+// returns the local shard's view: mst_ports/fragment_id/parent_port
+// filled on [local_begin, local_end) and mst_edges holding the locally
+// claimed edges, to be unioned across ranks.
+struct SyncBoruvkaOptions : DriverOptions {
     // Stop after this many phases even if several fragments remain
     // (0 = run to a single fragment). With a cap, mst_edges stays empty.
     int max_phases = 0;
-    Engine engine = Engine::Serial;
-    int threads = 0;  // parallel engine workers; 0 = hardware concurrency
-    // Adversarial network conditioning; output-invariant (see
-    // congest/conditioner.h).
-    ConditionerConfig conditioner;
-    // Event-driven engine delay model (Engine::Async only);
-    // output-invariant (see sim/async_network.h).
-    AsyncConfig async;
-    // Seeded fault injection (congest/faults.h); loss is output-invariant,
-    // crash-stop degrades the run to a partial forest (result.partial).
-    FaultConfig faults;
-    // Socket backend parameters (Engine::Socket only). A sharded run
-    // returns the local shard's view: mst_ports/fragment_id/parent_port
-    // filled on [local_begin, local_end) and mst_edges holding the locally
-    // claimed edges, to be unioned across ranks.
-    SocketConfig socket;
-    // Runaway guard in ideal-substrate rounds, summed across all phases
-    // (0 = the NetConfig default); scaled by the conditioner stride.
-    std::uint64_t max_rounds = 0;
-    // Record per-edge message counts in stats.messages_per_edge.
-    bool record_per_edge = false;
-    // Record the per-phase span trace in stats.trace.
-    bool trace = false;
 };
 
 SyncBoruvkaResult run_sync_boruvka(const WeightedGraph& g,

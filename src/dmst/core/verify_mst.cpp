@@ -423,19 +423,7 @@ VerifyMstResult run_verify_mst(
     if (!is_connected(g))
         throw std::invalid_argument("MST verification requires a connected graph");
 
-    NetConfig config;
-    config.bandwidth = opts.bandwidth;
-    config.engine = opts.engine;
-    config.threads = opts.threads;
-    config.conditioner = opts.conditioner;
-    config.async = opts.async;
-    config.faults = opts.faults;
-    config.socket = opts.socket;
-    config.record_per_edge = opts.record_per_edge;
-    config.trace.enabled = opts.trace;
-    config.max_rounds = scaled_round_budget(
-        opts.max_rounds ? opts.max_rounds : config.max_rounds,
-        opts.conditioner, opts.faults);
+    const NetConfig config = opts.to_net_config();
     std::unique_ptr<NetworkBase> net_ptr = make_network(g, config);
     NetworkBase& net = *net_ptr;
     net.init([&](VertexId v) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dmst/congest/network.h"
+#include "dmst/core/driver_options.h"
 #include "dmst/graph/graph.h"
 #include "dmst/proto/bfs.h"
 #include "dmst/proto/intervals.h"
@@ -71,35 +72,16 @@ enum class VerifyVerdict : std::uint8_t {
 
 const char* verify_verdict_name(VerifyVerdict verdict);
 
-struct VerifyOptions {
-    int bandwidth = 1;   // the b of CONGEST(b log n)
-    VertexId root = 0;   // designated verification root (any vertex works)
-    Engine engine = Engine::Serial;
-    int threads = 0;     // parallel engine workers; 0 = hardware concurrency
-    // Adversarial network conditioning; the verdict and witness are
-    // invariant (see congest/conditioner.h).
-    ConditionerConfig conditioner;
-    // Event-driven engine delay model (Engine::Async only); the verdict
-    // and witness are invariant (see sim/async_network.h).
-    AsyncConfig async;
-    // Seeded fault injection (congest/faults.h). Loss is verdict-invariant
-    // (the reliable-delivery shim masks it). Crash-stop is NOT meaningfully
-    // supported here: a verifier cannot produce a verdict about vertices
-    // that stopped answering, so a crash-stalled run returns
-    // partial = true with accepted = false and an unspecified verdict.
-    FaultConfig faults;
-    // Socket backend parameters (Engine::Socket only). The verdict is
-    // flooded to every vertex, so a sharded run still reports it (read
-    // from a local vertex); the root-only milestone fields are filled only
-    // on the rank that owns the root.
-    SocketConfig socket;
-    // Runaway guard in ideal-substrate rounds (0 = the NetConfig default);
-    // scaled by the conditioner stride into ticks.
-    std::uint64_t max_rounds = 0;
-    // Record per-edge message counts in stats.messages_per_edge.
-    bool record_per_edge = false;
-    // Record the per-phase span trace in stats.trace.
-    bool trace = false;
+// Substrate knobs are inherited from DriverOptions; the verdict and
+// witness are invariant under conditioning, async delay points, and loss.
+// Crash-stop is NOT meaningfully supported here: a verifier cannot produce
+// a verdict about vertices that stopped answering, so a crash-stalled run
+// returns partial = true with accepted = false and an unspecified verdict.
+// On Engine::Socket the verdict is flooded to every vertex, so a sharded
+// run still reports it (read from a local vertex); the root-only milestone
+// fields are filled only on the rank that owns the root.
+struct VerifyOptions : DriverOptions {
+    VertexId root = 0;  // designated verification root (any vertex works)
 };
 
 struct VerifyMstResult {

@@ -18,8 +18,19 @@ constexpr std::uint64_t kDelayStream = 0x64656c617921000bULL;
 
 AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
                            int shard_override)
-    : NetworkBase(g, config), sync_(g)
+    : NetworkBase(g, config)
 {
+    switch (config_.async.sync) {
+        case SyncMode::Alpha:
+            sync_ = std::make_unique<AlphaSynchronizer>(g);
+            break;
+        case SyncMode::Beta:
+            sync_ = std::make_unique<BetaSynchronizer>(g);
+            break;
+        case SyncMode::None:
+            native_ = true;
+            break;
+    }
     DMST_ASSERT_MSG(!config_.conditioner.enabled(),
                     "the lock-step conditioner does not compose with the "
                     "async engine (its delay model subsumes the latency axis)");
@@ -54,6 +65,12 @@ AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
     int queue_span = config_.async.max_delay;
     if (config_.faults.loss_enabled())
         queue_span += static_cast<int>(config_.faults.worst_round_ticks(1));
+    // Native mode books Context::set_timer timers as future events; give
+    // them scheduling room up to the wheel's efficient span (longer
+    // delays are rejected at schedule_timer).
+    if (native_)
+        queue_span = std::max(queue_span, EventQueue<Event>::kWheelMaxDelay);
+    queue_span_ = queue_span;
     shard_states_.reserve(static_cast<std::size_t>(shards_));
     for (int s = 0; s < shards_; ++s) {
         shard_states_.emplace_back(queue_span);
@@ -81,6 +98,12 @@ AsyncNetwork::AsyncNetwork(const WeightedGraph& g, NetConfig config,
     send_seq_.resize(n);
     for (VertexId v = 0; v < n; ++v)
         send_seq_[v].assign(graph_.degree(v), 0);
+
+    if (native_) {
+        link_last_.resize(n);
+        for (VertexId v = 0; v < n; ++v)
+            link_last_[v].assign(graph_.degree(v), 0);
+    }
 }
 
 bool AsyncNetwork::wheel_queue() const
@@ -131,7 +154,7 @@ void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
     ev.target = graph_.neighbor(from, port);
     ev.port = static_cast<std::uint32_t>(reverse_port(from, port));
     ev.sender = from;
-    ev.level = sync_.pulse(from);
+    ev.level = native_ ? 0 : sync_->pulse(from);
     ev.link_seq = send_seq_[from][port]++;
     ev.owner = static_cast<std::uint8_t>(shard_of_[from]);
     ev.payload = st.pool.acquire(std::move(msg));
@@ -149,28 +172,63 @@ void AsyncNetwork::send_from(VertexId from, std::size_t port, Message&& msg)
         if (st.edge_hist[e]++ == 0)
             st.touched_edges.push_back(e);
     }
-    sync_.note_send(from);
+    if (!native_)
+        sync_->note_send(from);
     ++st.in_flight;  // unconsumed until the receiver's matching pulse
     ++st.pulse_sends;
     st.messages += 1;
     st.words += size;
-    st.staged_pulse.push_back(ev);
+    // Native handler sends merge by the causing event's seq; everything
+    // else (pulse-phase sends, native on_start sends) merges in sender-id
+    // order via staged_pulse concatenation.
+    if (st.in_apply) {
+        ev.seq = st.cause_seq;
+        st.staged_apply.push_back(ev);
+    } else {
+        st.staged_pulse.push_back(ev);
+    }
 }
 
-void AsyncNetwork::stage_safe(VertexId v, ShardState& st,
-                              std::vector<Event>& staged, std::uint64_t key)
+void AsyncNetwork::schedule_timer(VertexId v, std::uint64_t delay,
+                                  std::uint64_t timer_id)
 {
-    const std::uint64_t level = sync_.pulse(v);
-    for (std::size_t p = 0; p < graph_.degree(v); ++p) {
+    if (!native_) {
+        // Synchronized modes: timers live on the logical-round clock and
+        // fire through the MessageProcess lock-step adapter.
+        NetworkBase::schedule_timer(v, delay, timer_id);
+        return;
+    }
+    DMST_ASSERT_MSG(delay <= static_cast<std::uint64_t>(queue_span_),
+                    "native timer delay exceeds the scheduling window");
+    ShardState& st = shard_states_[static_cast<std::size_t>(shard_of_[v])];
+    Event ev;
+    ev.kind = EventKind::Timer;
+    ev.target = v;
+    ev.level = timer_id;
+    ev.link_seq = static_cast<std::uint32_t>(delay);
+    if (st.in_apply) {
+        ev.seq = st.cause_seq;
+        st.staged_apply.push_back(ev);
+    } else {
+        st.staged_pulse.push_back(ev);
+    }
+}
+
+void AsyncNetwork::stage_emits(ShardState& st, std::vector<Event>& staged,
+                               std::uint64_t key)
+{
+    for (const SyncEmit& e : st.emits) {
         Event ev;
         ev.kind = EventKind::Safe;
-        ev.target = graph_.neighbor(v, p);
-        ev.level = level;
+        ev.target = e.target;
+        ev.port = e.ctrl;
+        ev.level = e.level;
         ev.seq = key;
         staged.push_back(ev);
     }
-    st.sync_messages += graph_.degree(v);
-    st.sync_words += graph_.degree(v);
+    st.sync_messages += st.emits.size();
+    st.sync_words += st.emits.size();
+    st.emits.clear();
 }
 
 void AsyncNetwork::touch(VertexId v, ShardState& st)
@@ -183,9 +241,13 @@ void AsyncNetwork::touch(VertexId v, ShardState& st)
 
 void AsyncNetwork::apply(Event& ev, ShardState& st)
 {
+    if (native_) {
+        dispatch_native(ev, st);
+        return;
+    }
     switch (ev.kind) {
         case EventKind::Payload: {
-            sync_.buffer_payload(
+            sync_->buffer_payload(
                 ev.target, ev.level,
                 AsyncIncoming{ev.port, ev.link_seq, ev.owner, ev.payload});
             // Acknowledge the link-level delivery back to the sender;
@@ -201,26 +263,61 @@ void AsyncNetwork::apply(Event& ev, ShardState& st)
             break;
         }
         case EventKind::Ack:
-            if (sync_.note_ack(ev.target))
-                stage_safe(ev.target, st, st.staged_apply, ev.seq);
+            sync_->note_ack(ev.target, st.emits);
+            stage_emits(st, st.staged_apply, ev.seq);
             break;
         case EventKind::Safe:
-            sync_.note_safe(ev.target, ev.level);
+            sync_->on_control(ev.target, ev.port, ev.level, st.emits);
+            stage_emits(st, st.staged_apply, ev.seq);
+            break;
+        case EventKind::Timer:
+            DMST_ASSERT_MSG(false, "timer event in a synchronized mode");
             break;
     }
     touch(ev.target, st);
 }
 
+void AsyncNetwork::dispatch_native(Event& ev, ShardState& st)
+{
+    const VertexId v = ev.target;
+    // Each activation gets a fresh bandwidth budget and its own tick on
+    // the vertex's activation clock (Context::round()).
+    reset_round_words(v);
+    const std::uint64_t act = ++vertex_level_[v];
+    st.max_act = std::max(st.max_act, act);
+    if (trace_)
+        trace_->set_now_for(v, act, act, now_);
+    st.in_apply = true;
+    st.cause_seq = ev.seq;
+    Context ctx = context_for(v);
+    if (ev.kind == EventKind::Payload) {
+        Message msg = std::move(*ev.payload);
+        st.freed[ev.owner].push_back(ev.payload);
+        st.in_flight -= 1;
+        native_procs_[v]->on_message(ctx, ev.port, std::move(msg));
+    } else {
+        DMST_ASSERT_MSG(ev.kind == EventKind::Timer,
+                        "synchronizer event in native mode");
+        native_procs_[v]->on_wakeup(ctx, ev.level);
+    }
+    st.in_apply = false;
+    const bool now_done = processes_[v]->done();
+    if (now_done != (done_cache_[v] != 0)) {
+        done_cache_[v] = now_done ? 1 : 0;
+        st.not_done += now_done ? -1 : 1;
+    }
+}
+
 void AsyncNetwork::execute_pulse(VertexId v, ShardState& st)
 {
-    const std::uint64_t level = sync_.pulse(v) + 1;
+    const std::uint64_t level = sync_->pulse(v) + 1;
     reset_round_words(v);
     std::fill(send_seq_[v].begin(), send_seq_[v].end(), 0);
 
     // Canonical inbox: the consumed tag's payloads in (port, link order),
     // moved out of their pool slots; the slots return to their owning
     // shard at the merge barrier.
-    sync_.begin_pulse(v, st.scratch);
+    sync_->begin_pulse(v, st.scratch);
     std::vector<Incoming>& store = inbox_store_[v];
     if (store.size() < st.scratch.size())
         store.resize(st.scratch.size());
@@ -250,8 +347,8 @@ void AsyncNetwork::execute_pulse(VertexId v, ShardState& st)
     }
     st.pulses.push_back(PulseRec{level, st.pulse_sends});
 
-    if (sync_.note_pulse_sends_done(v))
-        stage_safe(v, st, st.staged_pulse, 0);
+    sync_->note_pulse_sends_done(v, st.emits);
+    stage_emits(st, st.staged_pulse, 0);
 }
 
 void AsyncNetwork::apply_shard(int s)
@@ -283,7 +380,7 @@ void AsyncNetwork::pulse_shard(int s)
         // the next one against already-held SAFEs.
         std::sort(st.touched.begin(), st.touched.end());
         for (VertexId v : st.touched)
-            while (sync_.ready(v))
+            while (sync_->ready(v))
                 execute_pulse(v, st);
     } catch (...) {
         st.error = std::current_exception();
@@ -301,11 +398,54 @@ void AsyncNetwork::epoch_shard(int s)
     }
 }
 
+void AsyncNetwork::start_shard(int s)
+{
+    // Native wakeup fan: on_start for every vertex, ascending id within
+    // the shard — staged_pulse concatenation keeps the spawn order the
+    // global id order, independent of the shard partition.
+    ShardState& st = shard_states_[static_cast<std::size_t>(s)];
+    try {
+        for (VertexId v = bounds_[s]; v < bounds_[s + 1]; ++v) {
+            reset_round_words(v);
+            vertex_level_[v] = 1;  // the wakeup is activation 1
+            st.max_act = std::max<std::uint64_t>(st.max_act, 1);
+            if (trace_)
+                trace_->set_now_for(v, 1, 1, now_);
+            Context ctx = context_for(v);
+            native_procs_[v]->on_start(ctx);
+            const bool now_done = processes_[v]->done();
+            if (now_done != (done_cache_[v] != 0)) {
+                done_cache_[v] = now_done ? 1 : 0;
+                st.not_done += now_done ? -1 : 1;
+            }
+        }
+    } catch (...) {
+        st.error = std::current_exception();
+    }
+}
+
 void AsyncNetwork::schedule(Event&& ev)
 {
     ev.seq = event_seq_++;
-    ev.time = now_ + static_cast<std::uint64_t>(ev.fault_wait) +
-              static_cast<std::uint64_t>(delay_draw(ev.seq));
+    if (ev.kind == EventKind::Timer) {
+        // Timers fire at exactly now + delay: deterministic local alarms,
+        // not message hops, so they consume no seeded delay draw (the
+        // stream is keyed per seq — skipping a seq is safe).
+        ev.time = now_ + static_cast<std::uint64_t>(ev.link_seq);
+    } else {
+        ev.time = now_ + static_cast<std::uint64_t>(ev.fault_wait) +
+                  static_cast<std::uint64_t>(delay_draw(ev.seq));
+        if (native_ && ev.kind == EventKind::Payload) {
+            // FIFO per directed link, which classic asynchronous protocols
+            // (GHS) assume: never deliver before the link's previous
+            // payload. Ties are safe — same-timestamp events apply in seq
+            // order and seq respects send order. Synchronized modes stay
+            // unclamped so their event schedules match their baselines.
+            std::uint64_t& last = link_last_[ev.target][ev.port];
+            ev.time = std::max(ev.time, last);
+            last = ev.time;
+        }
+    }
     shard_states_[static_cast<std::size_t>(shard_of_[ev.target])].queue.push(
         std::move(ev));
 }
@@ -332,6 +472,9 @@ void AsyncNetwork::merge_barrier()
         not_done_ = static_cast<std::size_t>(
             static_cast<std::int64_t>(not_done_) + st.not_done);
         st.not_done = 0;
+        // Native activation clock (st.max_act is a monotone high-water
+        // mark, so folding the max is idempotent); zero in sync modes.
+        max_level_ = std::max(max_level_, st.max_act);
 
         for (const PulseRec& rec : st.pulses) {
             max_level_ = std::max(max_level_, rec.level);
@@ -429,7 +572,21 @@ void AsyncNetwork::start_epoch()
 {
     DMST_ASSERT_MSG(in_flight_ == 0,
                     "epoch started with unconsumed payloads in flight");
-    sync_.start_epoch(max_level_);
+    if (native_) {
+        // Native drivers run start-to-quiescence once: a resume would
+        // need a second spontaneous wakeup, which the message-driven
+        // contract does not define (use a synchronized mode for
+        // phase-kicking drivers).
+        if (native_started_)
+            throw InvariantViolation(
+                "native async mode does not support multi-epoch resumes");
+        native_started_ = true;
+        run_phase([this](int s) { start_shard(s); });
+        rethrow_shard_error();
+        merge_barrier();
+        return;
+    }
+    sync_->start_epoch(max_level_);
     completed_levels_ = max_level_;
     level_count_.clear();
     // Every vertex fires the epoch's first pulse at the current virtual
@@ -444,6 +601,21 @@ bool AsyncNetwork::step()
 {
     DMST_ASSERT_MSG(!processes_.empty(), "init() must be called before stepping");
     if (!started_ || terminated_) {
+        if (native_ && native_procs_.empty()) {
+            // The native contract, checked once: every process must expose
+            // the message-driven surface.
+            native_procs_.resize(graph_.vertex_count());
+            for (VertexId v = 0; v < graph_.vertex_count(); ++v) {
+                native_procs_[v] =
+                    dynamic_cast<MessageProcess*>(processes_[v].get());
+                if (native_procs_[v] == nullptr)
+                    throw std::invalid_argument(
+                        "sync=none requires every process to implement the "
+                        "message-driven surface (MessageProcess); "
+                        "round-programmed drivers need a synchronizer "
+                        "(sync=alpha or sync=beta)");
+            }
+        }
         // First run, or a resume after quiescence (a phase-kicking driver
         // flipped some processes back to not-done): rescan, and open a new
         // synchronizer epoch re-aligned at the current top level.
@@ -461,8 +633,14 @@ bool AsyncNetwork::step()
         start_epoch();
     }
 
+    // Synchronized modes advance until one more pulse level completes on
+    // every vertex (the async analogue of one synchronous round); native
+    // mode advances one virtual timestamp per call, so run()'s runaway
+    // guard sees the clock move.
     const std::uint64_t target = completed_levels_ + 1;
-    while (!terminated_ && completed_levels_ < target) {
+    bool advanced = false;
+    while (!terminated_ &&
+           (native_ ? !advanced : completed_levels_ < target)) {
         // The earliest pending timestamp across every shard's queue.
         std::uint64_t t = 0;
         bool any = false;
@@ -488,14 +666,18 @@ bool AsyncNetwork::step()
         ++step_stamp_;
         run_phase([this](int s) { apply_shard(s); });
         rethrow_shard_error();
-        if (!quiescent_) {
+        if (!quiescent_ && !native_) {
             run_phase([this](int s) { pulse_shard(s); });
             rethrow_shard_error();
         }
         merge_barrier();
+        advanced = true;
     }
 
-    round_ = max_level_;
+    // round_ feeds run()'s max_rounds guard: pulse levels in synchronized
+    // modes, the virtual clock in native mode (whose activation counts
+    // are per-vertex, not global).
+    round_ = native_ ? now_ : max_level_;
     stats_.rounds = max_level_;
     stats_.virtual_time = now_;
     return true;

@@ -18,9 +18,28 @@ namespace dmst {
 // Event-driven asynchronous engine (--engine=async): the third NetworkBase
 // backend. There is no global lock-step round loop — seeded event queues
 // drive execution, every message (protocol payload, synchronizer ACK,
-// synchronizer SAFE) travels with an independent integer delay hashed from
-// [1, config.async.max_delay], and a vertex is activated exactly when the
-// α-synchronizer (sim/synchronizer.h) says its next logical pulse may fire.
+// synchronizer control) travels with an independent integer delay hashed
+// from [1, config.async.max_delay], and a vertex is activated exactly when
+// the configured pulse synchronizer (sim/synchronizer.h — α or β, per
+// AsyncConfig::sync) says its next logical pulse may fire.
+//
+// Native mode (AsyncConfig::sync == SyncMode::None) drops the synchronizer
+// entirely: every process must be a MessageProcess, and the engine
+// dispatches each payload arrival straight to on_message (timers to
+// on_wakeup) at its delivery time — the asynchronous CONGEST model proper.
+// Differences from the synchronized modes:
+//   - delivery is FIFO per directed link (classic asynchronous protocols
+//     assume it): a payload's delivery time is clamped to be no earlier
+//     than the link's previous payload, on top of the seeded draw;
+//   - Context::round() reports the target's activation count;
+//     RunStats::rounds is the maximum activation count over vertices;
+//   - sync_messages/sync_words stay exactly 0, and there is no
+//     completed-level notion — step() advances one virtual timestamp;
+//   - handler-spawned events merge into the canonical schedule keyed by
+//     the causing event's seq, so the full schedule remains bit-identical
+//     across --threads/shard counts, like the synchronized modes;
+//   - multi-epoch resumes (re-kicking processes after quiescence) are not
+//     supported — a native driver runs start-to-quiescence once.
 //
 // Exactness contract. A vertex's pulse p consumes exactly the payloads its
 // neighbors sent during their pulse p-1, sorted into the canonical
@@ -114,9 +133,14 @@ public:
 
 protected:
     void send_from(VertexId from, std::size_t port, Message&& msg) override;
+    // Native mode books timers as engine events on the virtual clock
+    // (fired at now + delay exactly — timers draw no seeded delay);
+    // synchronized modes fall back to the logical-round store in the base.
+    void schedule_timer(VertexId v, std::uint64_t delay,
+                        std::uint64_t timer_id) override;
 
 private:
-    enum class EventKind : std::uint8_t { Payload, Ack, Safe };
+    enum class EventKind : std::uint8_t { Payload, Ack, Safe, Timer };
 
     struct Event {
         std::uint64_t time = 0;
@@ -126,12 +150,18 @@ private:
         // causing event (apply-phase spawns) or 0 (pulse-phase spawns,
         // merged in sender-id order).
         std::uint64_t seq = 0;
-        std::uint64_t level = 0;     // payload tag / ACK level / SAFE level
+        // Payload tag / ACK level / control level; Timer events carry the
+        // timer_id here instead.
+        std::uint64_t level = 0;
         Message* payload = nullptr;  // pool slot; Payload events only
         VertexId target = 0;
         VertexId sender = 0;         // Payload: for the ACK return
-        std::uint32_t port = 0;      // Payload: arrival port at the target
-        std::uint32_t link_seq = 0;  // Payload: send order on the link
+        // Payload: arrival port at the target. Synchronizer control
+        // events (EventKind::Safe) carry the SyncEmit ctrl code here.
+        std::uint32_t port = 0;
+        // Payload: send order on the link. Timer events carry the
+        // requested delay here (applied verbatim at schedule()).
+        std::uint32_t link_seq = 0;
         // Loss-shim wait (congest/faults.h): the retransmission delay the
         // reliable-delivery shim charges this payload before its final
         // (successful) hop; added on top of the seeded delay draw at
@@ -162,7 +192,15 @@ private:
         std::vector<VertexId> touched;  // targets of this step's arrivals
         std::vector<PulseRec> pulses;   // pulses executed this step
         std::vector<AsyncIncoming> scratch;  // begin_pulse out-buffer
+        std::vector<SyncEmit> emits;    // synchronizer emit scratch
         std::uint64_t pulse_sends = 0;  // sends of the executing pulse
+        // Native dispatch context: while a handler runs in the apply
+        // phase, its spawns (sends, timers) stage into staged_apply keyed
+        // by the causing event's seq — keying by shard-local position
+        // would make the merged order depend on the shard partition.
+        bool in_apply = false;
+        std::uint64_t cause_seq = 0;
+        std::uint64_t max_act = 0;      // high-water activation count
         std::uint64_t messages = 0;     // counter deltas, folded + zeroed
         std::uint64_t words = 0;
         std::uint64_t sync_messages = 0;
@@ -185,20 +223,37 @@ private:
     void apply_shard(int s);
     void pulse_shard(int s);
     void epoch_shard(int s);
+    void start_shard(int s);  // native on_start fan, id order per shard
     void apply(Event& ev, ShardState& st);
     void execute_pulse(VertexId v, ShardState& st);
-    void stage_safe(VertexId v, ShardState& st, std::vector<Event>& staged,
-                    std::uint64_t key);
+    // Native handler dispatch (Payload -> on_message, Timer -> on_wakeup);
+    // runs in the apply phase at the event's delivery time.
+    void dispatch_native(Event& ev, ShardState& st);
+    // Stages st.emits as control events (EventKind::Safe) into `staged`
+    // under merge key `key`, charging sync counters; clears st.emits.
+    void stage_emits(ShardState& st, std::vector<Event>& staged,
+                     std::uint64_t key);
     void touch(VertexId v, ShardState& st);
 
     void schedule(Event&& ev);
     void merge_barrier();
     void start_epoch();
 
-    AlphaSynchronizer sync_;
+    // The pulse synchronizer (α or β per AsyncConfig::sync); null in
+    // native mode.
+    std::unique_ptr<PulseSynchronizer> sync_;
+    bool native_ = false;
+    // Cached MessageProcess surface of every process (native mode only);
+    // built — and type-checked — lazily at the first step.
+    std::vector<MessageProcess*> native_procs_;
+    // Per-(target, arrival-port) last payload delivery time: the FIFO
+    // clamp of native mode. Untouched in synchronized modes, whose event
+    // schedules must stay bit-identical to their existing baselines.
+    std::vector<std::vector<std::uint64_t>> link_last_;
 
     int threads_ = 1;
     int shards_ = 1;
+    int queue_span_ = 1;  // shard queue window (bounds native timer delays)
     std::vector<VertexId> bounds_;  // size shards_+1; shard s = [b[s], b[s+1])
     std::vector<int> shard_of_;     // vertex -> owning shard
     std::vector<ShardState> shard_states_;
@@ -219,6 +274,7 @@ private:
     // write their own vertices' rows concurrently.
     std::vector<std::uint8_t> done_cache_;
     bool started_ = false;
+    bool native_started_ = false;  // native on_start fan ran (single-epoch)
     bool terminated_ = false;
     // Latched at a merge barrier when every process is done and nothing is
     // in flight; pulse phases stop and the queues drain (see class docs).

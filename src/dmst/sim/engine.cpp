@@ -78,6 +78,28 @@ const char* engine_name(Engine engine)
     return "unknown";
 }
 
+SyncMode parse_sync(const std::string& name)
+{
+    if (name == "alpha")
+        return SyncMode::Alpha;
+    if (name == "beta")
+        return SyncMode::Beta;
+    if (name == "none")
+        return SyncMode::None;
+    throw std::invalid_argument("unknown sync mode '" + name +
+                                "' (expected alpha|beta|none)");
+}
+
+const char* sync_name(SyncMode sync)
+{
+    switch (sync) {
+        case SyncMode::Alpha: return "alpha";
+        case SyncMode::Beta: return "beta";
+        case SyncMode::None: return "none";
+    }
+    return "unknown";
+}
+
 void define_engine_flags(Args& args)
 {
     args.define("engine", "serial",
@@ -122,6 +144,9 @@ void define_async_flags(Args& args)
     args.define("max_delay", "4",
                 "async engine: per-message delay bound in virtual time");
     args.define("event_seed", "1", "async engine: delay-stream seed");
+    args.define("sync", "alpha",
+                "async engine: synchronizer (alpha|beta) or native "
+                "message-driven dispatch (none)");
 }
 
 AsyncConfig async_from_args(const Args& args)
@@ -129,6 +154,7 @@ AsyncConfig async_from_args(const Args& args)
     AsyncConfig ac;
     ac.max_delay = static_cast<int>(args.get_int("max_delay"));
     ac.event_seed = static_cast<std::uint64_t>(args.get_int("event_seed"));
+    ac.sync = parse_sync(args.get("sync"));
     if (ac.max_delay < 1)
         throw std::invalid_argument("--max_delay must be >= 1");
     return ac;

@@ -29,6 +29,12 @@ std::unique_ptr<NetworkBase> make_network(const WeightedGraph& g,
 Engine parse_engine(const std::string& name);
 const char* engine_name(Engine engine);
 
+// "alpha" | "beta" | "none" (case-sensitive); throws std::invalid_argument
+// on anything else. The inverse of sync_name, for the --sync CLI flag and
+// the scenario grid's sync axis.
+SyncMode parse_sync(const std::string& name);
+const char* sync_name(SyncMode sync);
+
 class Args;
 
 // The shared --engine/--threads CLI surface of the bench binaries:
@@ -48,9 +54,11 @@ EngineSelection engine_from_args(const Args& args);
 void define_conditioner_flags(Args& args);
 ConditionerConfig conditioner_from_args(const Args& args);
 
-// The shared --max_delay/--event_seed CLI surface of the bench binaries
-// (single values; the scenario runner sweeps its own comma-list axes).
-// Only the async engine reads them.
+// The shared --max_delay/--event_seed/--sync CLI surface of the bench
+// binaries (single values; the scenario runner sweeps its own comma-list
+// axes). Only the async engine reads them; --sync picks the synchronizer
+// (alpha | beta) or the native message-driven dispatch (none — requires
+// every process to implement the MessageProcess surface).
 void define_async_flags(Args& args);
 AsyncConfig async_from_args(const Args& args);
 

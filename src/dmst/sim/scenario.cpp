@@ -10,6 +10,7 @@
 #include "dmst/congest/faults.h"
 #include "dmst/core/controlled_ghs.h"
 #include "dmst/core/elkin_mst.h"
+#include "dmst/core/ghs_native.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/core/pipeline_mst.h"
 #include "dmst/core/sync_boruvka.h"
@@ -31,6 +32,41 @@ struct AlgoRun {
     bool partial = false;  // crash-stop degraded the run to a subforest
 };
 
+// Fills the shared DriverOptions base of any driver's Options struct with
+// one cell's substrate point; algorithm-specific knobs stay at the call
+// site. This is what the consolidated options hierarchy buys the harness:
+// one writer for the substrate surface instead of five copies.
+template <typename Opts>
+Opts cell_options(int bandwidth, Engine engine, int threads,
+                  const ConditionerConfig& cc, const AsyncConfig& ac,
+                  const FaultConfig& fc, const SocketConfig& sc, bool trace,
+                  bool record_per_edge)
+{
+    Opts opts;
+    opts.bandwidth = bandwidth;
+    opts.engine = engine;
+    opts.threads = threads;
+    opts.conditioner = cc;
+    opts.async = ac;
+    opts.faults = fc;
+    opts.socket = sc;
+    opts.trace = trace;
+    opts.record_per_edge = record_per_edge;
+    return opts;
+}
+
+// Per-vertex MST port sets -> sorted unique edge ids (a partial forest is
+// fine; collect_mst_edges would reject a non-spanning one).
+std::vector<EdgeId> edges_from_ports(const WeightedGraph& g,
+                                     const MstForestResult& r)
+{
+    std::set<EdgeId> edges;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+        for (std::size_t p : r.mst_ports[v])
+            edges.insert(g.edge_id(v, p));
+    return {edges.begin(), edges.end()};
+}
+
 AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
                       int bandwidth, Engine engine, int threads,
                       std::uint64_t ghs_k, const ConditionerConfig& cc,
@@ -39,75 +75,50 @@ AlgoRun run_algorithm(const std::string& algorithm, const WeightedGraph& g,
 {
     AlgoRun out;
     if (algorithm == "elkin") {
-        ElkinOptions opts;
-        opts.bandwidth = bandwidth;
-        opts.engine = engine;
-        opts.threads = threads;
-        opts.conditioner = cc;
-        opts.async = ac;
-        opts.faults = fc;
-        opts.socket = sc;
-        opts.record_per_edge = record_per_edge;
+        auto opts = cell_options<ElkinOptions>(bandwidth, engine, threads, cc,
+                                               ac, fc, sc, trace,
+                                               record_per_edge);
         auto r = run_elkin_mst(g, opts);  // always records the span trace
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
         out.partial = r.partial;
     } else if (algorithm == "pipeline") {
-        PipelineMstOptions opts;
-        opts.bandwidth = bandwidth;
-        opts.engine = engine;
-        opts.threads = threads;
-        opts.conditioner = cc;
-        opts.async = ac;
-        opts.faults = fc;
-        opts.socket = sc;
-        opts.trace = trace;
-        opts.record_per_edge = record_per_edge;
+        auto opts = cell_options<PipelineMstOptions>(bandwidth, engine,
+                                                     threads, cc, ac, fc, sc,
+                                                     trace, record_per_edge);
         auto r = run_pipeline_mst(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
         out.partial = r.partial;
     } else if (algorithm == "boruvka") {
-        SyncBoruvkaOptions opts;
-        opts.bandwidth = bandwidth;
-        opts.engine = engine;
-        opts.threads = threads;
-        opts.conditioner = cc;
-        opts.async = ac;
-        opts.faults = fc;
-        opts.socket = sc;
-        opts.trace = trace;
-        opts.record_per_edge = record_per_edge;
+        auto opts = cell_options<SyncBoruvkaOptions>(bandwidth, engine,
+                                                     threads, cc, ac, fc, sc,
+                                                     trace, record_per_edge);
         auto r = run_sync_boruvka(g, opts);
         out.edges = std::move(r.mst_edges);
         out.stats = std::move(r.stats);
         out.partial = r.partial;
     } else if (algorithm == "ghs") {
-        GhsOptions opts;
+        auto opts = cell_options<GhsOptions>(bandwidth, engine, threads, cc,
+                                             ac, fc, sc, trace,
+                                             record_per_edge);
         opts.k = ghs_k;
-        opts.bandwidth = bandwidth;
-        opts.engine = engine;
-        opts.threads = threads;
-        opts.conditioner = cc;
-        opts.async = ac;
-        opts.faults = fc;
-        opts.socket = sc;
-        opts.trace = trace;
-        opts.record_per_edge = record_per_edge;
         auto r = run_controlled_ghs(g, opts);
-        // The forest is partial; gather edges straight from the port sets
-        // (collect_mst_edges would reject a non-spanning forest).
-        std::set<EdgeId> edges;
-        for (VertexId v = 0; v < g.vertex_count(); ++v)
-            for (std::size_t p : r.mst_ports[v])
-                edges.insert(g.edge_id(v, p));
-        out.edges.assign(edges.begin(), edges.end());
+        out.edges = edges_from_ports(g, r);
+        out.stats = std::move(r.stats);
+        out.partial = r.partial;
+    } else if (algorithm == "ghs_native") {
+        auto opts = cell_options<GhsNativeOptions>(bandwidth, engine, threads,
+                                                   cc, ac, fc, sc, trace,
+                                                   record_per_edge);
+        auto r = run_ghs_native(g, opts);
+        out.edges = edges_from_ports(g, r);
         out.stats = std::move(r.stats);
         out.partial = r.partial;
     } else {
         throw std::invalid_argument(
             "unknown algorithm '" + algorithm +
-            "' (expected elkin|pipeline|boruvka|ghs)");
+            "' (expected elkin|pipeline|boruvka|ghs|ghs_native)");
     }
     return out;
 }
@@ -321,8 +332,8 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
         spec.thread_counts.empty() || spec.latencies.empty() ||
         spec.hetero_bs.empty() || spec.adversarial_orders.empty() ||
         spec.max_delays.empty() || spec.event_seeds.empty() ||
-        spec.drop_rates.empty() || spec.loss_seeds.empty() ||
-        spec.crash_specs.empty())
+        spec.syncs.empty() || spec.drop_rates.empty() ||
+        spec.loss_seeds.empty() || spec.crash_specs.empty())
         throw std::invalid_argument("run_scenarios: empty sweep dimension");
 
     std::vector<ScenarioCell> cells;
@@ -342,6 +353,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
             for (int adversarial : spec.adversarial_orders) {
             for (int max_delay : spec.max_delays) {
             for (std::uint64_t event_seed : spec.event_seeds) {
+            for (SyncMode sync : spec.syncs) {
             for (double drop_rate : spec.drop_rates) {
             for (std::uint64_t loss_seed : spec.loss_seeds) {
                 // Without loss the seed never enters a draw; sweeping it
@@ -362,10 +374,12 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                 const bool ideal_conditioner = !cc.enabled();
                 const bool first_async_point =
                     max_delay == spec.max_delays.front() &&
-                    event_seed == spec.event_seeds.front();
+                    event_seed == spec.event_seeds.front() &&
+                    sync == spec.syncs.front();
                 AsyncConfig ac;
                 ac.max_delay = max_delay;
                 ac.event_seed = event_seed;
+                ac.sync = sync;
                 for (Engine engine : spec.engines) {
                     const bool is_async = engine == Engine::Async;
                     const bool is_socket = engine == Engine::Socket;
@@ -374,6 +388,12 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                     // engines do not read the async axes; the async
                     // engine rejects the lock-step conditioner.
                     if (is_async ? !ideal_conditioner : !first_async_point)
+                        continue;
+                    // The no-synchronizer path hosts message-driven
+                    // drivers only; round-programmed algorithms have no
+                    // handler surface to dispatch to.
+                    if (is_async && sync == SyncMode::None &&
+                        spec.algorithm != "ghs_native")
                         continue;
                     // Crash-stop is a lock-step device (the α-synchronizer
                     // has no global round barrier to crash at).
@@ -409,6 +429,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                         if (is_async) {
                             cell.max_delay = max_delay;
                             cell.event_seed = event_seed;
+                            cell.sync = sync;
                         }
                         cell.drop_rate = drop_rate;
                         if (drop_rate > 0)
@@ -525,6 +546,11 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
                             vo.threads = threads;
                             vo.conditioner = cc;
                             vo.async = ac;
+                            // The verification protocol is round-programmed;
+                            // on a native (sync = none) cell it still needs
+                            // a synchronizer to host it.
+                            if (vo.async.sync == SyncMode::None)
+                                vo.async.sync = SyncMode::Alpha;
                             vo.faults = fc;  // crash-free here by the gate
                             vo.socket = spec.socket;
                             // A sharded rank only harvested its slice of
@@ -564,6 +590,7 @@ std::vector<ScenarioCell> run_scenarios(const ScenarioSpec& spec,
             }
             }
             }
+            }
         }
     }
     return cells;
@@ -590,6 +617,7 @@ std::string cell_json(const ScenarioCell& cell)
     if (cell.engine == Engine::Async)
         oss << ",\"max_delay\":" << cell.max_delay
             << ",\"event_seed\":" << cell.event_seed
+            << ",\"sync\":\"" << sync_name(cell.sync) << "\""
             << ",\"events\":" << cell.stats.events
             << ",\"virtual_time\":" << cell.stats.virtual_time
             << ",\"sync_messages\":" << cell.stats.sync_messages

@@ -18,7 +18,7 @@ namespace dmst {
 // also returned in grid order.
 
 struct ScenarioSpec {
-    // Algorithm under test: elkin | pipeline | boruvka | ghs.
+    // Algorithm under test: elkin | pipeline | boruvka | ghs | ghs_native.
     std::string algorithm = "elkin";
     // Workload families from exp/workloads.h (e.g. er, grid, path, tree).
     std::vector<std::string> families = {"er"};
@@ -44,6 +44,13 @@ struct ScenarioSpec {
     // lock-step engines run at the first point of each axis only.
     std::vector<int> max_delays = {4};
     std::vector<std::uint64_t> event_seeds = {1};
+    // Synchronizer axis of the async engine (SyncMode): alpha and beta
+    // host every driver and must be bit-identical in payload counters;
+    // none (native per-event dispatch) requires a message-driven driver,
+    // so such cells run only for algorithm "ghs_native" and are skipped
+    // for the round-programmed algorithms. Lock-step engines have no
+    // synchronizer and run at the first point of this axis only.
+    std::vector<SyncMode> syncs = {SyncMode::Alpha};
     // Fault-injection axes (congest/faults.h): per-link drop probability,
     // loss-stream seed, and crash-stop schedule (parse_crash_spec grammar,
     // "" = none). The loss shim is transparent — every lossy cell must
@@ -111,9 +118,11 @@ struct ScenarioCell {
     bool hetero_b = false;
     bool adversarial_order = false;
     // The cell's async-axes point; meaningful only for async-engine cells
-    // (zero otherwise, and absent from their JSON).
+    // (zero otherwise, and absent from their JSON). `sync` names the
+    // synchronizer behind the cell (emitted as "sync" in the JSON).
     int max_delay = 0;
     std::uint64_t event_seed = 0;
+    SyncMode sync = SyncMode::Alpha;
     // The cell's fault point: loss-shim drop rate and seed (loss_seed is
     // meaningful only when drop_rate > 0) and the crash schedule ("" =
     // none). `partial` reports crash-stop degradation (stats.stalled or
@@ -203,13 +212,15 @@ using ScenarioCallback = std::function<void(const ScenarioCell&)>;
 // Runs the full grid; throws std::invalid_argument on an unknown
 // algorithm, family, or empty dimension. Cells are produced in
 // (family, n, bandwidth, latency, hetero_b, adversarial_order, max_delay,
-// event_seed, drop_rate, loss_seed, crash, engine, threads) lexicographic
-// grid order. Cells whose axes do not apply to their engine are skipped
-// rather than duplicated: lock-step engines run only at the first
-// (max_delay, event_seed) point, the async engine only at the ideal
-// conditioner point and never on crash cells; loss seeds beyond the first
-// are skipped at drop_rate 0; the serial engine runs a single
-// (threads = 1) cell while parallel and async sweep the thread axis. The
+// event_seed, sync, drop_rate, loss_seed, crash, engine, threads)
+// lexicographic grid order. Cells whose axes do not apply to their engine
+// are skipped rather than duplicated: lock-step engines run only at the
+// first (max_delay, event_seed, sync) point, the async engine only at the
+// ideal conditioner point and never on crash cells; sync = none cells run
+// only for algorithm "ghs_native" (the message-driven driver); loss seeds
+// beyond the first are skipped at drop_rate 0; the serial engine runs a
+// single (threads = 1) cell while parallel and async sweep the thread
+// axis. The
 // socket engine runs single-threaded cells at the ideal conditioner,
 // first async point and clean fault point only, and skips sizes smaller
 // than its process count (every rank needs a non-empty vertex block).

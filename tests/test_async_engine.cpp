@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dmst/core/controlled_ghs.h"
 #include "dmst/core/elkin_mst.h"
 #include "dmst/core/mst_output.h"
 #include "dmst/core/pipeline_mst.h"
@@ -109,6 +110,75 @@ TEST(AsyncFuzz, MstInvariantAcrossEventSeedsAndOracle)
             EXPECT_EQ(out.stats.words, serial.stats.words) << fg.label;
             EXPECT_GE(out.stats.rounds, serial.stats.rounds) << fg.label;
             EXPECT_GT(out.stats.sync_messages, 0u) << fg.label;
+        }
+    }
+}
+
+// Every round-programmed driver in the library must be hosted
+// bit-identically by both synchronizers: the β-synchronizer changes only
+// the control plane, never the computation. The five drivers are the
+// three full-MST builders, Controlled-GHS, and the verification protocol.
+TEST(AsyncFuzz, FiveDriversBitIdenticalBehindBothSynchronizers)
+{
+    for (const char* family : {"er", "grid"}) {
+        auto g = make_workload(family, 40, 17);
+
+        auto check = [&](const char* driver, const RunStats& serial,
+                         const RunStats& alpha, const RunStats& beta) {
+            EXPECT_EQ(alpha.messages, serial.messages)
+                << family << " " << driver;
+            EXPECT_EQ(alpha.words, serial.words) << family << " " << driver;
+            EXPECT_EQ(beta.messages, serial.messages)
+                << family << " " << driver;
+            EXPECT_EQ(beta.words, serial.words) << family << " " << driver;
+            EXPECT_GT(alpha.sync_messages, 0u) << family << " " << driver;
+            EXPECT_GT(beta.sync_messages, 0u) << family << " " << driver;
+            // 2 per tree edge per pulse beats 2 per payload + SAFE floods
+            // on every one of these drivers and workloads.
+            EXPECT_LT(beta.sync_messages, alpha.sync_messages)
+                << family << " " << driver;
+        };
+
+        AsyncConfig alpha_ac;
+        AsyncConfig beta_ac;
+        beta_ac.sync = SyncMode::Beta;
+
+        for (const char* algo : {"elkin", "pipeline", "boruvka"}) {
+            auto serial = run_algo(algo, g, Engine::Serial, AsyncConfig{});
+            auto alpha = run_algo(algo, g, Engine::Async, alpha_ac);
+            auto beta = run_algo(algo, g, Engine::Async, beta_ac);
+            EXPECT_EQ(alpha.edges, serial.edges) << family << " " << algo;
+            EXPECT_EQ(beta.edges, serial.edges) << family << " " << algo;
+            check(algo, serial.stats, alpha.stats, beta.stats);
+        }
+
+        {
+            GhsOptions o;
+            o.k = 4;
+            auto serial = run_controlled_ghs(g, o);
+            o.engine = Engine::Async;
+            auto alpha = run_controlled_ghs(g, o);
+            o.async.sync = SyncMode::Beta;
+            auto beta = run_controlled_ghs(g, o);
+            EXPECT_EQ(alpha.mst_ports, serial.mst_ports) << family;
+            EXPECT_EQ(beta.mst_ports, serial.mst_ports) << family;
+            EXPECT_EQ(beta.fragment_id, serial.fragment_id) << family;
+            check("ghs", serial.stats, alpha.stats, beta.stats);
+        }
+
+        {
+            auto oracle = mst_kruskal(g);
+            auto claimed = ports_from_edges(g, oracle.edges);
+            VerifyOptions vo;
+            auto serial = run_verify_mst(g, claimed, vo);
+            vo.engine = Engine::Async;
+            auto alpha = run_verify_mst(g, claimed, vo);
+            vo.async.sync = SyncMode::Beta;
+            auto beta = run_verify_mst(g, claimed, vo);
+            EXPECT_TRUE(serial.accepted) << family;
+            EXPECT_TRUE(alpha.accepted) << family;
+            EXPECT_TRUE(beta.accepted) << family;
+            check("verify", serial.stats, alpha.stats, beta.stats);
         }
     }
 }

@@ -20,6 +20,13 @@ void expect_exact_mst(const WeightedGraph& g, const DistributedMstResult& r)
     EXPECT_TRUE(is_spanning_tree(g, r.mst_edges));
 }
 
+ElkinOptions elkin_bw(int bandwidth)
+{
+    ElkinOptions opts;
+    opts.bandwidth = bandwidth;
+    return opts;
+}
+
 TEST(ElkinMst, SingleVertex)
 {
     auto g = WeightedGraph::from_edges(1, {});
@@ -62,8 +69,7 @@ TEST(ElkinMst, DisconnectedThrows)
 TEST(ElkinMst, BadOptionsThrow)
 {
     auto g = WeightedGraph::from_edges(2, {{0, 1, 1}});
-    EXPECT_THROW(run_elkin_mst(g, ElkinOptions{.bandwidth = 0}),
-                 std::invalid_argument);
+    EXPECT_THROW(run_elkin_mst(g, elkin_bw(0)), std::invalid_argument);
     EXPECT_THROW(run_elkin_mst(g, ElkinOptions{.root = 7}), std::invalid_argument);
 }
 
@@ -162,7 +168,7 @@ protected:
 TEST_P(ElkinSweep, ComputesExactMst)
 {
     auto g = make();
-    auto r = run_elkin_mst(g, ElkinOptions{.bandwidth = GetParam().bandwidth});
+    auto r = run_elkin_mst(g, elkin_bw(GetParam().bandwidth));
     expect_exact_mst(g, r);
 }
 
@@ -224,8 +230,8 @@ TEST(ElkinMst, BandwidthReducesRounds)
 {
     Rng rng(500);
     auto g = gen_erdos_renyi(256, 768, rng);
-    auto r1 = run_elkin_mst(g, ElkinOptions{.bandwidth = 1});
-    auto r8 = run_elkin_mst(g, ElkinOptions{.bandwidth = 8});
+    auto r1 = run_elkin_mst(g, elkin_bw(1));
+    auto r8 = run_elkin_mst(g, elkin_bw(8));
     expect_exact_mst(g, r1);
     expect_exact_mst(g, r8);
     EXPECT_LT(r8.stats.rounds, r1.stats.rounds);

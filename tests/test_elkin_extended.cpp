@@ -141,7 +141,9 @@ TEST(ElkinBandwidth, VeryHighBandwidthStillExact)
     auto g = gen_erdos_renyi(128, 512, rng);
     auto mst = mst_kruskal(g);
     for (int b : {16, 32, 64}) {
-        auto r = run_elkin_mst(g, ElkinOptions{.bandwidth = b});
+        ElkinOptions opts;
+        opts.bandwidth = b;
+        auto r = run_elkin_mst(g, opts);
         EXPECT_EQ(r.mst_edges, mst.edges) << "b=" << b;
     }
 }
@@ -152,7 +154,9 @@ TEST(ElkinBandwidth, RoundsMonotoneNonIncreasingInB)
     auto g = gen_erdos_renyi(256, 768, rng);
     std::uint64_t prev = ~std::uint64_t{0};
     for (int b : {1, 4, 16}) {
-        auto r = run_elkin_mst(g, ElkinOptions{.bandwidth = b});
+        ElkinOptions opts;
+        opts.bandwidth = b;
+        auto r = run_elkin_mst(g, opts);
         EXPECT_LE(r.stats.rounds, prev + prev / 10)  // allow 10% jitter
             << "b=" << b;
         prev = r.stats.rounds;

@@ -79,7 +79,10 @@ TEST(GhsSchedule, WindowAndHeightBounds)
 
 ForestStats run_and_analyze(const WeightedGraph& g, std::uint64_t k, int b = 1)
 {
-    auto r = run_controlled_ghs(g, GhsOptions{.k = k, .bandwidth = b});
+    GhsOptions opts;
+    opts.k = k;
+    opts.bandwidth = b;
+    auto r = run_controlled_ghs(g, opts);
     return analyze_forest(g, r.parent_port, r.fragment_id);
 }
 
@@ -124,12 +127,15 @@ TEST_P(GhsBandwidthSweep, ForestInvariantsHoldAtAnyBandwidth)
 {
     Rng rng(820);
     auto g = gen_erdos_renyi(128, 384, rng);
-    auto r = run_controlled_ghs(g, GhsOptions{.k = 8, .bandwidth = GetParam()});
+    GhsOptions opts;
+    opts.k = 8;
+    opts.bandwidth = GetParam();
+    auto r = run_controlled_ghs(g, opts);
     auto s = analyze_forest(g, r.parent_port, r.fragment_id);
     EXPECT_LE(s.fragment_count, 2u * 128 / 8);
     EXPECT_LE(s.max_height, 3u * 8 + 4);
     // The GHS schedule is bandwidth-independent: identical round counts.
-    auto r1 = run_controlled_ghs(g, GhsOptions{.k = 8, .bandwidth = 1});
+    auto r1 = run_controlled_ghs(g, GhsOptions{.k = 8});
     EXPECT_EQ(r.stats.rounds, r1.stats.rounds);
     EXPECT_EQ(r.fragment_id, r1.fragment_id);
 }

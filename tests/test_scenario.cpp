@@ -296,6 +296,72 @@ TEST(Scenario, AsyncAxesSweepInvariantCellsAtIdealConditionerOnly)
     EXPECT_EQ(cell_json(cells[0]).find("max_delay"), std::string::npos);
 }
 
+TEST(Scenario, SyncAxisSweepsSynchronizersAndNativeDispatch)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "ghs_native";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.engines = {Engine::Serial, Engine::Async};
+    spec.thread_counts = {1};
+    spec.syncs = {SyncMode::Alpha, SyncMode::Beta, SyncMode::None};
+    spec.model_verify = true;
+
+    auto cells = run_scenarios(spec);
+    // Serial has no synchronizer and collapses to the first sync point;
+    // async runs one cell per synchronizer.
+    ASSERT_EQ(cells.size(), 1u + 3);
+    const auto& serial = cells[0];
+    const auto& alpha = cells[1];
+    const auto& beta = cells[2];
+    const auto& native = cells[3];
+    EXPECT_EQ(alpha.sync, SyncMode::Alpha);
+    EXPECT_EQ(beta.sync, SyncMode::Beta);
+    EXPECT_EQ(native.sync, SyncMode::None);
+    for (const auto& cell : cells) {
+        EXPECT_TRUE(cell.verified);
+        EXPECT_TRUE(cell.model_verified);
+        EXPECT_EQ(cell.mutations_passed, cell.mutations_run);
+        EXPECT_EQ(cell.mst_weight, serial.mst_weight);
+        // Payload traffic is a property of the algorithm, not the
+        // synchronizer hosting it.
+        EXPECT_EQ(cell.stats.messages, serial.stats.messages);
+    }
+    // Both synchronizers pay a control plane; the spanning-tree beta
+    // synchronizer's is strictly cheaper than alpha's per-edge pulses.
+    EXPECT_GT(alpha.stats.sync_messages, 0u);
+    EXPECT_GT(beta.stats.sync_messages, 0u);
+    EXPECT_LT(beta.stats.sync_messages, alpha.stats.sync_messages);
+    // Native dispatch has no synchronizer at all: every event is a
+    // payload message.
+    EXPECT_EQ(native.stats.sync_messages, 0u);
+    EXPECT_EQ(native.stats.sync_words, 0u);
+    EXPECT_EQ(native.stats.events, native.stats.messages);
+
+    EXPECT_NE(cell_json(beta).find("\"sync\":\"beta\""), std::string::npos);
+    EXPECT_NE(cell_json(native).find("\"sync\":\"none\""), std::string::npos);
+    // Lock-step cells carry no sync field.
+    EXPECT_EQ(cell_json(serial).find("\"sync\""), std::string::npos);
+}
+
+TEST(Scenario, NativeSyncCellsSkippedForRoundProgrammedDrivers)
+{
+    ScenarioSpec spec;
+    spec.algorithm = "boruvka";
+    spec.families = {"er"};
+    spec.sizes = {48};
+    spec.engines = {Engine::Async};
+    spec.thread_counts = {1};
+    spec.syncs = {SyncMode::Alpha, SyncMode::None};
+
+    auto cells = run_scenarios(spec);
+    // A round-programmed driver cannot run without a synchronizer: the
+    // sync = none point is skipped, not an error.
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].sync, SyncMode::Alpha);
+    EXPECT_TRUE(cells[0].verified);
+}
+
 TEST(Scenario, FaultAxesSweepLossAndCrashCells)
 {
     ScenarioSpec spec;
